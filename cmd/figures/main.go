@@ -1,0 +1,261 @@
+// Command figures regenerates the paper's illustrative figures (1–13) as
+// SVG files from computed results — skylines, window queries, anti-dominance
+// regions, safe regions and the why-not movements of the running example —
+// plus the evaluation charts (Figs. 14, 15, 17) on a quick-scale dataset.
+//
+// Usage:
+//
+//	figures -out figures/          # writes figure*.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/viz"
+)
+
+var outDir string
+
+func main() {
+	flag.StringVar(&outDir, "out", "figures", "output directory for SVG files")
+	charts := flag.Bool("charts", true, "also render the evaluation charts (Figs. 14/15/17, quick scale)")
+	flag.Parse()
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		die(err)
+	}
+
+	products := fig1()
+	db := repro.NewDB(2, products)
+	q := repro.NewPoint(8.5, 55)
+	world := geom.NewRect(geom.NewPoint(0, 0), geom.NewPoint(30, 130))
+
+	fig1b(products, world)
+	fig2a(products, q)
+	fig3b(db, products, world)
+	fig4(db, products, q, world)
+	fig7(db, products, q, world)
+	fig9(db, products, q, world)
+	fig10(db, products, world)
+	fig12and13(db, products, q, world)
+	if *charts {
+		evaluationCharts()
+	}
+	fmt.Println("figures written to", outDir)
+}
+
+func fig1() []repro.Item {
+	coords := [][2]float64{
+		{5, 30}, {7.5, 42}, {2.5, 70}, {7.5, 90},
+		{24, 20}, {20, 50}, {26, 70}, {16, 80},
+	}
+	items := make([]repro.Item, len(coords))
+	for i, c := range coords {
+		items[i] = repro.Item{ID: i + 1, Point: repro.NewPoint(c[0], c[1])}
+	}
+	return items
+}
+
+func save(name string, c *viz.Canvas) {
+	f, err := os.Create(filepath.Join(outDir, name))
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	if err := c.Render(f); err != nil {
+		die(err)
+	}
+}
+
+// drawPoints plots the dataset with pt labels, highlighting the given IDs.
+func drawPoints(c *viz.Canvas, items []repro.Item, highlight map[int]bool) {
+	for _, it := range items {
+		st := viz.Style{Fill: "#1f77b4"}
+		if highlight[it.ID] {
+			st = viz.Style{Fill: "#d62728", Radius: 5}
+		}
+		c.Point(it.Point, fmt.Sprintf("pt%d", it.ID), st)
+	}
+}
+
+// Fig. 1(b): the static skyline {p1, p3, p5}.
+func fig1b(items []repro.Item, world geom.Rect) {
+	c := viz.NewCanvas(520, 420, world, "Fig. 1(b) — static skyline of the car database", "price (K$)", "mileage (K mi)")
+	sky := map[int]bool{1: true, 3: true, 5: true}
+	drawPoints(c, items, sky)
+	c.Text(geom.NewPoint(1, 120), "red = skyline points", 11)
+	save("fig1b_skyline.svg", c)
+}
+
+// Fig. 2(a): the data transformed around q with DSL(q) = {p2, p6}.
+func fig2a(items []repro.Item, q geom.Point) {
+	world := geom.NewRect(geom.NewPoint(0, 0), geom.NewPoint(20, 40))
+	c := viz.NewCanvas(520, 420, world, "Fig. 2(a) — transformed space around q(8.5, 55); DSL(q) = {p2, p6}", "|q.price − p.price|", "|q.mileage − p.mileage|")
+	dsl := map[int]bool{2: true, 6: true}
+	for _, it := range items {
+		tr := it.Point.Transform(q)
+		st := viz.Style{Fill: "#1f77b4"}
+		if dsl[it.ID] {
+			st = viz.Style{Fill: "#d62728", Radius: 5}
+		}
+		c.Point(tr, fmt.Sprintf("p%d'", it.ID), st)
+	}
+	c.Point(geom.NewPoint(0, 0), "q (origin)", viz.Style{Fill: "#000", Radius: 5})
+	save("fig2a_dynamic_skyline.svg", c)
+}
+
+// Fig. 3(b): DDR and anti-DDR of c2 in the original space.
+func fig3b(db *repro.DB, items []repro.Item, world geom.Rect) {
+	c2 := items[1]
+	add := db.AntiDominanceRegion(c2)
+	c := viz.NewCanvas(520, 420, world, "Fig. 3(b) — anti-dominance region of c2 (shaded)", "price (K$)", "mileage (K mi)")
+	c.Region(add, viz.Style{Fill: "#2ca02c", Opacity: 0.15, Stroke: "#2ca02c"})
+	drawPoints(c, items, map[int]bool{2: true})
+	c.Point(repro.NewPoint(8.5, 55), "q", viz.Style{Fill: "#000", Radius: 5})
+	save("fig3b_antiddr_c2.svg", c)
+}
+
+// Fig. 4: the window queries of c2 (empty) and c1 (returns p2).
+func fig4(db *repro.DB, items []repro.Item, q geom.Point, world geom.Rect) {
+	c := viz.NewCanvas(520, 420, world, "Fig. 4 — window queries of c2 (green, empty) and c1 (red, returns p2)", "price (K$)", "mileage (K mi)")
+	drawPoints(c, items, nil)
+	c.Point(q, "q", viz.Style{Fill: "#000", Radius: 5})
+	c.Rect(geom.WindowRect(items[1].Point, q), viz.Style{Stroke: "#2ca02c", Dash: "6,3"})
+	c.Rect(geom.WindowRect(items[0].Point, q), viz.Style{Stroke: "#d62728", Dash: "6,3"})
+	save("fig4_window_queries.svg", c)
+}
+
+// Fig. 7: the MWP movement of c1 to (5, 48.5) or (8, 30).
+func fig7(db *repro.DB, items []repro.Item, q geom.Point, world geom.Rect) {
+	c1 := items[0]
+	res := db.MWP(c1, q, repro.Options{})
+	c := viz.NewCanvas(520, 420, world, "Fig. 7 — moving the why-not point c1 (Algorithm 1)", "price (K$)", "mileage (K mi)")
+	drawPoints(c, items, map[int]bool{1: true})
+	c.Point(q, "q", viz.Style{Fill: "#000", Radius: 5})
+	for _, cand := range res.Candidates {
+		c.Arrow(c1.Point, cand.Point, viz.Style{Stroke: "#d62728", StrokeWidth: 1.6})
+		c.Point(cand.Point, fmt.Sprintf("c1* %v", cand.Point), viz.Style{Fill: "#ff7f0e", Radius: 5})
+	}
+	save("fig7_mwp.svg", c)
+}
+
+// Fig. 9: the MQP movement of q to (7.5, 55) or (8.5, 42).
+func fig9(db *repro.DB, items []repro.Item, q geom.Point, world geom.Rect) {
+	c1 := items[0]
+	res := db.MQP(c1, q, repro.Options{})
+	c := viz.NewCanvas(520, 420, world, "Fig. 9 — moving the query point q (Algorithm 2)", "price (K$)", "mileage (K mi)")
+	drawPoints(c, items, map[int]bool{1: true})
+	c.Point(q, "q", viz.Style{Fill: "#000", Radius: 5})
+	for _, cand := range res.Candidates {
+		c.Arrow(q, cand.Point, viz.Style{Stroke: "#9467bd", StrokeWidth: 1.6})
+		c.Point(cand.Point, fmt.Sprintf("q* %v", cand.Point), viz.Style{Fill: "#9467bd", Radius: 5})
+	}
+	save("fig9_mqp.svg", c)
+}
+
+// Fig. 10: the rectangle representation of an anti-DDR (c7's, from §V.B).
+func fig10(db *repro.DB, items []repro.Item, world geom.Rect) {
+	c7 := items[6]
+	add := db.AntiDominanceRegion(c7)
+	big := geom.NewRect(geom.NewPoint(-25, -10), geom.NewPoint(55, 130))
+	c := viz.NewCanvas(560, 460, big, "Fig. 10 — anti-DDR of c7 as overlapping rectangles", "price (K$)", "mileage (K mi)")
+	colors := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"}
+	for i, r := range add {
+		c.Rect(r, viz.Style{Stroke: colors[i%len(colors)], Fill: colors[i%len(colors)], Opacity: 0.12})
+	}
+	drawPoints(c, items, map[int]bool{7: true})
+	_ = world
+	save("fig10_antiddr_rects.svg", c)
+}
+
+// Figs. 12/13: the safe region, the anti-DDRs of c7 (overlap, case C1) and
+// c1 (disjoint, case C2), and the resulting movements.
+func fig12and13(db *repro.DB, items []repro.Item, q geom.Point, world geom.Rect) {
+	rsl := db.ReverseSkyline(items, q)
+	sr := db.SafeRegion(q, rsl)
+
+	c := viz.NewCanvas(560, 460, world, "Fig. 12 — safe region of q (blue) overlapping anti-DDR of c7 (green)", "price (K$)", "mileage (K mi)")
+	c.Region(db.AntiDominanceRegion(items[6]), viz.Style{Fill: "#2ca02c", Opacity: 0.12, Stroke: "#2ca02c"})
+	c.Region(sr, viz.Style{Fill: "#1f77b4", Opacity: 0.25, Stroke: "#1f77b4"})
+	drawPoints(c, items, map[int]bool{7: true})
+	c.Point(q, "q", viz.Style{Fill: "#000", Radius: 5})
+	res := db.MWQ(items[6], q, sr, repro.Options{})
+	c.Arrow(q, res.QStar, viz.Style{Stroke: "#d62728", StrokeWidth: 2})
+	c.Point(res.QStar, "q*", viz.Style{Fill: "#d62728", Radius: 5})
+	save("fig12_mwq_overlap.svg", c)
+
+	c = viz.NewCanvas(560, 460, world, "Fig. 13 — case C2: safe region cannot reach c1; both points move", "price (K$)", "mileage (K mi)")
+	c.Region(db.AntiDominanceRegion(items[0]), viz.Style{Fill: "#ff7f0e", Opacity: 0.12, Stroke: "#ff7f0e"})
+	c.Region(sr, viz.Style{Fill: "#1f77b4", Opacity: 0.25, Stroke: "#1f77b4"})
+	drawPoints(c, items, map[int]bool{1: true})
+	c.Point(q, "q", viz.Style{Fill: "#000", Radius: 5})
+	res = db.MWQ(items[0], q, sr, repro.Options{})
+	c.Arrow(q, res.QStar, viz.Style{Stroke: "#d62728", StrokeWidth: 2})
+	c.Arrow(items[0].Point, res.CtStar, viz.Style{Stroke: "#ff7f0e", StrokeWidth: 2})
+	c.Point(res.QStar, "q*", viz.Style{Fill: "#d62728", Radius: 5})
+	c.Point(res.CtStar, "c1*", viz.Style{Fill: "#ff7f0e", Radius: 5})
+	save("fig13_mwq_disjoint.svg", c)
+}
+
+// evaluationCharts renders quick-scale versions of Figs. 14, 15 and 17.
+func evaluationCharts() {
+	s := experiments.NewSuite(datagen.CarDB, 10000, experiments.DefaultRSLTargets, 2013)
+	area := s.RunSafeRegionArea()
+	var ax, ay []float64
+	for _, r := range area {
+		ax = append(ax, float64(r.RSLSize))
+		ay = append(ay, r.Frac)
+	}
+	writeChart("fig14_safe_region_area.svg", "Fig. 14 — RSL size vs safe-region area (CarDB-10K)",
+		"|RSL(q)|", "area fraction of universe",
+		[]viz.Series{{Name: "safe region", X: ax, Y: ay}}, false)
+
+	store := s.BuildStore(10, false)
+	timing := s.RunTiming(store)
+	var tx, mwp, mqp, srT, mwq, apx []float64
+	for _, r := range timing {
+		tx = append(tx, float64(r.RSLSize))
+		mwp = append(mwp, r.MWP.Seconds()*1000)
+		mqp = append(mqp, r.MQP.Seconds()*1000)
+		srT = append(srT, r.SR.Seconds()*1000)
+		mwq = append(mwq, r.MWQ.Seconds()*1000)
+		apx = append(apx, r.ApproxMWQ.Seconds()*1000)
+	}
+	writeChart("fig15_execution_time.svg", "Fig. 15 — execution time (CarDB-10K)",
+		"|RSL(q)|", "log10 time (ms)",
+		[]viz.Series{
+			{Name: "MWP", X: tx, Y: mwp},
+			{Name: "MQP", X: tx, Y: mqp},
+			{Name: "SR", X: tx, Y: srT},
+			{Name: "MWQ", X: tx, Y: mwq},
+		}, true)
+	writeChart("fig17_approx_time.svg", "Fig. 17 — execution time with the approximate store (CarDB-10K)",
+		"|RSL(q)|", "log10 time (ms)",
+		[]viz.Series{
+			{Name: "MWP", X: tx, Y: mwp},
+			{Name: "MQP", X: tx, Y: mqp},
+			{Name: "Approx-MWQ", X: tx, Y: apx},
+		}, true)
+}
+
+func writeChart(name, title, xl, yl string, series []viz.Series, logY bool) {
+	f, err := os.Create(filepath.Join(outDir, name))
+	if err != nil {
+		die(err)
+	}
+	defer f.Close()
+	if err := viz.LineChart(f, 560, 420, title, xl, yl, series, logY); err != nil {
+		die(err)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,258 @@
+// Command whynot answers reverse-skyline why-not questions interactively
+// from the command line.
+//
+// Usage:
+//
+//	# who is interested in a car at $8500 / 55000 mi?
+//	whynot -data cardb.csv -q 8500,55000 rsl
+//
+//	# why is customer 17 not interested, and what would fix it?
+//	whynot -data cardb.csv -q 8500,55000 -c 17 explain
+//	whynot -data cardb.csv -q 8500,55000 -c 17 mwp
+//	whynot -data cardb.csv -q 8500,55000 -c 17 mqp
+//	whynot -data cardb.csv -q 8500,55000 -c 17 mwq
+//	whynot -data cardb.csv -q 8500,55000 saferegion
+//
+//	# precompute the approximate store once, then answer questions fast:
+//	whynot -data cardb.csv -q 8500,55000 -k 10 -save-store store.bin buildstore
+//	whynot -data cardb.csv -q 8500,55000 -c 17 -store store.bin approxmwq
+//
+//	# score every why-not customer in a file of IDs against one query:
+//	whynot -data cardb.csv -q 8500,55000 -c 17 -c2 42 batch
+//
+// Without -data, the paper's 8-point running example (Fig. 1a, price in K$,
+// mileage in Kmi) is used, so `whynot -q 8.5,55 -c 1 mwp` reproduces §IV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	dataPath := flag.String("data", "", "CSV dataset (id,dim0,dim1,...); empty = paper example")
+	qSpec := flag.String("q", "", "query point, comma-separated coordinates (required)")
+	cid := flag.Int("c", -1, "why-not customer ID (required for explain/mwp/mqp/mwq)")
+	cid2 := flag.Int("c2", -1, "second why-not customer ID (batch)")
+	k := flag.Int("k", 10, "approximate-DSL sampling constant (buildstore)")
+	storePath := flag.String("store", "", "approximate store to load (approxmwq)")
+	saveStore := flag.String("save-store", "", "file to write the approximate store to (buildstore)")
+	flag.Parse()
+
+	cmd := flag.Arg(0)
+	if cmd == "" || *qSpec == "" {
+		usage()
+	}
+	items, err := loadItems(*dataPath)
+	if err != nil {
+		die(err)
+	}
+	q, err := parsePoint(*qSpec)
+	if err != nil {
+		die(err)
+	}
+	if len(items) == 0 || items[0].Point.Dims() != q.Dims() {
+		die(fmt.Errorf("query dims %d do not match dataset dims", q.Dims()))
+	}
+	db := repro.NewDB(q.Dims(), items)
+
+	switch cmd {
+	case "rsl":
+		rsl := db.ReverseSkyline(items, q)
+		fmt.Printf("RSL(%v): %d customers\n", q, len(rsl))
+		for _, c := range rsl {
+			fmt.Printf("  customer %d at %v\n", c.ID, c.Point)
+		}
+	case "saferegion":
+		rsl := db.ReverseSkyline(items, q)
+		sr := db.SafeRegion(q, rsl)
+		fmt.Printf("Safe region of %v (keeps all %d current customers):\n", q, len(rsl))
+		for _, r := range sr {
+			fmt.Printf("  %v\n", r)
+		}
+	case "buildstore":
+		rsl := db.ReverseSkyline(items, q)
+		t0 := time.Now()
+		store := db.BuildApproxStoreParallel(rsl, *k, 0)
+		fmt.Printf("precomputed approximate skylines for %d reverse-skyline customers in %s\n",
+			len(rsl), time.Since(t0).Round(time.Millisecond))
+		if *saveStore != "" {
+			f, err := os.Create(*saveStore)
+			if err != nil {
+				die(err)
+			}
+			defer f.Close()
+			if err := store.Save(f); err != nil {
+				die(err)
+			}
+			fmt.Println("store written to", *saveStore)
+		}
+	case "approxmwq":
+		ct, ok := find(items, *cid)
+		if !ok {
+			die(fmt.Errorf("customer %d not found (pass -c)", *cid))
+		}
+		if *storePath == "" {
+			die(fmt.Errorf("approxmwq needs -store"))
+		}
+		f, err := os.Open(*storePath)
+		if err != nil {
+			die(err)
+		}
+		store, err := repro.LoadApproxStore(f)
+		f.Close()
+		if err != nil {
+			die(err)
+		}
+		rsl := db.ReverseSkyline(items, q)
+		t0 := time.Now()
+		res := db.MWQApprox(ct, q, rsl, store, repro.Options{})
+		fmt.Printf("Approx-MWQ in %s: case C%d, q* = %v", time.Since(t0).Round(time.Microsecond), res.Case, res.QStar)
+		if res.Case == 2 {
+			fmt.Printf(", move customer to %v (cost %.6f)", res.CtStar, res.Cost)
+		}
+		fmt.Println()
+	case "batch":
+		var cts []repro.Item
+		for _, id := range []int{*cid, *cid2} {
+			if id < 0 {
+				continue
+			}
+			ct, ok := find(items, id)
+			if !ok {
+				die(fmt.Errorf("customer %d not found", id))
+			}
+			cts = append(cts, ct)
+		}
+		if len(cts) == 0 {
+			die(fmt.Errorf("batch needs -c (and optionally -c2)"))
+		}
+		rsl := db.ReverseSkyline(items, q)
+		results := db.MWQBatch(cts, q, rsl, repro.Options{})
+		for i, res := range results {
+			fmt.Printf("customer %d: case C%d, q* = %v, customer move cost %.6f\n",
+				cts[i].ID, res.Case, res.QStar, res.Cost)
+		}
+	case "explain", "mwp", "mqp", "mwq":
+		ct, ok := find(items, *cid)
+		if !ok {
+			die(fmt.Errorf("customer %d not found (pass -c)", *cid))
+		}
+		if db.IsReverseSkyline(ct, q) {
+			fmt.Printf("customer %d is already in RSL(%v) — nothing to fix\n", ct.ID, q)
+			return
+		}
+		runWhyNot(db, items, ct, q, cmd)
+	default:
+		usage()
+	}
+}
+
+func runWhyNot(db *repro.DB, items []repro.Item, ct repro.Item, q repro.Point, cmd string) {
+	switch cmd {
+	case "explain":
+		culprits := db.Explain(ct, q)
+		fmt.Printf("customer %d at %v is not in RSL(%v) because these products dominate q from its perspective:\n",
+			ct.ID, ct.Point, q)
+		for _, p := range culprits {
+			fmt.Printf("  product %d at %v\n", p.ID, p.Point)
+		}
+		fmt.Println("deleting them all would admit the customer (Lemma 1)")
+	case "mwp":
+		res := db.MWP(ct, q, repro.Options{})
+		fmt.Printf("move customer %d (currently %v) to one of:\n", ct.ID, ct.Point)
+		for _, c := range res.Candidates {
+			fmt.Printf("  %v   (cost %.6f)\n", c.Point, c.Cost)
+		}
+	case "mqp":
+		res := db.MQP(ct, q, repro.Options{})
+		fmt.Printf("move the product q (currently %v) to one of:\n", q)
+		rsl := db.ReverseSkyline(items, q)
+		sr := db.SafeRegion(q, rsl)
+		for _, c := range res.Candidates {
+			total := db.MQPTotalCost(q, c.Point, rsl, sr, repro.Options{})
+			fmt.Printf("  %v   (move cost %.6f, cost incl. lost customers %.6f)\n",
+				c.Point, c.Cost, total)
+		}
+	case "mwq":
+		rsl := db.ReverseSkyline(items, q)
+		res := db.MWQExact(ct, q, rsl, repro.Options{})
+		switch res.Case {
+		case 1:
+			fmt.Printf("the safe region overlaps the customer's region: move q to %v at zero customer-movement cost\n", res.QStar)
+			fmt.Printf("(no existing customer among the %d in RSL(q) is lost)\n", len(rsl))
+		default:
+			fmt.Printf("safe region cannot reach customer %d; move q to %v (still safe) and the customer to %v (cost %.6f)\n",
+				ct.ID, res.QStar, res.CtStar, res.Cost)
+		}
+	}
+}
+
+func loadItems(path string) ([]repro.Item, error) {
+	if path == "" {
+		coords := [][2]float64{
+			{5, 30}, {7.5, 42}, {2.5, 70}, {7.5, 90},
+			{24, 20}, {20, 50}, {26, 70}, {16, 80},
+		}
+		items := make([]repro.Item, len(coords))
+		for i, c := range coords {
+			items[i] = repro.Item{ID: i + 1, Point: repro.NewPoint(c[0], c[1])}
+		}
+		return items, nil
+	}
+	d, err := dataset.LoadCSV("data", path)
+	if err != nil {
+		return nil, err
+	}
+	return d.Items, nil
+}
+
+func parsePoint(s string) (repro.Point, error) {
+	parts := strings.Split(s, ",")
+	coords := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad coordinate %q: %v", p, err)
+		}
+		coords[i] = v
+	}
+	return repro.NewPoint(coords...), nil
+}
+
+func find(items []repro.Item, id int) (repro.Item, bool) {
+	for _, it := range items {
+		if it.ID == id {
+			return it, true
+		}
+	}
+	return repro.Item{}, false
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: whynot [-data file.csv] -q x,y[,...] [-c customerID] <command>
+
+commands:
+  rsl         list the reverse skyline of q (who is interested)
+  saferegion  print the safe region of q (where q can move losing nobody)
+  explain     why is customer -c not interested (culprit products)
+  mwp         minimal customer move that makes q interesting (Algorithm 1)
+  mqp         minimal product move that wins the customer (Algorithm 2)
+  mwq         safe-region-aware move of both (Algorithm 4)
+  buildstore  precompute the approximate store (§VI.B.1), optionally -save-store
+  approxmwq   answer with the approximate store (-store file)
+  batch       answer for several customers (-c, -c2) sharing one safe region`)
+	os.Exit(2)
+}

@@ -1,0 +1,100 @@
+package repro_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro"
+)
+
+// paperData is the running example of the paper (Fig. 1a): eight cars whose
+// (price K$, mileage K mi) tuples double as customer preference profiles.
+func paperData() []repro.Item {
+	coords := [][2]float64{
+		{5, 30}, {7.5, 42}, {2.5, 70}, {7.5, 90},
+		{24, 20}, {20, 50}, {26, 70}, {16, 80},
+	}
+	items := make([]repro.Item, len(coords))
+	for i, c := range coords {
+		items[i] = repro.Item{ID: i + 1, Point: repro.NewPoint(c[0], c[1])}
+	}
+	return items
+}
+
+// The reverse skyline of the paper's query product.
+func ExampleDB_ReverseSkyline() {
+	db := repro.NewDB(2, paperData())
+	q := repro.NewPoint(8.5, 55)
+	rsl := db.ReverseSkyline(paperData(), q)
+	var ids []int
+	for _, c := range rsl {
+		ids = append(ids, c.ID)
+	}
+	sort.Ints(ids)
+	fmt.Println(ids)
+	// Output: [2 3 4 6 8]
+}
+
+// Why is customer 1 not interested, and which products are to blame?
+func ExampleDB_Explain() {
+	db := repro.NewDB(2, paperData())
+	q := repro.NewPoint(8.5, 55)
+	c1 := paperData()[0]
+	for _, p := range db.Explain(c1, q) {
+		fmt.Printf("p%d at %v\n", p.ID, p.Point)
+	}
+	// Output: p2 at (7.5, 42)
+}
+
+// Algorithm 1: the minimal moves of the why-not customer (paper §IV).
+func ExampleDB_MWP() {
+	db := repro.NewDB(2, paperData())
+	q := repro.NewPoint(8.5, 55)
+	c1 := paperData()[0]
+	res := db.MWP(c1, q, repro.Options{})
+	for _, cand := range res.Candidates {
+		fmt.Println(cand.Point)
+	}
+	// Output:
+	// (8, 30)
+	// (5, 48.5)
+}
+
+// Algorithm 2: the minimal moves of the query product (paper §V.A).
+func ExampleDB_MQP() {
+	db := repro.NewDB(2, paperData())
+	q := repro.NewPoint(8.5, 55)
+	c1 := paperData()[0]
+	res := db.MQP(c1, q, repro.Options{})
+	for _, cand := range res.Candidates {
+		fmt.Println(cand.Point)
+	}
+	// Output:
+	// (7.5, 55)
+	// (8.5, 42)
+}
+
+// Algorithm 3: where can the product move without losing any customer?
+func ExampleDB_SafeRegion() {
+	db := repro.NewDB(2, paperData())
+	q := repro.NewPoint(8.5, 55)
+	rsl := db.ReverseSkyline(paperData(), q)
+	sr := db.SafeRegion(q, rsl)
+	fmt.Println(sr.Contains(q))
+	fmt.Println(len(sr))
+	// Output:
+	// true
+	// 2
+}
+
+// Algorithm 4 for c7: the safe region reaches the customer's region, so only
+// the product moves and the answer costs nothing (paper §V.B).
+func ExampleDB_MWQExact() {
+	db := repro.NewDB(2, paperData())
+	q := repro.NewPoint(8.5, 55)
+	rsl := db.ReverseSkyline(paperData(), q)
+	c7 := paperData()[6]
+	res := db.MWQExact(c7, q, rsl, repro.Options{})
+	fmt.Println(res.Case, res.QStar, res.Cost)
+	// Output: 1 (8.5, 60) 0
+}

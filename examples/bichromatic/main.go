@@ -1,0 +1,90 @@
+// Bichromatic setting: the product catalogue and the customer preferences
+// are different datasets (the general form of Definition 3). A laptop maker
+// holds a survey of customer preference profiles and asks which respondents
+// a planned model would attract, why the others are not attracted, and what
+// minimal spec change wins a chosen segment back without losing anyone.
+//
+// Run with: go run ./examples/bichromatic
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// Product catalogue: competitor laptops as (price $, weight g).
+	// Customers prefer cheaper and lighter (smaller is better in both).
+	var products []repro.Item
+	for i := 0; i < 4000; i++ {
+		price := 400 + rng.Float64()*2600
+		// Lighter laptops cost more, with noise.
+		weight := 2600 - price*0.55 + rng.NormFloat64()*220
+		if weight < 800 {
+			weight = 800 + rng.Float64()*100
+		}
+		products = append(products, repro.Item{ID: i, Point: repro.NewPoint(price, weight)})
+	}
+	// Survey: preference profiles, a separate ID space.
+	var customers []repro.Item
+	for i := 0; i < 1500; i++ {
+		price := 500 + rng.Float64()*2400
+		weight := 900 + rng.Float64()*1500
+		customers = append(customers, repro.Item{ID: 100000 + i, Point: repro.NewPoint(price, weight)})
+	}
+
+	db := repro.NewDB(2, products)
+	q := repro.NewPoint(1250, 1350) // the planned model
+	fmt.Printf("Planned model: $%.0f, %.0f g\n", q[0], q[1])
+
+	rsl := db.ReverseSkyline(customers, q)
+	fmt.Printf("Survey respondents attracted: %d of %d\n\n", len(rsl), len(customers))
+
+	// Rank the unattracted respondents by how close they are to switching.
+	type miss struct {
+		c    repro.Item
+		cost float64
+	}
+	var misses []miss
+	for _, c := range customers {
+		if db.IsReverseSkyline(c, q) {
+			continue
+		}
+		res := db.MWP(c, q, repro.Options{})
+		misses = append(misses, miss{c: c, cost: res.Best().Cost})
+		if len(misses) == 300 {
+			break
+		}
+	}
+	sort.Slice(misses, func(i, j int) bool { return misses[i].cost < misses[j].cost })
+	fmt.Println("Closest non-customers (their preference shift to switch):")
+	for _, m := range misses[:5] {
+		fmt.Printf("  respondent %d ($%-6.0f %5.0f g)  cost %.5f\n",
+			m.c.ID, m.c.Point[0], m.c.Point[1], m.cost)
+	}
+
+	// Which spec change wins the closest one without losing the attracted?
+	lead := misses[0].c
+	sr := db.SafeRegion(q, rsl)
+	res := db.MWQ(lead, q, sr, repro.Options{})
+	fmt.Printf("\nTo win respondent %d while keeping all %d attracted:\n", lead.ID, len(rsl))
+	if res.Case == 1 {
+		fmt.Printf("  respec the model to ($%.0f, %.0f g) — no customer movement needed\n",
+			res.QStar[0], res.QStar[1])
+	} else {
+		fmt.Printf("  respec to ($%.0f, %.0f g) and market toward the profile ($%.0f, %.0f g); cost %.5f\n",
+			res.QStar[0], res.QStar[1], res.CtStar[0], res.CtStar[1], res.Cost)
+	}
+
+	// Sanity: nothing attracted is lost (direct recomputation after the
+	// ε-move into the safe region's interior — q* itself is the infimum on
+	// the closed boundary).
+	qn := sr.InteriorNudge(res.QStar, 1e-9)
+	kept := db.ReverseSkyline(rsl, qn)
+	fmt.Printf("  verification: %d of %d attracted respondents retained at q*\n", len(kept), len(rsl))
+}

@@ -1,0 +1,92 @@
+// Car dealer scenario on a realistic market: a dealership prices a listing
+// on the simulated CarDB (the stand-in for the paper's Yahoo! Autos crawl),
+// measures its reverse skyline, and uses why-not answers to plan a targeted
+// negotiation with a customer who is not interested yet.
+//
+// Run with: go run ./examples/cardealer
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	// 20K listings; each listing's (price, mileage) also serves as a
+	// customer preference profile, as in the paper's experiments.
+	market, err := repro.GenerateDataset("CarDB", 20000, 2, 7)
+	if err != nil {
+		panic(err)
+	}
+	db := repro.NewDB(2, market)
+
+	// The dealership's new listing: a mid-range car.
+	q := repro.NewPoint(9200, 61000)
+	fmt.Printf("Listing: $%.0f, %.0f miles\n", q[0], q[1])
+
+	rsl := db.ReverseSkyline(market, q)
+	fmt.Printf("Currently interested customers: %d\n\n", len(rsl))
+
+	// Pick a why-not customer whose profile is close to the listing — the
+	// kind of near-miss lead a sales team would chase.
+	rng := rand.New(rand.NewSource(3))
+	var lead repro.Item
+	bestDist := 1e18
+	for i := 0; i < 500; i++ {
+		c := market[rng.Intn(len(market))]
+		if db.IsReverseSkyline(c, q) {
+			continue
+		}
+		if d := c.Point.L2(q); d < bestDist {
+			bestDist = d
+			lead = c
+		}
+	}
+	fmt.Printf("Near-miss lead: customer %d with profile ($%.0f, %.0f mi)\n",
+		lead.ID, lead.Point[0], lead.Point[1])
+
+	// Why is the lead not interested?
+	culprits := db.Explain(lead, q)
+	fmt.Printf("Blocking listings (%d):\n", len(culprits))
+	for i, p := range culprits {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(culprits)-5)
+			break
+		}
+		fmt.Printf("  listing %d at ($%.0f, %.0f mi)\n", p.ID, p.Point[0], p.Point[1])
+	}
+	fmt.Println()
+
+	// Negotiation options.
+	mwp := db.MWP(lead, q, repro.Options{})
+	fmt.Println("A. Persuade the customer (MWP):")
+	fmt.Printf("   cheapest preference shift: to ($%.0f, %.0f mi), cost %.5f\n",
+		mwp.Best().Point[0], mwp.Best().Point[1], mwp.Best().Cost)
+
+	mqp := db.MQP(lead, q, repro.Options{})
+	sr := db.SafeRegion(q, rsl)
+	fmt.Println("B. Reprice the listing (MQP):")
+	bestTotal, bestIdx := 1e18, 0
+	for i, cand := range mqp.Candidates {
+		if t := db.MQPTotalCost(q, cand.Point, rsl, sr, repro.Options{}); t < bestTotal {
+			bestTotal, bestIdx = t, i
+		}
+	}
+	b := mqp.Candidates[bestIdx]
+	fmt.Printf("   best reprice: to ($%.0f, %.0f mi), cost incl. lost customers %.5f\n",
+		b.Point[0], b.Point[1], bestTotal)
+
+	fmt.Println("C. Reprice without losing anyone (MWQ):")
+	mwq := db.MWQ(lead, q, sr, repro.Options{})
+	if mwq.Case == 1 {
+		fmt.Printf("   safe reprice to ($%.0f, %.0f mi) wins the lead at zero customer cost\n",
+			mwq.QStar[0], mwq.QStar[1])
+	} else {
+		fmt.Printf("   safe reprice to ($%.0f, %.0f mi) plus asking the lead to accept ($%.0f, %.0f mi); cost %.5f\n",
+			mwq.QStar[0], mwq.QStar[1], mwq.CtStar[0], mwq.CtStar[1], mwq.Cost)
+	}
+	fmt.Printf("\nGuarantee: option C never loses any of the %d current customers,\n", len(rsl))
+	fmt.Printf("and its cost (%.5f) is never worse than option A (%.5f).\n", mwq.Cost, mwp.Best().Cost)
+}

@@ -1,0 +1,86 @@
+// Quickstart: the paper's running example (Fig. 1a) end to end.
+//
+// A car dealer wants to sell q = ($8.5K, 55K mi). The reverse skyline tells
+// them which customers find q interesting; a why-not question explains why
+// customer c1 does not, and the three modification techniques propose fixes.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// Fig. 1(a): eight data points, price in K$ and mileage in K miles. Each
+	// point doubles as a product on the market and a customer preference.
+	coords := [][2]float64{
+		{5, 30}, {7.5, 42}, {2.5, 70}, {7.5, 90},
+		{24, 20}, {20, 50}, {26, 70}, {16, 80},
+	}
+	points := make([]repro.Item, len(coords))
+	for i, c := range coords {
+		points[i] = repro.Item{ID: i + 1, Point: repro.NewPoint(c[0], c[1])}
+	}
+	db := repro.NewDB(2, points)
+	q := repro.NewPoint(8.5, 55)
+
+	fmt.Printf("Product to sell: q = %v\n\n", q)
+
+	// Who is interested right now?
+	rsl := db.ReverseSkyline(points, q)
+	fmt.Printf("Reverse skyline of q (interested customers): ")
+	for _, c := range rsl {
+		fmt.Printf("c%d ", c.ID)
+	}
+	fmt.Print("\n\n")
+
+	// Why not customer 1?
+	c1 := points[0]
+	fmt.Printf("Why is c1 = %v not interested?\n", c1.Point)
+	for _, p := range db.Explain(c1, q) {
+		fmt.Printf("  because product p%d = %v suits c1 better than q\n", p.ID, p.Point)
+	}
+	fmt.Println()
+
+	// Option 1 (Algorithm 1): persuade the customer to adjust preferences.
+	mwp := db.MWP(c1, q, repro.Options{})
+	fmt.Println("Option 1 — adjust the customer's preference (MWP):")
+	for _, cand := range mwp.Candidates {
+		fmt.Printf("  move c1 to %v (normalised cost %.4f)\n", cand.Point, cand.Cost)
+	}
+	fmt.Println()
+
+	// Option 2 (Algorithm 2): adjust the product instead.
+	mqp := db.MQP(c1, q, repro.Options{})
+	fmt.Println("Option 2 — adjust the product (MQP), may lose other customers:")
+	sr := db.SafeRegion(q, rsl)
+	for _, cand := range mqp.Candidates {
+		total := db.MQPTotalCost(q, cand.Point, rsl, sr, repro.Options{})
+		fmt.Printf("  move q to %v (move cost %.4f; incl. winning back lost customers %.4f)\n",
+			cand.Point, cand.Cost, total)
+	}
+	fmt.Println()
+
+	// Option 3 (Algorithms 3+4): move q only inside its safe region.
+	fmt.Println("Option 3 — move q only where no existing customer is lost (MWQ):")
+	fmt.Println("  safe region of q:")
+	for _, r := range sr {
+		fmt.Printf("    %v\n", r)
+	}
+	mwq := db.MWQ(c1, q, sr, repro.Options{})
+	if mwq.Case == 1 {
+		fmt.Printf("  q can reach c1's region safely: q* = %v, zero customer movement\n", mwq.QStar)
+	} else {
+		fmt.Printf("  safe region cannot reach c1: q* = %v plus moving c1 to %v (cost %.4f)\n",
+			mwq.QStar, mwq.CtStar, mwq.Cost)
+	}
+
+	// A customer whose region the safe region can reach: c7.
+	c7 := points[6]
+	res := db.MWQ(c7, q, sr, repro.Options{})
+	fmt.Printf("\nSame question for c7 = %v:\n", c7.Point)
+	fmt.Printf("  case C%d: q* = %v, customer movement cost %.4f\n", res.Case, res.QStar, res.Cost)
+}

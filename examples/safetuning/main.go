@@ -1,0 +1,100 @@
+// Safe product tuning: the safe region (Algorithm 3) as a standalone tool.
+// A product manager wants to know how much pricing freedom a product has
+// before any existing customer defects — and how that freedom shrinks as the
+// customer base grows (the effect behind the paper's Fig. 14).
+//
+// Run with: go run ./examples/safetuning
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	market, err := repro.GenerateDataset("UN", 12000, 2, 21)
+	if err != nil {
+		panic(err)
+	}
+	db := repro.NewDB(2, market)
+
+	// Probe queries with growing reverse skylines.
+	fmt.Println("How pricing freedom shrinks as the customer base grows:")
+	fmt.Printf("%-28s %-10s %-14s %s\n", "product position", "|RSL|", "safe area", "price slack at current mileage")
+	shown := map[int]bool{}
+	for i := 0; i < len(market) && len(shown) < 8; i += 37 {
+		q := market[i].Point.Clone()
+		q[0] += 3 // nudge off the data point
+		rsl := db.ReverseSkyline(market, q)
+		if len(rsl) == 0 || len(rsl) > 12 || shown[len(rsl)] {
+			continue
+		}
+		shown[len(rsl)] = true
+		sr := db.SafeRegion(q, rsl)
+		lo, hi := priceSlack(sr, q)
+		fmt.Printf("(%8.1f, %8.1f)          %-10d %-14.1f [%.1f, %.1f]\n",
+			q[0], q[1], len(rsl), sr.Area(), lo, hi)
+	}
+
+	// Zoom into one product: enumerate the safe rectangles and verify the
+	// guarantee by direct recomputation at a few safe positions.
+	q := market[37].Point.Clone()
+	q[0] += 2
+	rsl := db.ReverseSkyline(market, q)
+	sr := db.SafeRegion(q, rsl)
+	fmt.Printf("\nProduct at %v with %d customers; safe region has %d rectangles:\n",
+		q, len(rsl), len(sr))
+	for i, r := range sr {
+		if i == 6 {
+			fmt.Printf("  ... and %d more\n", len(sr)-6)
+			break
+		}
+		fmt.Printf("  %v\n", r)
+	}
+
+	verified := 0
+	for _, r := range sr {
+		if r.Area() == 0 {
+			continue
+		}
+		probe := r.Center()
+		after := db.ReverseSkyline(market, probe)
+		kept := map[int]bool{}
+		for _, c := range after {
+			kept[c.ID] = true
+		}
+		ok := true
+		for _, c := range rsl {
+			if !kept[c.ID] {
+				ok = false
+			}
+		}
+		if !ok {
+			fmt.Printf("  VIOLATION at %v\n", probe)
+		} else {
+			verified++
+		}
+		if verified >= 5 {
+			break
+		}
+	}
+	fmt.Printf("verified %d safe positions by full reverse-skyline recomputation: no customer lost\n", verified)
+}
+
+// priceSlack reports the price interval reachable from q inside the safe
+// region without changing the second attribute.
+func priceSlack(sr repro.Region, q repro.Point) (lo, hi float64) {
+	lo, hi = q[0], q[0]
+	for _, r := range sr {
+		if q[1] >= r.Lo[1] && q[1] <= r.Hi[1] {
+			if r.Lo[0] < lo {
+				lo = r.Lo[0]
+			}
+			if r.Hi[0] > hi {
+				hi = r.Hi[0]
+			}
+		}
+	}
+	return lo, hi
+}

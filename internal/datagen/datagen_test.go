@@ -1,0 +1,157 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateSizesAndIDs(t *testing.T) {
+	for _, kind := range []Kind{Uniform, Correlated, AntiCorrelated, CarDB} {
+		items := Generate(kind, 500, 2, 1)
+		if len(items) != 500 {
+			t.Fatalf("%v: generated %d items, want 500", kind, len(items))
+		}
+		for i, it := range items {
+			if it.ID != i {
+				t.Fatalf("%v: item %d has ID %d", kind, i, it.ID)
+			}
+			if it.Point.Dims() != 2 {
+				t.Fatalf("%v: wrong dims", kind)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, kind := range []Kind{Uniform, Correlated, AntiCorrelated, CarDB} {
+		a := Generate(kind, 200, 2, 42)
+		b := Generate(kind, 200, 2, 42)
+		for i := range a {
+			if !a[i].Point.Equal(b[i].Point) {
+				t.Fatalf("%v: generation not deterministic at %d", kind, i)
+			}
+		}
+		c := Generate(kind, 200, 2, 43)
+		same := true
+		for i := range a {
+			if !a[i].Point.Equal(c[i].Point) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%v: different seeds produced identical data", kind)
+		}
+	}
+}
+
+func TestSyntheticRange(t *testing.T) {
+	for _, kind := range []Kind{Uniform, Correlated, AntiCorrelated} {
+		for _, dims := range []int{2, 3, 5} {
+			items := Generate(kind, 300, dims, 7)
+			for _, it := range items {
+				for _, v := range it.Point {
+					if v < 0 || v > 1000 {
+						t.Fatalf("%v dims=%d: coordinate %v out of range", kind, dims, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// pearson computes the sample correlation of the first two dimensions.
+func pearson(items []Item) float64 {
+	n := float64(len(items))
+	var sx, sy, sxx, syy, sxy float64
+	for _, it := range items {
+		x, y := it.Point[0], it.Point[1]
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	cov := sxy/n - sx/n*sy/n
+	vx := sxx/n - sx/n*sx/n
+	vy := syy/n - sy/n*sy/n
+	return cov / math.Sqrt(vx*vy)
+}
+
+func TestDistributionShapes(t *testing.T) {
+	un := pearson(Generate(Uniform, 5000, 2, 11))
+	co := pearson(Generate(Correlated, 5000, 2, 11))
+	ac := pearson(Generate(AntiCorrelated, 5000, 2, 11))
+	if math.Abs(un) > 0.1 {
+		t.Errorf("uniform correlation = %v, want ≈ 0", un)
+	}
+	if co < 0.8 {
+		t.Errorf("correlated correlation = %v, want > 0.8", co)
+	}
+	if ac > -0.3 {
+		t.Errorf("anti-correlated correlation = %v, want < -0.3", ac)
+	}
+}
+
+func TestCarDBShape(t *testing.T) {
+	items := Generate(CarDB, 5000, 2, 13)
+	// Sparse: all (price, mileage) pairs distinct.
+	seen := map[[2]float64]bool{}
+	for _, it := range items {
+		key := [2]float64{it.Point[0], it.Point[1]}
+		if seen[key] {
+			t.Fatalf("duplicate listing %v", it.Point)
+		}
+		seen[key] = true
+		if it.Point[0] < 200 || it.Point[0] > 300000 {
+			t.Fatalf("price %v out of plausible range", it.Point[0])
+		}
+		if it.Point[1] < 0 || it.Point[1] > 500000 {
+			t.Fatalf("mileage %v out of plausible range", it.Point[1])
+		}
+	}
+	// Mild negative price–mileage correlation, like a used-car market.
+	if r := pearson(items); r > -0.05 {
+		t.Errorf("CarDB price–mileage correlation = %v, want negative", r)
+	}
+	// Long-tailed prices: the mean exceeds the median noticeably.
+	var prices []float64
+	var sum float64
+	for _, it := range items {
+		prices = append(prices, it.Point[0])
+		sum += it.Point[0]
+	}
+	mean := sum / float64(len(prices))
+	med := median(prices)
+	if mean < med {
+		t.Errorf("CarDB prices not right-skewed: mean %v < median %v", mean, med)
+	}
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ { // insertion sort is fine at test sizes
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Uniform: "UN", Correlated: "CO", AntiCorrelated: "AC", CarDB: "CarDB", Kind(99): "unknown"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate with unknown kind must panic")
+		}
+	}()
+	Generate(Kind(99), 10, 2, 1)
+}

@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV parser never panics and that accepted input
+// round-trips losslessly.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("0,1,2\n1,3,4\n")
+	f.Add("id,price,mileage\n0,1.5,2.5\n")
+	f.Add("")
+	f.Add("0\n")
+	f.Add("x,y\n")
+	f.Add("0,1e308,-1e308\n")
+	f.Add("0,NaN,Inf\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadCSV("fuzz", strings.NewReader(in))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if d.Len() == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadCSV("fuzz2", &buf)
+		if err != nil {
+			t.Fatalf("reparse of own output: %v\noutput: %q", err, buf.String())
+		}
+		if back.Len() != d.Len() {
+			t.Fatalf("round trip changed size: %d -> %d", d.Len(), back.Len())
+		}
+		for i := range d.Items {
+			a, b := d.Items[i], back.Items[i]
+			if a.ID != b.ID || len(a.Point) != len(b.Point) {
+				t.Fatalf("row %d changed", i)
+			}
+			for j := range a.Point {
+				// NaN round-trips as NaN (never equal); compare bit-insensitively.
+				if a.Point[j] != b.Point[j] && !(a.Point[j] != a.Point[j] && b.Point[j] != b.Point[j]) {
+					t.Fatalf("row %d coord %d changed: %v -> %v", i, j, a.Point[j], b.Point[j])
+				}
+			}
+		}
+	})
+}

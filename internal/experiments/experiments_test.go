@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// smallSuite keeps test runtime reasonable while still exercising the full
+// harness path: 4K points, RSL sizes up to 6.
+func smallSuite(t *testing.T, kind datagen.Kind) *Suite {
+	t.Helper()
+	s := NewSuite(kind, 4000, []int{1, 2, 3, 4, 5, 6}, 17)
+	if len(s.Cases) == 0 {
+		t.Fatalf("no query cases found for %v", kind)
+	}
+	return s
+}
+
+func TestSuiteWorkload(t *testing.T) {
+	s := smallSuite(t, datagen.Uniform)
+	for _, qc := range s.Cases {
+		if len(qc.RSL) < 1 || len(qc.RSL) > 6 {
+			t.Fatalf("case with |RSL| = %d outside targets", len(qc.RSL))
+		}
+		for _, c := range qc.RSL {
+			if c.ID == qc.WhyNot.ID {
+				t.Fatal("why-not point inside RSL")
+			}
+		}
+	}
+}
+
+func TestRunQualityShape(t *testing.T) {
+	for _, kind := range []datagen.Kind{datagen.Uniform, datagen.CarDB} {
+		s := smallSuite(t, kind)
+		rows := s.RunQuality(nil)
+		if len(rows) != len(s.Cases) {
+			t.Fatalf("%v: %d rows for %d cases", kind, len(rows), len(s.Cases))
+		}
+		for _, r := range rows {
+			if r.MWP < 0 || r.MQP < 0 || r.MWQ < 0 {
+				t.Fatalf("%v: negative cost in %+v", kind, r)
+			}
+			if !math.IsNaN(r.ApproxMWQ) {
+				t.Fatalf("%v: approx column should be NaN without a store", kind)
+			}
+		}
+		if bad := ShapeChecks(rows); len(bad) != 0 {
+			t.Fatalf("%v: shape violations: %v", kind, bad)
+		}
+	}
+}
+
+func TestRunQualityWithStore(t *testing.T) {
+	s := smallSuite(t, datagen.Uniform)
+	store := s.BuildStore(10, false)
+	rows := s.RunQuality(store)
+	for _, r := range rows {
+		if math.IsNaN(r.ApproxMWQ) {
+			t.Fatalf("approx column missing in %+v", r)
+		}
+		// §VI.B.2: the approximate result is never worse than MWP.
+		if r.ApproxMWQ > r.MWP+1e-9 {
+			t.Fatalf("Approx-MWQ %v worse than MWP %v", r.ApproxMWQ, r.MWP)
+		}
+	}
+	if bad := ShapeChecks(rows); len(bad) != 0 {
+		t.Fatalf("shape violations: %v", bad)
+	}
+}
+
+func TestRunTiming(t *testing.T) {
+	s := smallSuite(t, datagen.Uniform)
+	store := s.BuildStore(10, false)
+	rows := s.RunTiming(store)
+	if len(rows) != len(s.Cases) {
+		t.Fatalf("%d rows for %d cases", len(rows), len(s.Cases))
+	}
+	for _, r := range rows {
+		if r.MWP <= 0 || r.MQP <= 0 || r.SR <= 0 || r.MWQ <= 0 || r.ApproxMWQ <= 0 {
+			t.Fatalf("non-positive timing in %+v", r)
+		}
+		if r.MWQ < r.SR {
+			t.Fatalf("MWQ time must include SR time: %+v", r)
+		}
+	}
+}
+
+func TestRunSafeRegionArea(t *testing.T) {
+	s := smallSuite(t, datagen.Uniform)
+	rows := s.RunSafeRegionArea()
+	for _, r := range rows {
+		if r.Area < 0 || r.Frac < 0 || r.Frac > 1.000001 {
+			t.Fatalf("implausible area row %+v", r)
+		}
+	}
+	// Fig. 14 trend: the average area for small RSL exceeds that for large
+	// RSL (the safe region shrinks as more customers constrain it).
+	lo, hi := avgAreaSplit(rows)
+	if len(rows) >= 4 && lo < hi {
+		t.Errorf("safe region did not shrink with |RSL|: small-RSL avg %v, large-RSL avg %v", lo, hi)
+	}
+}
+
+func avgAreaSplit(rows []AreaRow) (smallRSL, largeRSL float64) {
+	var loSum, hiSum float64
+	var loN, hiN int
+	for _, r := range rows {
+		if r.RSLSize <= 3 {
+			loSum += r.Frac
+			loN++
+		} else {
+			hiSum += r.Frac
+			hiN++
+		}
+	}
+	if loN > 0 {
+		smallRSL = loSum / float64(loN)
+	}
+	if hiN > 0 {
+		largeRSL = hiSum / float64(hiN)
+	}
+	return
+}
+
+func TestShapeChecksCatchesViolations(t *testing.T) {
+	rows := []QualityRow{
+		{Query: 1, RSLSize: 2, MWP: 0.1, MQP: 0.5, MWQ: 0.2, ApproxMWQ: math.NaN()},
+	}
+	if bad := ShapeChecks(rows); len(bad) != 1 {
+		t.Fatalf("expected 1 violation, got %v", bad)
+	}
+	rows[0].MWQ = 0.05
+	rows[0].ApproxMWQ = 0.2
+	if bad := ShapeChecks(rows); len(bad) != 1 || !strings.Contains(bad[0], "Approx") {
+		t.Fatalf("expected approx violation, got %v", bad)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	s := smallSuite(t, datagen.Uniform)
+	store := s.BuildStore(10, false)
+	q := s.RunQuality(store)
+	var sb strings.Builder
+	FormatQuality(&sb, "Table test", q, 10)
+	out := sb.String()
+	if !strings.Contains(out, "Approx-MWQ k=10") || !strings.Contains(out, "|RSL(q1)|") {
+		t.Fatalf("quality table malformed:\n%s", out)
+	}
+	sb.Reset()
+	FormatTiming(&sb, "Fig test", s.RunTiming(store), false)
+	if !strings.Contains(sb.String(), "MWQ") {
+		t.Fatal("timing table malformed")
+	}
+	sb.Reset()
+	FormatArea(&sb, "Fig 14 test", s.RunSafeRegionArea())
+	if !strings.Contains(sb.String(), "fraction") {
+		t.Fatal("area table malformed")
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteQualityCSV exports quality rows as CSV for external plotting; the
+// approx column is omitted when no row carries it.
+func WriteQualityCSV(w io.Writer, rows []QualityRow) error {
+	cw := csv.NewWriter(w)
+	hasApprox := false
+	for _, r := range rows {
+		if !math.IsNaN(r.ApproxMWQ) {
+			hasApprox = true
+			break
+		}
+	}
+	header := []string{"query", "rsl_size", "mwp", "mqp", "mwq"}
+	if hasApprox {
+		header = append(header, "approx_mwq")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.Query),
+			strconv.Itoa(r.RSLSize),
+			fmtF(r.MWP), fmtF(r.MQP), fmtF(r.MWQ),
+		}
+		if hasApprox {
+			rec = append(rec, fmtF(r.ApproxMWQ))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimingCSV exports timing rows (nanoseconds) as CSV.
+func WriteTimingCSV(w io.Writer, rows []TimingRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rsl_size", "mwp_ns", "mqp_ns", "sr_ns", "mwq_ns", "approx_mwq_ns"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.RSLSize),
+			strconv.FormatInt(r.MWP.Nanoseconds(), 10),
+			strconv.FormatInt(r.MQP.Nanoseconds(), 10),
+			strconv.FormatInt(r.SR.Nanoseconds(), 10),
+			strconv.FormatInt(r.MWQ.Nanoseconds(), 10),
+			strconv.FormatInt(r.ApproxMWQ.Nanoseconds(), 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAreaCSV exports safe-region-area rows as CSV.
+func WriteAreaCSV(w io.Writer, rows []AreaRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rsl_size", "area", "fraction"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.RSLSize), fmtF(r.Area), fmtF(r.Frac),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmt.Sprintf("%.9f", v)
+}
+
+// Summary aggregates a quality table the way the paper's prose discusses it.
+type Summary struct {
+	Rows          int
+	ZeroCostMWQ   int // case-C1 answers
+	MWQBeatsMWP   int // strictly cheaper
+	MWQEqualsMWP  int // identical (safe region collapsed)
+	MeanMWP       float64
+	MeanMQP       float64
+	MeanMWQ       float64
+	MeanApproxMWQ float64 // NaN when absent
+}
+
+// Summarize computes aggregate statistics over quality rows.
+func Summarize(rows []QualityRow) Summary {
+	const eps = 1e-12
+	s := Summary{Rows: len(rows), MeanApproxMWQ: math.NaN()}
+	if len(rows) == 0 {
+		return s
+	}
+	var approxSum float64
+	approxN := 0
+	for _, r := range rows {
+		if r.MWQ <= eps {
+			s.ZeroCostMWQ++
+		}
+		switch {
+		case r.MWQ < r.MWP-eps:
+			s.MWQBeatsMWP++
+		case math.Abs(r.MWQ-r.MWP) <= eps:
+			s.MWQEqualsMWP++
+		}
+		s.MeanMWP += r.MWP
+		s.MeanMQP += r.MQP
+		s.MeanMWQ += r.MWQ
+		if !math.IsNaN(r.ApproxMWQ) {
+			approxSum += r.ApproxMWQ
+			approxN++
+		}
+	}
+	n := float64(len(rows))
+	s.MeanMWP /= n
+	s.MeanMQP /= n
+	s.MeanMWQ /= n
+	if approxN > 0 {
+		s.MeanApproxMWQ = approxSum / float64(approxN)
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRows() []QualityRow {
+	return []QualityRow{
+		{Query: 1, RSLSize: 1, MWP: 0.5, MQP: 0.9, MWQ: 0, ApproxMWQ: math.NaN()},
+		{Query: 2, RSLSize: 3, MWP: 0.2, MQP: 0.7, MWQ: 0.1, ApproxMWQ: math.NaN()},
+		{Query: 3, RSLSize: 5, MWP: 0.3, MQP: 0.8, MWQ: 0.3, ApproxMWQ: math.NaN()},
+	}
+}
+
+func TestWriteQualityCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteQualityCSV(&buf, sampleRows()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || len(recs[0]) != 5 {
+		t.Fatalf("csv shape %dx%d", len(recs), len(recs[0]))
+	}
+	if recs[0][0] != "query" || recs[1][2] != "0.500000000" {
+		t.Fatalf("csv content: %v", recs[:2])
+	}
+	// With approx values present the column appears.
+	rows := sampleRows()
+	rows[0].ApproxMWQ = 0.25
+	buf.Reset()
+	if err := WriteQualityCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "approx_mwq") {
+		t.Fatal("approx column missing")
+	}
+	// NaN rows serialise as empty cells.
+	if !strings.Contains(out, ",\n") && !strings.HasSuffix(strings.TrimSpace(out), ",") {
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		last := lines[len(lines)-1]
+		if !strings.HasSuffix(last, ",") {
+			t.Fatalf("NaN approx should be empty cell: %q", last)
+		}
+	}
+}
+
+func TestWriteTimingAndAreaCSV(t *testing.T) {
+	var buf bytes.Buffer
+	timing := []TimingRow{{RSLSize: 2, MWP: time.Millisecond, MQP: 2 * time.Millisecond, SR: time.Second, MWQ: time.Second + time.Millisecond}}
+	if err := WriteTimingCSV(&buf, timing); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1000000000") {
+		t.Fatalf("timing csv: %s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteAreaCSV(&buf, []AreaRow{{RSLSize: 4, Area: 12.5, Frac: 0.01}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "12.500000000") {
+		t.Fatalf("area csv: %s", buf.String())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleRows())
+	if s.Rows != 3 || s.ZeroCostMWQ != 1 || s.MWQBeatsMWP != 2 || s.MWQEqualsMWP != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.MeanMWP-(0.5+0.2+0.3)/3) > 1e-12 {
+		t.Fatalf("mean MWP = %v", s.MeanMWP)
+	}
+	if !math.IsNaN(s.MeanApproxMWQ) {
+		t.Fatal("approx mean should be NaN without approx data")
+	}
+	rows := sampleRows()
+	rows[1].ApproxMWQ = 0.4
+	s2 := Summarize(rows)
+	if math.Abs(s2.MeanApproxMWQ-0.4) > 1e-12 {
+		t.Fatalf("approx mean = %v", s2.MeanApproxMWQ)
+	}
+	if got := Summarize(nil); got.Rows != 0 {
+		t.Fatal("empty summary")
+	}
+}

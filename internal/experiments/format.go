@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// FormatQuality renders quality rows in the layout of Tables III/IV; with
+// approximate results present it matches Tables V/VI, labelling the last
+// column with the sampling constant k.
+func FormatQuality(w io.Writer, title string, rows []QualityRow, k int) {
+	fmt.Fprintf(w, "%s\n", title)
+	hasApprox := false
+	for _, r := range rows {
+		if !math.IsNaN(r.ApproxMWQ) {
+			hasApprox = true
+			break
+		}
+	}
+	if hasApprox {
+		fmt.Fprintf(w, "%-24s %-14s %-14s %-14s %-14s\n",
+			"Queries", "MWP", "MQP", "MWQ", fmt.Sprintf("Approx-MWQ k=%d", k))
+	} else {
+		fmt.Fprintf(w, "%-24s %-14s %-14s %-14s\n", "Queries", "MWP", "MQP", "MWQ")
+	}
+	for _, r := range rows {
+		label := fmt.Sprintf("q%d, |RSL(q%d)| = %d", r.Query, r.Query, r.RSLSize)
+		if hasApprox {
+			fmt.Fprintf(w, "%-24s %-14.9f %-14.9f %-14.9f %-14.9f\n",
+				label, r.MWP, r.MQP, r.MWQ, r.ApproxMWQ)
+		} else {
+			fmt.Fprintf(w, "%-24s %-14.9f %-14.9f %-14.9f\n", label, r.MWP, r.MQP, r.MWQ)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// FormatTiming renders timing rows as the Fig. 15 / Fig. 17 series.
+func FormatTiming(w io.Writer, title string, rows []TimingRow, withApprox bool) {
+	fmt.Fprintf(w, "%s\n", title)
+	if withApprox {
+		fmt.Fprintf(w, "%-10s %-12s %-12s %-12s\n", "|RSL|", "MWP", "MQP", "Approx-MWQ")
+	} else {
+		fmt.Fprintf(w, "%-10s %-12s %-12s %-12s %-12s\n", "|RSL|", "MWP", "MQP", "SR", "MWQ")
+	}
+	for _, r := range rows {
+		if withApprox {
+			fmt.Fprintf(w, "%-10d %-12s %-12s %-12s\n",
+				r.RSLSize, fmtDur(r.MWP), fmtDur(r.MQP), fmtDur(r.ApproxMWQ))
+		} else {
+			fmt.Fprintf(w, "%-10d %-12s %-12s %-12s %-12s\n",
+				r.RSLSize, fmtDur(r.MWP), fmtDur(r.MQP), fmtDur(r.SR), fmtDur(r.MWQ))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// FormatArea renders the Fig. 14 series.
+func FormatArea(w io.Writer, title string, rows []AreaRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s %-16s %-16s\n", "|RSL|", "SR area", "fraction of universe")
+	sorted := append([]AreaRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RSLSize < sorted[j].RSLSize })
+	for _, r := range sorted {
+		fmt.Fprintf(w, "%-10d %-16.4f %-16.6f\n", r.RSLSize, r.Area, r.Frac)
+	}
+	fmt.Fprintln(w)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

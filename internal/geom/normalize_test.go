@@ -1,0 +1,88 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	pts := []Point{NewPoint(0, 100), NewPoint(10, 200), NewPoint(5, 150)}
+	n := NewNormalizer(pts)
+	for _, p := range pts {
+		q := n.Normalize(p)
+		for i := range q {
+			if q[i] < 0 || q[i] > 1 {
+				t.Errorf("Normalize(%v) = %v escapes unit cube", p, q)
+			}
+		}
+		back := n.Denormalize(q)
+		if !back.ApproxEqual(p, 1e-9) {
+			t.Errorf("round trip %v -> %v", p, back)
+		}
+	}
+}
+
+func TestNormalizerDegenerateDim(t *testing.T) {
+	pts := []Point{NewPoint(3, 1), NewPoint(3, 2)}
+	n := NewNormalizer(pts)
+	q := n.Normalize(NewPoint(3, 1.5))
+	if q[0] != 0 {
+		t.Errorf("degenerate dim should normalise to 0, got %v", q[0])
+	}
+}
+
+func TestNormalizedL1EqualWeights(t *testing.T) {
+	n := NewNormalizerFromRect(rect(0, 0, 10, 20))
+	a := NewPoint(0, 0)
+	b := NewPoint(5, 10)
+	// (5/10)/2 + (10/20)/2 = 0.5
+	if got := n.NormalizedL1(a, b, nil); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("NormalizedL1 = %v, want 0.5", got)
+	}
+	// Explicit weights.
+	if got := n.NormalizedL1(a, b, []float64{1, 0}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("weighted NormalizedL1 = %v, want 0.5", got)
+	}
+}
+
+func TestNormalizerBounds(t *testing.T) {
+	b := rect(1, 2, 5, 8)
+	n := NewNormalizerFromRect(b)
+	got := n.Bounds()
+	if !got.Lo.Equal(b.Lo) || !got.Hi.Equal(b.Hi) {
+		t.Fatalf("Bounds = %v, want %v", got, b)
+	}
+	if n.Dims() != 2 {
+		t.Fatalf("Dims = %d", n.Dims())
+	}
+}
+
+func TestNormalizerDimMismatchPanics(t *testing.T) {
+	n := NewNormalizerFromRect(rect(0, 0, 1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	n.Normalize(NewPoint(1, 2, 3))
+}
+
+// Property: normalised L1 cost is translation/scale invariant.
+func TestNormalizedL1ScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 200; i++ {
+		a := NewPoint(rng.Float64()*10, rng.Float64()*10)
+		b := NewPoint(rng.Float64()*10, rng.Float64()*10)
+		n1 := NewNormalizerFromRect(rect(0, 0, 10, 10))
+		c1 := n1.NormalizedL1(a, b, nil)
+		scale, shift := 7.0, 3.0
+		a2 := a.Scale(scale).Add(NewPoint(shift, shift))
+		b2 := b.Scale(scale).Add(NewPoint(shift, shift))
+		n2 := NewNormalizerFromRect(rect(shift, shift, 10*scale+shift, 10*scale+shift))
+		c2 := n2.NormalizedL1(a2, b2, nil)
+		if math.Abs(c1-c2) > 1e-9 {
+			t.Fatalf("cost not scale invariant: %v vs %v", c1, c2)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package grid implements a uniform-grid point index with the same window
+// and existence query surface as the R*-tree. It serves as the baseline
+// index in the ablation benchmarks: grids answer window queries well on
+// uniform data but degrade on skewed distributions (like CarDB), which is
+// exactly why the skyline literature — and the paper — builds on R-trees.
+package grid
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// Item aliases the R-tree item type.
+type Item = rtree.Item
+
+// Index is a fixed-resolution uniform grid over a bounding box. Points
+// outside the box at construction time are clamped into the boundary cells.
+type Index struct {
+	bounds geom.Rect
+	dims   int
+	res    int // cells per dimension
+	cells  map[int][]Item
+	size   int
+}
+
+// New builds a grid over the items with the given per-dimension resolution
+// (≥ 1). The bounding box is the MBR of the items.
+func New(dims int, items []Item, resolution int) *Index {
+	if resolution < 1 {
+		resolution = 1
+	}
+	g := &Index{dims: dims, res: resolution, cells: make(map[int][]Item)}
+	if len(items) == 0 {
+		g.bounds = geom.NewRect(make(geom.Point, dims), make(geom.Point, dims))
+		return g
+	}
+	pts := make([]geom.Point, len(items))
+	for i, it := range items {
+		pts[i] = it.Point
+	}
+	g.bounds = geom.MBR(pts)
+	for _, it := range items {
+		key := g.cellKey(g.coords(it.Point))
+		g.cells[key] = append(g.cells[key], it)
+	}
+	g.size = len(items)
+	return g
+}
+
+// Len returns the number of stored items.
+func (g *Index) Len() int { return g.size }
+
+// Bounds returns the grid extent; ok is false when empty.
+func (g *Index) Bounds() (geom.Rect, bool) {
+	if g.size == 0 {
+		return geom.Rect{}, false
+	}
+	return g.bounds, true
+}
+
+// coords maps a point to per-dimension cell indices, clamped into range.
+func (g *Index) coords(p geom.Point) []int {
+	out := make([]int, g.dims)
+	for i := 0; i < g.dims; i++ {
+		span := g.bounds.Hi[i] - g.bounds.Lo[i]
+		if span <= 0 {
+			out[i] = 0
+			continue
+		}
+		c := int(math.Floor((p[i] - g.bounds.Lo[i]) / span * float64(g.res)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= g.res {
+			c = g.res - 1
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func (g *Index) cellKey(coords []int) int {
+	key := 0
+	for _, c := range coords {
+		key = key*g.res + c
+	}
+	return key
+}
+
+// Search invokes fn for every item inside the closed query rectangle,
+// stopping early if fn returns false.
+func (g *Index) Search(query geom.Rect, fn func(Item) bool) {
+	if g.size == 0 {
+		return
+	}
+	lo := g.coords(query.Lo)
+	hi := g.coords(query.Hi)
+	// Iterate the covered cell block with an odometer.
+	idx := append([]int(nil), lo...)
+	for {
+		for _, it := range g.cells[g.cellKey(idx)] {
+			if query.Contains(it.Point) {
+				if !fn(it) {
+					return
+				}
+			}
+		}
+		// Advance.
+		d := g.dims - 1
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] <= hi[d] {
+				break
+			}
+			idx[d] = lo[d]
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// RangeQuery collects all items in the closed rectangle.
+func (g *Index) RangeQuery(query geom.Rect) []Item {
+	var out []Item
+	g.Search(query, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// Exists reports whether any item in the rectangle satisfies pred (nil
+// matches everything), short-circuiting at the first hit.
+func (g *Index) Exists(query geom.Rect, pred func(Item) bool) bool {
+	found := false
+	g.Search(query, func(it Item) bool {
+		if pred == nil || pred(it) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// WindowExists is the reverse-skyline window-existence test on the grid: it
+// reports whether any product inside window_query(c, q) dynamically
+// dominates q with respect to c (excludeID invisible).
+func (g *Index) WindowExists(c, q geom.Point, excludeID int) bool {
+	return g.Exists(geom.WindowRect(c, q), func(it Item) bool {
+		return it.ID != excludeID && geom.DynDominates(c, it.Point, q)
+	})
+}

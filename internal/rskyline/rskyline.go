@@ -1,0 +1,315 @@
+// Package rskyline computes reverse skylines (Definition 3): given a product
+// set P indexed by an R*-tree, a customer set C and a query product q, the
+// reverse skyline RSL(q) is the set of customers whose dynamic skyline over
+// P ∪ {q} contains q.
+//
+// Membership is verified by the window-query test of §II of the paper: c is
+// in RSL(q) iff the window query centred at c with half-extent |c − q| finds
+// no product that dynamically dominates q with respect to c. A
+// Dellis–Seeger-style candidate filter based on the global skyline of P
+// (package skyline) prunes most customers before any window query runs.
+package rskyline
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/skyline"
+)
+
+// Item aliases the R-tree item type.
+type Item = rtree.Item
+
+// NoExclude is the sentinel for WindowQuery's excludeID meaning "exclude
+// nothing". Dataset IDs are non-negative.
+const NoExclude = -1
+
+// DB holds an R*-tree over the product set plus the dimensionality, and is
+// the substrate every reverse-skyline and why-not computation runs against.
+type DB struct {
+	tree *rtree.Tree
+	dims int
+	// itemCache memoises Tree().Items() for the candidate-generation paths;
+	// guarded by itemMu and invalidated on mutation, so concurrent read-only
+	// queries stay race-free.
+	itemMu    sync.Mutex
+	itemCache []Item
+}
+
+// NewDB bulk-loads the products into an R*-tree. The paper's page-size-1536
+// configuration is used when cfg is the zero value.
+func NewDB(dims int, products []Item, cfg rtree.Config) *DB {
+	return &DB{tree: rtree.BulkLoad(dims, products, cfg), dims: dims}
+}
+
+// Tree exposes the underlying product index.
+func (db *DB) Tree() *rtree.Tree { return db.tree }
+
+// Dims returns the dimensionality of the product space.
+func (db *DB) Dims() int { return db.dims }
+
+// Len returns the number of products.
+func (db *DB) Len() int { return db.tree.Len() }
+
+// Universe returns the MBR of the product set; ok is false when empty. The
+// anti-dominance region construction clips against this rectangle.
+func (db *DB) Universe() (geom.Rect, bool) { return db.tree.Bounds() }
+
+// Insert adds a product.
+func (db *DB) Insert(it Item) {
+	db.tree.Insert(it)
+	db.invalidateItems()
+}
+
+// Delete removes a product, reporting whether it was present.
+func (db *DB) Delete(it Item) bool {
+	ok := db.tree.Delete(it)
+	if ok {
+		db.invalidateItems()
+	}
+	return ok
+}
+
+func (db *DB) invalidateItems() {
+	db.itemMu.Lock()
+	db.itemCache = nil
+	db.itemMu.Unlock()
+}
+
+// Items returns all products, memoised between mutations. Callers must not
+// modify the returned slice. Safe for concurrent use alongside other
+// read-only queries.
+func (db *DB) Items() []Item {
+	db.itemMu.Lock()
+	defer db.itemMu.Unlock()
+	if db.itemCache == nil {
+		db.itemCache = db.tree.Items()
+	}
+	return db.itemCache
+}
+
+// WindowQuery returns Λ = window_query(c, q): every product inside the
+// closed box centred at c with per-dimension half-extent |c_i − q_i| that
+// dynamically dominates q with respect to c. Products with ID == excludeID
+// are skipped (pass NoExclude to keep all), which implements the
+// monochromatic convention that a customer's own product record cannot
+// block it.
+func (db *DB) WindowQuery(c, q geom.Point, excludeID int) []Item {
+	var out []Item
+	db.tree.Search(geom.WindowRect(c, q), func(it Item) bool {
+		if it.ID != excludeID && geom.DynDominates(c, it.Point, q) {
+			out = append(out, it)
+		}
+		return true
+	})
+	return out
+}
+
+// WindowExists reports whether window_query(c, q) is non-empty, stopping at
+// the first dominating product.
+func (db *DB) WindowExists(c, q geom.Point, excludeID int) bool {
+	return db.tree.Exists(geom.WindowRect(c, q), func(it Item) bool {
+		return it.ID != excludeID && geom.DynDominates(c, it.Point, q)
+	})
+}
+
+// WindowFrontier returns the members of window_query(c, q) minimal under
+// dynamic dominance with respect to centre, without materialising Λ: a
+// branch-and-bound traversal ordered by transformed distance to centre prunes
+// every subtree already dominated by a found frontier member. centre is q for
+// Algorithm 1's frontier and c for Algorithm 2's. The result equals
+// filtering WindowQuery(c, q, excludeID) down to its dominance minima, but
+// touches only a fraction of the window when Λ is large.
+func (db *DB) WindowFrontier(c, q, centre geom.Point, excludeID int) []Item {
+	window := geom.WindowRect(c, q)
+	type candidate struct {
+		it Item
+		tr geom.Point
+	}
+	var cands []candidate
+	// Guided DFS: visit near-centre subtrees first so their Λ members prune
+	// the rest. Strict global ordering is unnecessary — any collected Λ
+	// member prunes soundly, and a final minima pass exactifies the result.
+	// Scratch buffers keep the transformed-box computation allocation-free.
+	trLo := make(geom.Point, len(centre))
+	trHi := make(geom.Point, len(centre))
+	prune := func(r geom.Rect) bool {
+		for i := range centre {
+			dLo := centre[i] - r.Lo[i]
+			if dLo < 0 {
+				dLo = -dLo
+			}
+			dHi := centre[i] - r.Hi[i]
+			if dHi < 0 {
+				dHi = -dHi
+			}
+			if dHi > dLo {
+				trHi[i] = dHi
+			} else {
+				trHi[i] = dLo
+			}
+			if centre[i] >= r.Lo[i] && centre[i] <= r.Hi[i] {
+				trLo[i] = 0
+			} else if dLo < dHi {
+				trLo[i] = dLo
+			} else {
+				trLo[i] = dHi
+			}
+		}
+		for i := range cands {
+			if cands[i].tr.WeaklyDominates(trLo) {
+				inside := true
+				for j := range trLo {
+					if cands[i].tr[j] < trLo[j] || cands[i].tr[j] > trHi[j] {
+						inside = false
+						break
+					}
+				}
+				if !inside {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	db.tree.GuidedSearch(window,
+		func(r geom.Rect) float64 { return boxTransformSum(r, centre) },
+		prune,
+		func(it Item) bool {
+			if it.ID == excludeID || !window.Contains(it.Point) ||
+				!geom.DynDominates(c, it.Point, q) {
+				return true // not a member of Λ
+			}
+			tr := it.Point.Transform(centre)
+			for i := range cands {
+				if cands[i].tr.Dominates(tr) {
+					return true
+				}
+			}
+			cands = append(cands, candidate{it: it, tr: tr})
+			return true
+		},
+	)
+	// Exactify: out-of-order arrivals can leave dominated members behind.
+	var out []Item
+	for a := range cands {
+		dominated := false
+		for b := range cands {
+			if a != b && cands[b].tr.Dominates(cands[a].tr) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, cands[a].it)
+		}
+	}
+	return out
+}
+
+func boxTransformSum(r geom.Rect, centre geom.Point) float64 {
+	var s float64
+	for i := range centre {
+		lo, hi := r.Lo[i], r.Hi[i]
+		switch {
+		case centre[i] < lo:
+			s += lo - centre[i]
+		case centre[i] > hi:
+			s += centre[i] - hi
+		}
+	}
+	return s
+}
+
+// IsReverseSkyline reports whether customer c belongs to RSL(q): the window
+// query centred at c.Point must find no dominating product other than c's
+// own record.
+func (db *DB) IsReverseSkyline(c Item, q geom.Point) bool {
+	return !db.WindowExists(c.Point, q, c.ID)
+}
+
+// ReverseSkyline computes RSL(q) over the given customers by running the
+// window-existence test for each customer. This is the direct §II method.
+func (db *DB) ReverseSkyline(customers []Item, q geom.Point) []Item {
+	var out []Item
+	for _, c := range customers {
+		if db.IsReverseSkyline(c, q) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ReverseSkylineFiltered computes RSL(q) with the global-skyline candidate
+// filter: a customer globally dominated (w.r.t. q) by any product cannot be
+// in RSL(q), and it suffices to test against the global skyline of P. The
+// surviving candidates are verified with window-existence queries. The result
+// is identical to ReverseSkyline; only the work differs.
+func (db *DB) ReverseSkylineFiltered(customers []Item, q geom.Point) []Item {
+	gsp := skyline.GlobalSkyline(db.Items(), q)
+	var out []Item
+	for _, c := range customers {
+		pruned := false
+		for _, p := range gsp {
+			if p.ID != c.ID && skyline.GlobalDominates(q, p.Point, c.Point) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		if db.IsReverseSkyline(c, q) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ReverseSkylineMono computes RSL(q) in the monochromatic setting where the
+// customer preferences are the product records themselves (the paper's
+// experimental setup). Since a reverse-skyline member cannot be globally
+// dominated by any product, the candidates are exactly the global skyline of
+// the dataset, so only |GSP| window queries run instead of |P|.
+func (db *DB) ReverseSkylineMono(q geom.Point) []Item {
+	var out []Item
+	for _, c := range skyline.GlobalSkyline(db.Items(), q) {
+		if db.IsReverseSkyline(c, q) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ReverseSkylineBBRS computes RSL(q) in the monochromatic setting with the
+// full index-based BBRS pipeline (Dellis & Seeger, VLDB 2007): the global
+// skyline candidates come from a branch-and-bound traversal of the R*-tree
+// (touching only the index fraction that can contain candidates) and each
+// candidate is verified with an existence window query. Identical results to
+// ReverseSkylineMono.
+func (db *DB) ReverseSkylineBBRS(q geom.Point) []Item {
+	var out []Item
+	for _, c := range skyline.GlobalSkylineBBS(db.tree, q) {
+		if db.IsReverseSkyline(c, q) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DynamicSkyline computes DSL(c) over the products via branch-and-bound on
+// the R*-tree.
+func (db *DB) DynamicSkyline(c geom.Point) []Item {
+	return skyline.DynamicBBS(db.tree, c)
+}
+
+// DynamicSkylineExcluding computes DSL(c) over the products without the
+// record whose ID is excludeID (monochromatic convention). Pass NoExclude to
+// keep everything.
+func (db *DB) DynamicSkylineExcluding(c geom.Point, excludeID int) []Item {
+	if excludeID == NoExclude {
+		return db.DynamicSkyline(c)
+	}
+	return skyline.DynamicBBSExcluding(db.tree, c, excludeID)
+}

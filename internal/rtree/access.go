@@ -1,0 +1,14 @@
+package rtree
+
+// Node-access accounting: in a disk-resident R-tree every visited node is a
+// page read, so "nodes accessed" is the standard I/O cost metric of the
+// skyline literature (BBS is I/O-optimal in it). The counter covers Search,
+// Exists, BestFirst and the operations built on them. It is atomic, so
+// concurrent read-only queries stay race-free; per-query attribution is
+// meaningful only for single-threaded measurements.
+
+// Accesses returns the number of nodes visited since the last reset.
+func (t *Tree) Accesses() int { return int(t.accesses.Load()) }
+
+// ResetAccesses zeroes the node-access counter.
+func (t *Tree) ResetAccesses() { t.accesses.Store(0) }

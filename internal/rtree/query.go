@@ -1,0 +1,257 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Search invokes fn for every item whose point lies in the closed query
+// rectangle. Traversal stops early if fn returns false.
+func (t *Tree) Search(query geom.Rect, fn func(Item) bool) {
+	t.search(t.root, query, fn)
+}
+
+func (t *Tree) search(n *node, query geom.Rect, fn func(Item) bool) bool {
+	t.accesses.Add(1)
+	for _, e := range n.entries {
+		if !query.Intersects(e.rect) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.item) {
+				return false
+			}
+		} else if !t.search(e.child, query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeQuery collects all items inside the closed query rectangle.
+func (t *Tree) RangeQuery(query geom.Rect) []Item {
+	var out []Item
+	t.Search(query, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// Exists reports whether any item inside the closed query rectangle satisfies
+// pred, short-circuiting the traversal at the first hit. A nil pred matches
+// every item. This is the existence-only window query used to verify reverse
+// skyline membership.
+func (t *Tree) Exists(query geom.Rect, pred func(Item) bool) bool {
+	found := false
+	t.Search(query, func(it Item) bool {
+		if pred == nil || pred(it) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Count returns the number of items inside the closed query rectangle.
+func (t *Tree) Count(query geom.Rect) int {
+	n := 0
+	t.Search(query, func(Item) bool { n++; return true })
+	return n
+}
+
+// All invokes fn for every stored item.
+func (t *Tree) All(fn func(Item) bool) {
+	if t.size == 0 {
+		return
+	}
+	t.search(t.root, t.root.mbr(), fn)
+}
+
+// Items returns all stored items.
+func (t *Tree) Items() []Item {
+	out := make([]Item, 0, t.size)
+	t.All(func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// ---- best-first (branch-and-bound) traversal -------------------------------
+
+// pqEntry is a heap element: either an internal node or a concrete item.
+type pqEntry struct {
+	key  float64
+	node *node
+	item Item
+	leaf bool
+}
+
+type pq []pqEntry
+
+func (h pq) Len() int            { return len(h) }
+func (h pq) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x interface{}) { *h = append(*h, x.(pqEntry)) }
+func (h *pq) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BestFirst yields items in non-decreasing order of key, where itemKey scores
+// a point and rectKey must lower-bound itemKey over every point inside the
+// rectangle. prune, when non-nil, is consulted before expanding a node or
+// emitting an item; returning true skips the subtree/item (the BBS dominance
+// pruning hook). Iteration stops when fn returns false.
+func (t *Tree) BestFirst(
+	itemKey func(geom.Point) float64,
+	rectKey func(geom.Rect) float64,
+	prune func(rect geom.Rect) bool,
+	fn func(Item, float64) bool,
+) {
+	if t.size == 0 {
+		return
+	}
+	h := &pq{}
+	heap.Push(h, pqEntry{key: rectKey(t.root.mbr()), node: t.root})
+	for h.Len() > 0 {
+		e := heap.Pop(h).(pqEntry)
+		if e.node != nil {
+			t.accesses.Add(1)
+		}
+		if e.leaf {
+			if prune != nil && prune(geom.PointRect(e.item.Point)) {
+				continue
+			}
+			if !fn(e.item, e.key) {
+				return
+			}
+			continue
+		}
+		if prune != nil && prune(e.node.mbr()) {
+			continue
+		}
+		for _, ne := range e.node.entries {
+			if e.node.leaf {
+				if prune != nil && prune(ne.rect) {
+					continue
+				}
+				heap.Push(h, pqEntry{key: itemKey(ne.item.Point), item: ne.item, leaf: true})
+			} else {
+				if prune != nil && prune(ne.rect) {
+					continue
+				}
+				heap.Push(h, pqEntry{key: rectKey(ne.rect), node: ne.child})
+			}
+		}
+	}
+}
+
+// GuidedSearch is a depth-first traversal restricted to subtrees
+// intersecting query, visiting children in ascending order(rect) and
+// consulting prune before each descent (prune sees the child MBR; returning
+// true skips it). Unlike BestFirst it keeps no global heap — the ordering is
+// only per-node — which makes it the cheap engine for window-local
+// branch-and-bound where any collected witness prunes soundly regardless of
+// global visit order. Traversal stops when fn returns false.
+func (t *Tree) GuidedSearch(
+	query geom.Rect,
+	order func(geom.Rect) float64,
+	prune func(geom.Rect) bool,
+	fn func(Item) bool,
+) {
+	if t.size == 0 {
+		return
+	}
+	t.guidedSearch(t.root, query, order, prune, fn)
+}
+
+func (t *Tree) guidedSearch(
+	n *node,
+	query geom.Rect,
+	order func(geom.Rect) float64,
+	prune func(geom.Rect) bool,
+	fn func(Item) bool,
+) bool {
+	t.accesses.Add(1)
+	if n.leaf {
+		for _, e := range n.entries {
+			if !query.Intersects(e.rect) {
+				continue
+			}
+			if !fn(e.item) {
+				return false
+			}
+		}
+		return true
+	}
+	type childRef struct {
+		key float64
+		idx int
+	}
+	refs := make([]childRef, 0, len(n.entries))
+	for i, e := range n.entries {
+		if !query.Intersects(e.rect) {
+			continue
+		}
+		refs = append(refs, childRef{key: order(e.rect), idx: i})
+	}
+	sort.Slice(refs, func(a, b int) bool { return refs[a].key < refs[b].key })
+	for _, r := range refs {
+		e := n.entries[r.idx]
+		if prune != nil && prune(e.rect) {
+			continue
+		}
+		if !t.guidedSearch(e.child, query, order, prune, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// NearestNeighbors returns the k items nearest to p by Euclidean distance,
+// nearest first. Fewer than k items are returned when the tree is smaller.
+func (t *Tree) NearestNeighbors(k int, p geom.Point) []Item {
+	out := make([]Item, 0, k)
+	t.BestFirst(
+		func(x geom.Point) float64 { return p.L2(x) },
+		func(r geom.Rect) float64 { return r.MinDistL2(p) },
+		nil,
+		func(it Item, _ float64) bool {
+			out = append(out, it)
+			return len(out) < k
+		},
+	)
+	return out
+}
+
+// NearestNeighbor returns the single nearest item; ok is false when empty.
+func (t *Tree) NearestNeighbor(p geom.Point) (Item, bool) {
+	nn := t.NearestNeighbors(1, p)
+	if len(nn) == 0 {
+		return Item{}, false
+	}
+	return nn[0], true
+}
+
+// MinKeyItem returns the stored item minimising itemKey, using rectKey as the
+// lower bound for pruning; ok is false when the tree is empty.
+func (t *Tree) MinKeyItem(itemKey func(geom.Point) float64, rectKey func(geom.Rect) float64) (Item, bool) {
+	var best Item
+	bestKey := math.Inf(1)
+	found := false
+	t.BestFirst(itemKey, rectKey, nil, func(it Item, key float64) bool {
+		best, bestKey, found = it, key, true
+		_ = bestKey
+		return false
+	})
+	return best, found
+}

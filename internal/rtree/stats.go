@@ -1,0 +1,64 @@
+package rtree
+
+// Stats summarises the tree's structure: useful for validating the
+// page-size-derived fanout against the paper's setup and for diagnosing
+// degradation after heavy churn.
+type Stats struct {
+	Items         int
+	Height        int
+	Nodes         int
+	LeafNodes     int
+	InternalNodes int
+	MaxEntries    int
+	MinEntries    int
+	// AvgLeafFill is the mean leaf occupancy relative to MaxEntries.
+	AvgLeafFill float64
+	// AvgInternalFill is the mean internal-node occupancy.
+	AvgInternalFill float64
+	// OverlapArea is the summed pairwise overlap of sibling MBRs across all
+	// internal nodes — the quantity the R* split minimises.
+	OverlapArea float64
+}
+
+// Stats walks the tree and returns structural statistics.
+func (t *Tree) Stats() Stats {
+	s := Stats{
+		Items:      t.size,
+		Height:     t.height,
+		MaxEntries: t.cfg.MaxEntries,
+		MinEntries: t.cfg.MinEntries,
+	}
+	if t.size == 0 {
+		return s
+	}
+	var leafSlots, leafUsed, intSlots, intUsed int
+	var walk func(n *node)
+	walk = func(n *node) {
+		s.Nodes++
+		if n.leaf {
+			s.LeafNodes++
+			leafSlots += t.cfg.MaxEntries
+			leafUsed += len(n.entries)
+			return
+		}
+		s.InternalNodes++
+		intSlots += t.cfg.MaxEntries
+		intUsed += len(n.entries)
+		for i := range n.entries {
+			for j := i + 1; j < len(n.entries); j++ {
+				s.OverlapArea += n.entries[i].rect.OverlapArea(n.entries[j].rect)
+			}
+		}
+		for _, e := range n.entries {
+			walk(e.child)
+		}
+	}
+	walk(t.root)
+	if leafSlots > 0 {
+		s.AvgLeafFill = float64(leafUsed) / float64(leafSlots)
+	}
+	if intSlots > 0 {
+		s.AvgInternalFill = float64(intUsed) / float64(intSlots)
+	}
+	return s
+}

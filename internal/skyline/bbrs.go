@@ -1,0 +1,101 @@
+package skyline
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// GlobalSkylineBBS computes the global skyline with respect to q by
+// branch-and-bound over the R*-tree, in the style of the BBRS algorithm of
+// Dellis & Seeger (VLDB 2007): nodes are visited in ascending transformed
+// mindist order and a subtree is pruned when it lies entirely inside one
+// closed orthant around q and an already-found global-skyline point of that
+// orthant dominates its transformed lower corner. Subtrees straddling an
+// orthant boundary are never pruned (they are near q and cheap to expand).
+//
+// The result equals GlobalSkyline(tree.Items(), q) but touches only the part
+// of the index that can contain global-skyline points.
+func GlobalSkylineBBS(t *rtree.Tree, q geom.Point) []Item {
+	d := len(q)
+	type skyPoint struct {
+		tr    geom.Point
+		canon int
+	}
+	var sky []skyPoint
+
+	// orthantOf returns the orthant mask of rect around q and whether the
+	// rect lies in a single closed orthant (zeros resolve to +).
+	orthantOf := func(r geom.Rect) (int, bool) {
+		mask := 0
+		for i := 0; i < d; i++ {
+			switch {
+			case r.Lo[i] >= q[i]:
+				mask |= 1 << i
+			case r.Hi[i] <= q[i]:
+				// negative side
+			default:
+				return 0, false // straddles q in dimension i
+			}
+		}
+		return mask, true
+	}
+
+	// compatible reports whether a skyline point in canonical group sg can
+	// dominate points whose canonical group is g: sg must match g except
+	// where the skyline point sits exactly on q's axis (tr coordinate 0).
+	compatible := func(s skyPoint, g int) bool {
+		for i := 0; i < d; i++ {
+			if s.tr[i] == 0 {
+				continue // axis points dominate both sides
+			}
+			if (s.canon>>i)&1 != (g>>i)&1 {
+				return false
+			}
+		}
+		return true
+	}
+
+	prune := func(r geom.Rect) bool {
+		g, single := orthantOf(r)
+		if !single {
+			return false
+		}
+		trR := r.TransformMinMax(q)
+		for _, s := range sky {
+			if compatible(s, g) && s.tr.WeaklyDominates(trR.Lo) && !trR.Contains(s.tr) {
+				return true
+			}
+		}
+		return false
+	}
+
+	canonOf := func(p geom.Point) int {
+		mask := 0
+		for i := 0; i < d; i++ {
+			if p[i] >= q[i] {
+				mask |= 1 << i
+			}
+		}
+		return mask
+	}
+
+	var out []Item
+	t.BestFirst(
+		func(p geom.Point) float64 { return coordSum(p.Transform(q)) },
+		func(r geom.Rect) float64 { return coordSum(r.TransformMinMax(q).Lo) },
+		prune,
+		func(it Item, _ float64) bool {
+			tr := it.Point.Transform(q)
+			g := canonOf(it.Point)
+			for _, s := range sky {
+				if compatible(s, g) && s.tr.Dominates(tr) {
+					return true
+				}
+			}
+			sky = append(sky, skyPoint{tr: tr, canon: g})
+			out = append(out, it)
+			return true
+		},
+	)
+	return out
+}

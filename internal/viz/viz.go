@@ -1,0 +1,297 @@
+// Package viz renders the paper's geometric constructions — data points,
+// window queries, dynamic-skyline staircases, anti-dominance regions, safe
+// regions and why-not movements — as standalone SVG files, regenerating the
+// paper's illustrative figures from computed results rather than from hand
+// drawing. A small line-chart helper covers the evaluation figures.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/region"
+)
+
+// Style controls how an element is drawn. Zero-value fields fall back to
+// sensible defaults at render time.
+type Style struct {
+	Fill        string
+	Stroke      string
+	StrokeWidth float64
+	Dash        string // SVG dash array, e.g. "6,3"
+	Opacity     float64
+	Radius      float64 // point marker radius in pixels
+}
+
+func (s Style) orFill(def string) string {
+	if s.Fill == "" {
+		return def
+	}
+	return s.Fill
+}
+
+func (s Style) orStroke(def string) string {
+	if s.Stroke == "" {
+		return def
+	}
+	return s.Stroke
+}
+
+func (s Style) orWidth(def float64) float64 {
+	if s.StrokeWidth == 0 {
+		return def
+	}
+	return s.StrokeWidth
+}
+
+func (s Style) orOpacity() float64 {
+	if s.Opacity == 0 {
+		return 1
+	}
+	return s.Opacity
+}
+
+func (s Style) orRadius() float64 {
+	if s.Radius == 0 {
+		return 4
+	}
+	return s.Radius
+}
+
+// Canvas accumulates SVG elements in world coordinates (2-d only) and writes
+// a self-contained SVG document. The world rectangle maps onto the drawing
+// area with the y axis pointing up, like the paper's figures.
+type Canvas struct {
+	width, height int
+	margin        float64
+	world         geom.Rect
+	title         string
+	xLabel        string
+	yLabel        string
+	elems         []string
+}
+
+// NewCanvas creates a canvas mapping the world rectangle onto a width×height
+// pixel SVG with labelled axes.
+func NewCanvas(width, height int, world geom.Rect, title, xLabel, yLabel string) *Canvas {
+	return &Canvas{
+		width:  width,
+		height: height,
+		margin: 56,
+		world:  world,
+		title:  title,
+		xLabel: xLabel,
+		yLabel: yLabel,
+	}
+}
+
+func (c *Canvas) sx(x float64) float64 {
+	f := (x - c.world.Lo[0]) / (c.world.Hi[0] - c.world.Lo[0])
+	return c.margin + f*(float64(c.width)-2*c.margin)
+}
+
+func (c *Canvas) sy(y float64) float64 {
+	f := (y - c.world.Lo[1]) / (c.world.Hi[1] - c.world.Lo[1])
+	return float64(c.height) - c.margin - f*(float64(c.height)-2*c.margin)
+}
+
+// Point draws a circular marker with an optional label beside it.
+func (c *Canvas) Point(p geom.Point, label string, st Style) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="%s" stroke-width="1" opacity="%.2f"/>`,
+		c.sx(p[0]), c.sy(p[1]), st.orRadius(), st.orFill("#1f77b4"), st.orStroke("#133f60"), st.orOpacity()))
+	if label != "" {
+		c.elems = append(c.elems, fmt.Sprintf(
+			`<text x="%.1f" y="%.1f" font-size="11" fill="#222">%s</text>`,
+			c.sx(p[0])+st.orRadius()+2, c.sy(p[1])-st.orRadius()-2, escape(label)))
+	}
+}
+
+// Rect draws a world-coordinate rectangle (clipped to the canvas world).
+func (c *Canvas) Rect(r geom.Rect, st Style) {
+	clipped, ok := r.Intersect(c.world)
+	if !ok {
+		return
+	}
+	x, y := c.sx(clipped.Lo[0]), c.sy(clipped.Hi[1])
+	w := c.sx(clipped.Hi[0]) - x
+	h := c.sy(clipped.Lo[1]) - y
+	dash := ""
+	if st.Dash != "" {
+		dash = fmt.Sprintf(` stroke-dasharray="%s"`, st.Dash)
+	}
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="%s" stroke-width="%.1f" opacity="%.2f"%s/>`,
+		x, y, math.Max(w, 0.5), math.Max(h, 0.5),
+		st.orFill("none"), st.orStroke("#d62728"), st.orWidth(1.5), st.orOpacity(), dash))
+}
+
+// Region draws every rectangle of a region set with one shared style.
+func (c *Canvas) Region(s region.Set, st Style) {
+	for _, r := range s {
+		c.Rect(r, st)
+	}
+}
+
+// Line draws a segment between two world points.
+func (c *Canvas) Line(a, b geom.Point, st Style) {
+	dash := ""
+	if st.Dash != "" {
+		dash = fmt.Sprintf(` stroke-dasharray="%s"`, st.Dash)
+	}
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f" opacity="%.2f"%s/>`,
+		c.sx(a[0]), c.sy(a[1]), c.sx(b[0]), c.sy(b[1]),
+		st.orStroke("#555"), st.orWidth(1), st.orOpacity(), dash))
+}
+
+// Arrow draws a movement arrow from a to b.
+func (c *Canvas) Arrow(a, b geom.Point, st Style) {
+	c.Line(a, b, st)
+	// Arrow head: two short strokes at the tip.
+	ax, ay := c.sx(a[0]), c.sy(a[1])
+	bx, by := c.sx(b[0]), c.sy(b[1])
+	ang := math.Atan2(by-ay, bx-ax)
+	const headLen = 8.0
+	for _, da := range []float64{math.Pi - 0.45, math.Pi + 0.45} {
+		hx := bx + headLen*math.Cos(ang+da)
+		hy := by + headLen*math.Sin(ang+da)
+		c.elems = append(c.elems, fmt.Sprintf(
+			`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`,
+			bx, by, hx, hy, st.orStroke("#555"), st.orWidth(1)))
+	}
+}
+
+// Text places a free label at a world position.
+func (c *Canvas) Text(p geom.Point, text string, size int) {
+	if size == 0 {
+		size = 12
+	}
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<text x="%.1f" y="%.1f" font-size="%d" fill="#222">%s</text>`,
+		c.sx(p[0]), c.sy(p[1]), size, escape(text)))
+}
+
+// Render writes the SVG document.
+func (c *Canvas) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", c.width, c.height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333" stroke-width="1.2"/>`+"\n",
+		c.margin, float64(c.height)-c.margin, float64(c.width)-c.margin, float64(c.height)-c.margin)
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333" stroke-width="1.2"/>`+"\n",
+		c.margin, float64(c.height)-c.margin, c.margin, c.margin)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := float64(i) / 4
+		x := c.world.Lo[0] + fx*(c.world.Hi[0]-c.world.Lo[0])
+		y := c.world.Lo[1] + fx*(c.world.Hi[1]-c.world.Lo[1])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#333" text-anchor="middle">%s</text>`+"\n",
+			c.sx(x), float64(c.height)-c.margin+14, fmtTick(x))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#333" text-anchor="end">%s</text>`+"\n",
+			c.margin-6, c.sy(y)+3, fmtTick(y))
+	}
+	// Labels and title.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="13" fill="#111" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+		float64(c.width)/2, 20.0, escape(c.title))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="#333" text-anchor="middle">%s</text>`+"\n",
+		float64(c.width)/2, float64(c.height)-8, escape(c.xLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-size="11" fill="#333" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		float64(c.height)/2, float64(c.height)/2, escape(c.yLabel))
+	for _, e := range c.elems {
+		b.WriteString(e)
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fmtTick(v float64) string {
+	if math.Abs(v) >= 10000 {
+		return fmt.Sprintf("%.0fK", v/1000)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// Series is one polyline of a chart.
+type Series struct {
+	Name  string
+	X, Y  []float64
+	Color string
+}
+
+// LineChart renders a simple multi-series line chart (used for the Fig. 14,
+// 15 and 17 evaluation plots). When logY is set, Y values are plotted on a
+// log10 scale (zeroes clamp to the smallest positive value).
+func LineChart(w io.Writer, width, height int, title, xLabel, yLabel string, series []Series, logY bool) error {
+	// Determine bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			y := s.Y[i]
+			if logY && y <= 0 {
+				continue
+			}
+			if logY {
+				y = math.Log10(y)
+			}
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if minX >= maxX {
+		maxX = minX + 1
+	}
+	if minY >= maxY {
+		maxY = minY + 1
+	}
+	world := geom.NewRect(geom.NewPoint(minX, minY), geom.NewPoint(maxX, maxY))
+	c := NewCanvas(width, height, world, title, xLabel, yLabel)
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"}
+	for si, s := range series {
+		color := s.Color
+		if color == "" {
+			color = palette[si%len(palette)]
+		}
+		type pt struct{ x, y float64 }
+		pts := make([]pt, 0, len(s.X))
+		for i := range s.X {
+			y := s.Y[i]
+			if logY {
+				if y <= 0 {
+					y = minY
+				} else {
+					y = math.Log10(y)
+				}
+			}
+			pts = append(pts, pt{s.X[i], y})
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		for i := 1; i < len(pts); i++ {
+			c.Line(geom.NewPoint(pts[i-1].x, pts[i-1].y), geom.NewPoint(pts[i].x, pts[i].y),
+				Style{Stroke: color, StrokeWidth: 1.8})
+		}
+		for _, p := range pts {
+			c.Point(geom.NewPoint(p.x, p.y), "", Style{Fill: color, Radius: 3})
+		}
+		// Legend entry.
+		lx := world.Lo[0] + 0.03*(world.Hi[0]-world.Lo[0])
+		ly := world.Hi[1] - (0.05+0.06*float64(si))*(world.Hi[1]-world.Lo[1])
+		c.Point(geom.NewPoint(lx, ly), s.Name, Style{Fill: color, Radius: 4})
+	}
+	return c.Render(w)
+}

@@ -1,0 +1,109 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/region"
+)
+
+func testCanvas() *Canvas {
+	world := geom.NewRect(geom.NewPoint(0, 0), geom.NewPoint(10, 10))
+	return NewCanvas(400, 300, world, "T & title", "x", "y")
+}
+
+func render(t *testing.T, c *Canvas) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCanvasBasicsRender(t *testing.T) {
+	c := testCanvas()
+	c.Point(geom.NewPoint(5, 5), "p<1>", Style{})
+	c.Rect(geom.NewRect(geom.NewPoint(1, 1), geom.NewPoint(3, 3)), Style{Dash: "4,2"})
+	c.Line(geom.NewPoint(0, 0), geom.NewPoint(10, 10), Style{})
+	c.Arrow(geom.NewPoint(2, 2), geom.NewPoint(8, 8), Style{})
+	c.Text(geom.NewPoint(5, 9), "note", 0)
+	out := render(t, c)
+	for _, want := range []string{"<svg", "</svg>", "<circle", "<rect", "<line", "stroke-dasharray", "T &amp; title", "p&lt;1&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestCanvasClipsOutOfWorldRects(t *testing.T) {
+	c := testCanvas()
+	// Entirely outside: no rect element beyond the background.
+	c.Rect(geom.NewRect(geom.NewPoint(20, 20), geom.NewPoint(30, 30)), Style{})
+	out := render(t, c)
+	if n := strings.Count(out, "<rect"); n != 1 { // just the background
+		t.Errorf("out-of-world rect leaked: %d rects", n)
+	}
+	// Partially outside: clipped to world bounds (coordinates within canvas).
+	c2 := testCanvas()
+	c2.Rect(geom.NewRect(geom.NewPoint(5, 5), geom.NewPoint(30, 30)), Style{})
+	out2 := render(t, c2)
+	if n := strings.Count(out2, "<rect"); n != 2 {
+		t.Errorf("clipped rect missing: %d rects", n)
+	}
+}
+
+func TestRegionRendering(t *testing.T) {
+	c := testCanvas()
+	s := region.Set{
+		geom.NewRect(geom.NewPoint(1, 1), geom.NewPoint(2, 2)),
+		geom.NewRect(geom.NewPoint(4, 4), geom.NewPoint(6, 6)),
+	}
+	c.Region(s, Style{Fill: "#abc"})
+	out := render(t, c)
+	if n := strings.Count(out, `fill="#abc"`); n != 2 {
+		t.Errorf("region rects = %d, want 2", n)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var buf bytes.Buffer
+	series := []Series{
+		{Name: "a", X: []float64{1, 2, 3}, Y: []float64{10, 20, 15}},
+		{Name: "b", X: []float64{1, 2, 3}, Y: []float64{5, 0, 25}},
+	}
+	if err := LineChart(&buf, 400, 300, "chart", "x", "y", series, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<svg") || strings.Count(out, "<line") < 6 {
+		t.Fatalf("chart output malformed")
+	}
+	// Log scale with zero values must not error (zeroes clamp).
+	buf.Reset()
+	if err := LineChart(&buf, 400, 300, "log", "x", "y", series, true); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate single-point series.
+	buf.Reset()
+	if err := LineChart(&buf, 400, 300, "one", "x", "y",
+		[]Series{{Name: "p", X: []float64{1}, Y: []float64{1}}}, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		5:      "5",
+		123:    "123",
+		50000:  "50K",
+		250000: "250K",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package whynot
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/region"
+)
+
+// MWQBatch answers one why-not question per customer against the same query
+// point, computing the safe region once — the reuse the paper highlights in
+// §VI.B ("we do not need to recompute it to answer another why-not question
+// for the same query point"). Results are positionally aligned with cts.
+func (e *Engine) MWQBatch(cts []Item, q geom.Point, rsl []Item, opt Options) []MWQResult {
+	sr := e.SafeRegion(q, rsl)
+	return e.MWQBatchWithRegion(cts, q, sr, opt)
+}
+
+// MWQBatchWithRegion runs Algorithm 4 for every customer against a shared
+// precomputed safe region.
+func (e *Engine) MWQBatchWithRegion(cts []Item, q geom.Point, sr region.Set, opt Options) []MWQResult {
+	out := make([]MWQResult, len(cts))
+	for i, ct := range cts {
+		out[i] = e.MWQ(ct, q, sr, opt)
+	}
+	return out
+}
+
+// MWQBatchParallel fans MWQBatchWithRegion out over workers goroutines
+// (0 = GOMAXPROCS). Each question only reads the index and the shared safe
+// region, so results are identical to the serial batch.
+func (e *Engine) MWQBatchParallel(cts []Item, q geom.Point, sr region.Set, opt Options, workers int) []MWQResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]MWQResult, len(cts))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = e.MWQ(cts[i], q, sr, opt)
+			}
+		}()
+	}
+	for i := range cts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

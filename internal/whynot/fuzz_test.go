@@ -1,0 +1,56 @@
+package whynot
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rskyline"
+	"repro/internal/rtree"
+)
+
+// fuzzEngine is shared across fuzz iterations (read-only use).
+var fuzzEngine = NewEngine(rskyline.NewDB(2, randProducts(250, 424242), rtree.Config{}), true)
+
+// FuzzMWPMQP drives Algorithms 1 and 2 with arbitrary query and why-not
+// coordinates: no panics, no invalid candidates, costs non-negative.
+func FuzzMWPMQP(f *testing.F) {
+	f.Add(50.0, 50.0, 10.0, 90.0)
+	f.Add(0.0, 0.0, 100.0, 100.0)
+	f.Add(-1e6, 1e6, 3.0, 3.0)
+	f.Add(12.5, 12.5, 12.5, 12.5)
+	f.Fuzz(func(t *testing.T, qx, qy, cx, cy float64) {
+		for _, v := range []float64{qx, qy, cx, cy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return
+			}
+		}
+		e := fuzzEngine
+		q := geom.NewPoint(qx, qy)
+		ct := Item{ID: 999999, Point: geom.NewPoint(cx, cy)} // bichromatic: no exclusion hit
+		mwp := e.MWP(ct, q, Options{})
+		if len(mwp.Candidates) == 0 {
+			t.Fatal("MWP returned no candidates")
+		}
+		for _, cand := range mwp.Candidates {
+			if cand.Cost < 0 || math.IsNaN(cand.Cost) {
+				t.Fatalf("MWP cost %v", cand.Cost)
+			}
+			if !mwp.AlreadyMember && !e.ValidateWhyNotMove(ct, q, cand.Point, 1e-7) {
+				t.Fatalf("invalid MWP candidate %v (ct=%v q=%v)", cand.Point, ct.Point, q)
+			}
+		}
+		mqp := e.MQP(ct, q, Options{})
+		if len(mqp.Candidates) == 0 {
+			t.Fatal("MQP returned no candidates")
+		}
+		for _, cand := range mqp.Candidates {
+			if cand.Cost < 0 || math.IsNaN(cand.Cost) {
+				t.Fatalf("MQP cost %v", cand.Cost)
+			}
+			if !mqp.AlreadyMember && !e.ValidateQueryMove(ct, cand.Point, 1e-7) {
+				t.Fatalf("invalid MQP candidate %v (ct=%v q=%v)", cand.Point, ct.Point, q)
+			}
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package whynot
+
+import (
+	"repro/internal/geom"
+	"repro/internal/region"
+	"repro/internal/rskyline"
+	"repro/internal/skyline"
+)
+
+// SafeRegion implements Algorithm 3: the exact safe region of q is the
+// intersection of the anti-dominance regions of every reverse-skyline point
+// (Lemma 2), each represented as a union of rectangles built from the
+// customer's dynamic skyline (Fig. 10). rsl must be RSL(q) over the customers
+// of interest; an empty rsl yields the whole product universe, since q then
+// has no customers to lose. By construction q itself always lies in the
+// result.
+func (e *Engine) SafeRegion(q geom.Point, rsl []Item) region.Set {
+	universe, ok := e.DB.Universe()
+	if !ok {
+		return region.Set{geom.PointRect(q)}
+	}
+	var sr region.Set
+	started := false
+	for _, c := range rsl {
+		dsl := e.DB.DynamicSkylineExcluding(c.Point, e.exclude(c))
+		add := region.AntiDDR(c.Point, points(dsl), universe)
+		if !started {
+			sr, started = add, true
+		} else {
+			sr = sr.IntersectSet(add)
+		}
+	}
+	if !started {
+		// No reverse-skyline points: every position is safe within the
+		// universe (extended symmetrically around q like any anti-DDR).
+		u := universe.TransformMinMax(q).Hi
+		return region.Set{{Lo: q.Sub(u), Hi: q.Add(u)}}
+	}
+	return ensureContainsQ(sr, q)
+}
+
+// ensureContainsQ guarantees the trivially safe position q itself is part of
+// the region (it always is for the exact construction; the approximate
+// construction can miss it, in which case the safe region degrades to {q}
+// and MWQ degrades to MWP, matching §VI.B.2's "no worse than MWP" bound).
+func ensureContainsQ(sr region.Set, q geom.Point) region.Set {
+	if sr.Contains(q) {
+		return sr
+	}
+	return append(sr, geom.PointRect(q))
+}
+
+func points(items []Item) []geom.Point {
+	out := make([]geom.Point, len(items))
+	for i, it := range items {
+		out[i] = it.Point
+	}
+	return out
+}
+
+// ApproxStore holds the pre-computed k-sampled dynamic skylines of §VI.B.1,
+// the offline structure that turns safe-region construction from minutes
+// into seconds (Fig. 17) at the price of a smaller (but always safe)
+// region.
+type ApproxStore struct {
+	K       int
+	SortDim int
+	// corners maps a customer ID to the transformed corner points of its
+	// approximate anti-DDR.
+	corners map[int][]geom.Point
+}
+
+// BuildApproxStore pre-computes approximate anti-DDR corners for every given
+// customer: the full DSL is computed once per customer, k-sampled, and the
+// resulting corners stored (first and last sorted points always retained, no
+// successive-pair merging — Fig. 16).
+func (e *Engine) BuildApproxStore(customers []Item, k, sortDim int) *ApproxStore {
+	universe, ok := e.DB.Universe()
+	if !ok {
+		return &ApproxStore{K: k, SortDim: sortDim, corners: map[int][]geom.Point{}}
+	}
+	store := &ApproxStore{K: k, SortDim: sortDim, corners: make(map[int][]geom.Point, len(customers))}
+	for _, c := range customers {
+		dsl := e.DB.DynamicSkylineExcluding(c.Point, e.exclude(c))
+		sampled := skyline.ApproxDynamic(dsl, c.Point, k, sortDim)
+		u := universe.TransformMinMax(c.Point).Hi
+		store.corners[c.ID] = region.ApproxAntiDDRCorners(c.Point, points(sampled), u, sortDim)
+	}
+	return store
+}
+
+// Corners returns the stored transformed corners for a customer ID; ok is
+// false when the customer was not pre-computed.
+func (s *ApproxStore) Corners(id int) ([]geom.Point, bool) {
+	c, ok := s.corners[id]
+	return c, ok
+}
+
+// ApproxSafeRegion assembles the approximate safe region from pre-computed
+// corners. Customers missing from the store fall back to an exact anti-DDR
+// computation, keeping the result correct (always a subset of the exact safe
+// region, so no existing customer can be lost).
+func (e *Engine) ApproxSafeRegion(q geom.Point, rsl []Item, store *ApproxStore) region.Set {
+	universe, ok := e.DB.Universe()
+	if !ok {
+		return region.Set{geom.PointRect(q)}
+	}
+	var sr region.Set
+	started := false
+	for _, c := range rsl {
+		var add region.Set
+		if corners, found := store.Corners(c.ID); found {
+			add = region.AntiDDRFromCorners(c.Point, corners)
+		} else {
+			dsl := e.DB.DynamicSkylineExcluding(c.Point, e.exclude(c))
+			add = region.AntiDDR(c.Point, points(dsl), universe)
+		}
+		if !started {
+			sr, started = add, true
+		} else {
+			sr = sr.IntersectSet(add)
+		}
+	}
+	if !started {
+		u := universe.TransformMinMax(q).Hi
+		return region.Set{{Lo: q.Sub(u), Hi: q.Add(u)}}
+	}
+	return ensureContainsQ(sr, q)
+}
+
+// TruncateSafeRegion implements the §V.B flexibility note: clip the safe
+// region to a feature-limit box (e.g. "the price can only move within
+// [8K, 12K]"). Truncation preserves the no-customer-lost guarantee; the
+// region only gets smaller. If q itself falls outside the limits the result
+// can be empty — callers should treat that as "the limits forbid every safe
+// position".
+func TruncateSafeRegion(sr region.Set, limits geom.Rect) region.Set {
+	return sr.IntersectRect(limits)
+}
+
+// ExpandSafeRegion implements the other direction of the §V.B note: relax
+// the safe region to the whole feature box, accepting that customers may be
+// lost. It returns the expanded region together with the customers of rsl
+// that would be lost at a given position (use LostCustomers per candidate
+// position to quantify the side effect).
+func ExpandSafeRegion(limits geom.Rect) region.Set {
+	return region.Set{limits.Clone()}
+}
+
+// LostCustomers returns the members of rsl that would leave the reverse
+// skyline if the query point moved to qStar — the side-effect measure for
+// truncated/expanded safe regions and for raw MQP answers.
+func (e *Engine) LostCustomers(qStar geom.Point, rsl []Item) []Item {
+	var lost []Item
+	for _, c := range rsl {
+		if e.DB.WindowExists(c.Point, qStar, e.exclude(c)) {
+			lost = append(lost, c)
+		}
+	}
+	return lost
+}
+
+// AntiDDROf returns the anti-dominance region of an arbitrary point as a
+// rectangle set (used by Algorithm 4 for the why-not point and exposed for
+// callers that want to inspect it).
+func (e *Engine) AntiDDROf(c Item) region.Set {
+	universe, ok := e.DB.Universe()
+	if !ok {
+		return region.Set{geom.PointRect(c.Point)}
+	}
+	dsl := e.DB.DynamicSkylineExcluding(c.Point, e.exclude(c))
+	return region.AntiDDR(c.Point, points(dsl), universe)
+}
+
+// ReverseSkyline recomputes RSL(q) over the given customers (convenience
+// passthrough used by the harness and examples).
+func (e *Engine) ReverseSkyline(customers []Item, q geom.Point) []Item {
+	if e.Mono {
+		return e.DB.ReverseSkyline(customers, q)
+	}
+	out := make([]Item, 0)
+	for _, c := range customers {
+		if !e.DB.WindowExists(c.Point, q, rskyline.NoExclude) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

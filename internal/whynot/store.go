@@ -1,0 +1,110 @@
+package whynot
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/region"
+	"repro/internal/skyline"
+)
+
+// storeDTO is the gob wire format of an ApproxStore.
+type storeDTO struct {
+	K       int
+	SortDim int
+	IDs     []int
+	Corners [][][]float64
+}
+
+// Save writes the store in a self-contained binary format (§VI.B.1 keeps the
+// approximate skylines "stored (off-line)"; this is that offline artifact).
+func (s *ApproxStore) Save(w io.Writer) error {
+	dto := storeDTO{K: s.K, SortDim: s.SortDim}
+	for id, corners := range s.corners {
+		dto.IDs = append(dto.IDs, id)
+		cs := make([][]float64, len(corners))
+		for i, c := range corners {
+			cs[i] = c
+		}
+		dto.Corners = append(dto.Corners, cs)
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// LoadApproxStore reads a store written by Save.
+func LoadApproxStore(r io.Reader) (*ApproxStore, error) {
+	var dto storeDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("whynot: decode approx store: %w", err)
+	}
+	if len(dto.IDs) != len(dto.Corners) {
+		return nil, fmt.Errorf("whynot: corrupt approx store: %d ids, %d corner sets",
+			len(dto.IDs), len(dto.Corners))
+	}
+	s := &ApproxStore{K: dto.K, SortDim: dto.SortDim, corners: make(map[int][]geom.Point, len(dto.IDs))}
+	for i, id := range dto.IDs {
+		cs := make([]geom.Point, len(dto.Corners[i]))
+		for j, c := range dto.Corners[i] {
+			cs[j] = geom.Point(c)
+		}
+		s.corners[id] = cs
+	}
+	return s, nil
+}
+
+// Len returns the number of customers with precomputed corners.
+func (s *ApproxStore) Len() int { return len(s.corners) }
+
+// BuildApproxStoreParallel is BuildApproxStore fanned out over workers
+// goroutines (0 means GOMAXPROCS). Each customer's dynamic skyline is an
+// independent read-only index traversal, so this is safe and scales
+// linearly — the offline precomputation is the only heavyweight step of the
+// approximate pipeline.
+func (e *Engine) BuildApproxStoreParallel(customers []Item, k, sortDim, workers int) *ApproxStore {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	universe, ok := e.DB.Universe()
+	store := &ApproxStore{K: k, SortDim: sortDim, corners: make(map[int][]geom.Point, len(customers))}
+	if !ok || len(customers) == 0 {
+		return store
+	}
+	type result struct {
+		id      int
+		corners []geom.Point
+	}
+	jobs := make(chan Item)
+	results := make(chan result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				dsl := e.DB.DynamicSkylineExcluding(c.Point, e.exclude(c))
+				sampled := skyline.ApproxDynamic(dsl, c.Point, k, sortDim)
+				u := universe.TransformMinMax(c.Point).Hi
+				results <- result{
+					id:      c.ID,
+					corners: region.ApproxAntiDDRCorners(c.Point, points(sampled), u, sortDim),
+				}
+			}
+		}()
+	}
+	go func() {
+		for _, c := range customers {
+			jobs <- c
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	for r := range results {
+		store.corners[r.id] = r.corners
+	}
+	return store
+}

@@ -1,0 +1,83 @@
+package whynot
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rskyline"
+	"repro/internal/rtree"
+)
+
+func TestApproxStoreSaveLoadRoundTrip(t *testing.T) {
+	products := randProducts(300, 2024)
+	e := NewEngine(rskyline.NewDB(2, products, rtree.Config{}), true)
+	store := e.BuildApproxStore(products[:50], 7, 0)
+	if store.Len() != 50 {
+		t.Fatalf("store Len = %d", store.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadApproxStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != 7 || back.SortDim != 0 || back.Len() != 50 {
+		t.Fatalf("round trip lost metadata: %+v", back)
+	}
+	for _, c := range products[:50] {
+		want, _ := store.Corners(c.ID)
+		got, ok := back.Corners(c.ID)
+		if !ok || !reflect.DeepEqual(want, got) {
+			t.Fatalf("corners for %d differ after round trip", c.ID)
+		}
+	}
+
+	// The loaded store produces identical safe regions.
+	q := products[7].Point.Clone()
+	q[0] += 0.5
+	rsl := e.DB.ReverseSkyline(products, q)
+	if len(rsl) > 0 {
+		a := e.ApproxSafeRegion(q, rsl, store)
+		b := e.ApproxSafeRegion(q, rsl, back)
+		if len(a) != len(b) {
+			t.Fatalf("safe regions differ: %d vs %d rects", len(a), len(b))
+		}
+	}
+}
+
+func TestLoadApproxStoreErrors(t *testing.T) {
+	if _, err := LoadApproxStore(strings.NewReader("not gob")); err == nil {
+		t.Fatal("garbage input must fail")
+	}
+	if _, err := LoadApproxStore(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input must fail")
+	}
+}
+
+func TestBuildApproxStoreParallelMatchesSerial(t *testing.T) {
+	products := randProducts(400, 2025)
+	e := NewEngine(rskyline.NewDB(2, products, rtree.Config{}), true)
+	serial := e.BuildApproxStore(products[:120], 5, 0)
+	for _, workers := range []int{0, 1, 4} {
+		parallel := e.BuildApproxStoreParallel(products[:120], 5, 0, workers)
+		if parallel.Len() != serial.Len() {
+			t.Fatalf("workers=%d: Len %d vs %d", workers, parallel.Len(), serial.Len())
+		}
+		for _, c := range products[:120] {
+			want, _ := serial.Corners(c.ID)
+			got, ok := parallel.Corners(c.ID)
+			if !ok || !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d: corners differ for customer %d", workers, c.ID)
+			}
+		}
+	}
+	// Empty customer list is fine.
+	if got := e.BuildApproxStoreParallel(nil, 5, 0, 4); got.Len() != 0 {
+		t.Fatal("empty build must yield an empty store")
+	}
+}

@@ -1,0 +1,285 @@
+// Package repro is a Go implementation of "On Answering Why-not Questions in
+// Reverse Skyline Queries" (Islam, Zhou, Liu — ICDE 2013).
+//
+// Given a product catalogue P, a query product q, and customer preferences C,
+// the reverse skyline RSL(q) is the set of customers whose dynamic skyline
+// contains q — the customers for whom q is interesting. A why-not question
+// asks why a particular customer c_t is missing from RSL(q), and what minimal
+// change would fix that. This package answers it four ways:
+//
+//   - Explain: the culprit products that keep c_t away (deleting them admits
+//     c_t — Lemma 1 of the paper);
+//   - MWP (Algorithm 1): minimally move the customer preference c_t;
+//   - MQP (Algorithm 2): minimally move the product q, possibly losing other
+//     customers;
+//   - MWQ (Algorithm 4): move q only within its safe region — the area where
+//     no existing customer is lost (Algorithm 3) — and move c_t only if the
+//     safe region cannot reach it; an approximate precomputed variant trades
+//     answer quality for orders-of-magnitude faster safe regions (§VI.B.1).
+//
+// # Quickstart
+//
+//	products := []repro.Item{
+//		{ID: 1, Point: repro.NewPoint(5, 30)},   // price K$, mileage Kmi
+//		{ID: 2, Point: repro.NewPoint(7.5, 42)},
+//		// ...
+//	}
+//	db := repro.NewDB(2, products)               // R*-tree indexed
+//	q := repro.NewPoint(8.5, 55)                 // the car we want to sell
+//	rsl := db.ReverseSkyline(products, q)        // who is interested now
+//	res := db.MWP(products[0], q, repro.Options{})
+//	fmt.Println(res.Best().Point)                // minimal customer move
+//
+// All heavy lifting lives in internal packages (R*-tree, skyline algorithms,
+// rectangle-region algebra); this package is the stable surface examples and
+// downstream users build on.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/region"
+	"repro/internal/rskyline"
+	"repro/internal/rtree"
+	"repro/internal/whynot"
+)
+
+// Point is a d-dimensional point.
+type Point = geom.Point
+
+// Rect is a closed axis-aligned rectangle.
+type Rect = geom.Rect
+
+// Item is an identified point stored in the database.
+type Item = rtree.Item
+
+// Options tunes the why-not algorithms (sort dimension, per-dimension cost
+// weights). The zero value reproduces the paper's setup.
+type Options = whynot.Options
+
+// Candidate is a proposed location with its normalised movement cost.
+type Candidate = whynot.Candidate
+
+// MWPResult is the outcome of modifying the why-not point (Algorithm 1).
+type MWPResult = whynot.MWPResult
+
+// MQPResult is the outcome of modifying the query point (Algorithm 2).
+type MQPResult = whynot.MQPResult
+
+// MWQResult is the outcome of modifying both points under the safe region
+// (Algorithm 4).
+type MWQResult = whynot.MWQResult
+
+// Region is a union of rectangles (safe regions, anti-dominance regions).
+type Region = region.Set
+
+// ApproxStore holds precomputed approximate dynamic skylines (§VI.B.1).
+type ApproxStore = whynot.ApproxStore
+
+// Dataset is a named point collection with CSV round-tripping.
+type Dataset = dataset.Dataset
+
+// NewPoint builds a Point from coordinates.
+func NewPoint(coords ...float64) Point { return geom.NewPoint(coords...) }
+
+// DB is a product database indexed by an R*-tree, answering reverse-skyline
+// queries and why-not questions over it.
+type DB struct {
+	engine *whynot.Engine
+}
+
+// NewDB bulk-loads products into an R*-tree (the paper's 1536-byte page
+// configuration) and prepares the why-not engine. Products and customers are
+// treated monochromatically: a customer whose ID matches a product record is
+// not blocked by its own record.
+func NewDB(dims int, products []Item) *DB {
+	return &DB{engine: whynot.NewEngine(rskyline.NewDB(dims, products, rtree.Config{}), true)}
+}
+
+// Len returns the number of products.
+func (db *DB) Len() int { return db.engine.DB.Len() }
+
+// Dims returns the dimensionality.
+func (db *DB) Dims() int { return db.engine.DB.Dims() }
+
+// DynamicSkyline returns DSL(c): the products not dynamically dominated with
+// respect to the preference point c (Definition 2).
+func (db *DB) DynamicSkyline(c Point) []Item {
+	return db.engine.DB.DynamicSkyline(c)
+}
+
+// ReverseSkyline returns RSL(q) over the given customers: those whose dynamic
+// skyline contains q (Definition 3).
+func (db *DB) ReverseSkyline(customers []Item, q Point) []Item {
+	return db.engine.DB.ReverseSkylineFiltered(customers, q)
+}
+
+// IsReverseSkyline reports whether customer c belongs to RSL(q).
+func (db *DB) IsReverseSkyline(c Item, q Point) bool {
+	return db.engine.DB.IsReverseSkyline(c, q)
+}
+
+// Explain returns the culprit products whose presence keeps c_t out of
+// RSL(q); empty means c_t is already a reverse-skyline point.
+func (db *DB) Explain(ct Item, q Point) []Item {
+	return db.engine.Explain(ct, q)
+}
+
+// MWP modifies the why-not point: candidate minimal moves of c_t that put q
+// into its dynamic skyline (Algorithm 1).
+func (db *DB) MWP(ct Item, q Point, opt Options) MWPResult {
+	return db.engine.MWP(ct, q, opt)
+}
+
+// MQP modifies the query point: candidate minimal moves of q that put c_t
+// into RSL(q*) (Algorithm 2). Existing customers may be lost; use
+// MQPTotalCost to charge their restoration.
+func (db *DB) MQP(ct Item, q Point, opt Options) MQPResult {
+	return db.engine.MQP(ct, q, opt)
+}
+
+// MQPTotalCost is the §VI.A experimental cost of a refined query point:
+// distance from the safe region plus the MWP cost of winning back every lost
+// customer.
+func (db *DB) MQPTotalCost(q, qStar Point, rsl []Item, sr Region, opt Options) float64 {
+	return db.engine.MQPTotalCost(q, qStar, rsl, sr, opt)
+}
+
+// SafeRegion computes the exact safe region of q (Algorithm 3): the locus of
+// query positions that keep every customer of rsl in the reverse skyline.
+func (db *DB) SafeRegion(q Point, rsl []Item) Region {
+	return db.engine.SafeRegion(q, rsl)
+}
+
+// AntiDominanceRegion returns the anti-DDR of a customer as rectangles
+// (Fig. 10): q lies inside it iff the customer is in RSL(q).
+func (db *DB) AntiDominanceRegion(c Item) Region {
+	return db.engine.AntiDDROf(c)
+}
+
+// MWQ answers the why-not question with both-point modification under a
+// precomputed safe region (Algorithm 4).
+func (db *DB) MWQ(ct Item, q Point, sr Region, opt Options) MWQResult {
+	return db.engine.MWQ(ct, q, sr, opt)
+}
+
+// MWQExact computes the safe region and answers the why-not question.
+func (db *DB) MWQExact(ct Item, q Point, rsl []Item, opt Options) MWQResult {
+	return db.engine.MWQExact(ct, q, rsl, opt)
+}
+
+// MWQBatch answers one why-not question per customer against the same query
+// point, computing the safe region once (§VI.B's reuse property). Results
+// align positionally with cts.
+func (db *DB) MWQBatch(cts []Item, q Point, rsl []Item, opt Options) []MWQResult {
+	return db.engine.MWQBatch(cts, q, rsl, opt)
+}
+
+// MWQBatchParallel runs a batch of why-not questions against a shared safe
+// region on worker goroutines (0 = GOMAXPROCS).
+func (db *DB) MWQBatchParallel(cts []Item, q Point, sr Region, opt Options, workers int) []MWQResult {
+	return db.engine.MWQBatchParallel(cts, q, sr, opt, workers)
+}
+
+// TruncateSafeRegion clips a safe region to a feature-limit box (§V.B):
+// still loses no customer, but respects business constraints on how far the
+// product may move.
+func TruncateSafeRegion(sr Region, limits Rect) Region {
+	return whynot.TruncateSafeRegion(sr, limits)
+}
+
+// ExpandSafeRegion relaxes movement to a whole feature box (§V.B), accepting
+// possible customer loss; quantify it per position with LostCustomers.
+func ExpandSafeRegion(limits Rect) Region {
+	return whynot.ExpandSafeRegion(limits)
+}
+
+// LostCustomers returns the members of rsl that would leave the reverse
+// skyline if q moved to qStar.
+func (db *DB) LostCustomers(qStar Point, rsl []Item) []Item {
+	return db.engine.LostCustomers(qStar, rsl)
+}
+
+// BuildApproxStore precomputes k-sampled dynamic skylines for the given
+// customers (the offline step of §VI.B.1).
+func (db *DB) BuildApproxStore(customers []Item, k int) *ApproxStore {
+	return db.engine.BuildApproxStore(customers, k, 0)
+}
+
+// BuildApproxStoreParallel is BuildApproxStore fanned out over worker
+// goroutines (0 = GOMAXPROCS); the index is only read, so results are
+// identical.
+func (db *DB) BuildApproxStoreParallel(customers []Item, k, workers int) *ApproxStore {
+	return db.engine.BuildApproxStoreParallel(customers, k, 0, workers)
+}
+
+// LoadApproxStore reads a store previously written with ApproxStore.Save.
+func LoadApproxStore(r io.Reader) (*ApproxStore, error) {
+	return whynot.LoadApproxStore(r)
+}
+
+// ReverseSkylineBBRS computes RSL(q) in the monochromatic setting (customer
+// preferences are the product records themselves) with the index-based BBRS
+// pipeline of Dellis & Seeger.
+func (db *DB) ReverseSkylineBBRS(q Point) []Item {
+	return db.engine.DB.ReverseSkylineBBRS(q)
+}
+
+// MWQApprox answers the why-not question using the approximate safe region
+// assembled from the store: much faster, never worse than MWP.
+func (db *DB) MWQApprox(ct Item, q Point, rsl []Item, store *ApproxStore, opt Options) MWQResult {
+	return db.engine.MWQApprox(ct, q, rsl, store, opt)
+}
+
+// ValidateWhyNotMove verifies an MWP candidate with a real window query
+// after an ε-nudge toward q (candidates are infima on the valid region's
+// boundary).
+func (db *DB) ValidateWhyNotMove(ct Item, q Point, cand Point, eps float64) bool {
+	return db.engine.ValidateWhyNotMove(ct, q, cand, eps)
+}
+
+// ValidateQueryMove verifies an MQP candidate likewise.
+func (db *DB) ValidateQueryMove(ct Item, cand Point, eps float64) bool {
+	return db.engine.ValidateQueryMove(ct, cand, eps)
+}
+
+// Engine exposes the underlying why-not engine for advanced use (custom
+// normalisers, direct window queries).
+func (db *DB) Engine() *whynot.Engine { return db.engine }
+
+// GenerateDataset produces one of the paper's experiment datasets: "UN"
+// (uniform), "CO" (correlated), "AC" (anti-correlated) in dims dimensions,
+// or "CarDB" (the simulated 2-d used-car market).
+func GenerateDataset(kind string, n, dims int, seed int64) ([]Item, error) {
+	k, err := ParseKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	return datagen.Generate(k, n, dims, seed), nil
+}
+
+// ParseKind maps the paper's dataset labels onto generator kinds.
+func ParseKind(kind string) (datagen.Kind, error) {
+	switch kind {
+	case "UN", "un", "uniform":
+		return datagen.Uniform, nil
+	case "CO", "co", "correlated":
+		return datagen.Correlated, nil
+	case "AC", "ac", "anticorrelated", "anti-correlated":
+		return datagen.AntiCorrelated, nil
+	case "CarDB", "cardb", "car":
+		return datagen.CarDB, nil
+	default:
+		return 0, &UnknownKindError{Kind: kind}
+	}
+}
+
+// UnknownKindError reports an unrecognised dataset label.
+type UnknownKindError struct{ Kind string }
+
+func (e *UnknownKindError) Error() string {
+	return "unknown dataset kind " + e.Kind + " (want UN, CO, AC or CarDB)"
+}

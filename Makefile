@@ -1,0 +1,38 @@
+# Development gate for this repository.
+#
+# `make check` is the full tier-1 gate (see ROADMAP.md): everything it runs
+# must pass before a change lands. The individual targets exist so CI and
+# humans can run the slices separately.
+
+GO ?= go
+
+# How long each fuzz target runs in the smoke pass. The point is crash
+# detection on fresh mutations of the seed corpus, not deep exploration.
+FUZZTIME ?= 10s
+
+.PHONY: check build vet test race fuzz-smoke bench
+
+check: vet build test race fuzz-smoke
+	@echo "tier-1 gate: OK"
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# go test accepts one -fuzz pattern per package invocation, hence one line
+# per fuzz target.
+fuzz-smoke:
+	$(GO) test ./internal/dataset -run FuzzReadCSV -fuzz FuzzReadCSV -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/whynot -run FuzzLoadApproxStore -fuzz FuzzLoadApproxStore -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/whynot -run FuzzMWPMQP -fuzz FuzzMWPMQP -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -17,14 +17,24 @@
 //	whynot -data cardb.csv -q 8500,55000 -k 10 -save-store store.bin buildstore
 //	whynot -data cardb.csv -q 8500,55000 -c 17 -store store.bin approxmwq
 //
+//	# bound any answer's latency; degrade to a cheaper algorithm if needed:
+//	whynot -data cardb.csv -q 8500,55000 -c 17 -timeout 100ms -degrade -store store.bin mwq
+//
 //	# score every why-not customer in a file of IDs against one query:
 //	whynot -data cardb.csv -q 8500,55000 -c 17 -c2 42 batch
 //
 // Without -data, the paper's 8-point running example (Fig. 1a, price in K$,
 // mileage in Kmi) is used, so `whynot -q 8.5,55 -c 1 mwp` reproduces §IV.
+//
+// With -timeout, every query runs under that deadline and fails with a
+// deadline error instead of hanging on adversarial inputs. Adding -degrade
+// lets mwq fall back from the exact answer to the approximate store (when
+// -store is given) and finally to MWP, reporting which rung answered.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,91 +44,192 @@ import (
 
 	"repro"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 )
 
 func main() {
-	dataPath := flag.String("data", "", "CSV dataset (id,dim0,dim1,...); empty = paper example")
-	qSpec := flag.String("q", "", "query point, comma-separated coordinates (required)")
-	cid := flag.Int("c", -1, "why-not customer ID (required for explain/mwp/mqp/mwq)")
-	cid2 := flag.Int("c2", -1, "second why-not customer ID (batch)")
-	k := flag.Int("k", 10, "approximate-DSL sampling constant (buildstore)")
-	storePath := flag.String("store", "", "approximate store to load (approxmwq)")
-	saveStore := flag.String("save-store", "", "file to write the approximate store to (buildstore)")
-	flag.Parse()
-
-	cmd := flag.Arg(0)
-	if cmd == "" || *qSpec == "" {
-		usage()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		var uerr *usageError
+		if errors.As(err, &uerr) {
+			fmt.Fprintln(os.Stderr, "error:", uerr.msg)
+			usage(os.Stderr)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
 	}
-	items, err := loadItems(*dataPath)
-	if err != nil {
-		die(err)
+}
+
+// usageError marks failures of argument validation (exit code 2, with help
+// text) as opposed to runtime failures (exit code 1).
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// needsCustomer lists the commands that cannot run without -c.
+var needsCustomer = map[string]bool{
+	"explain": true, "mwp": true, "mqp": true, "mwq": true, "approxmwq": true,
+}
+
+var knownCommands = map[string]bool{
+	"rsl": true, "saferegion": true, "explain": true, "mwp": true, "mqp": true,
+	"mwq": true, "buildstore": true, "approxmwq": true, "batch": true,
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("whynot", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.Usage = func() { usage(os.Stderr) }
+	dataPath := fs.String("data", "", "CSV dataset (id,dim0,dim1,...); empty = paper example")
+	qSpec := fs.String("q", "", "query point, comma-separated coordinates (required)")
+	cid := fs.Int("c", -1, "why-not customer ID (required for explain/mwp/mqp/mwq/approxmwq)")
+	cid2 := fs.Int("c2", -1, "second why-not customer ID (batch)")
+	k := fs.Int("k", 10, "approximate-DSL sampling constant (buildstore)")
+	storePath := fs.String("store", "", "approximate store to load (approxmwq; degraded mwq)")
+	saveStore := fs.String("save-store", "", "file to write the approximate store to (buildstore)")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 100ms")
+	degrade := fs.Bool("degrade", false, "on deadline/fault, fall back to cheaper algorithms (mwq)")
+	if err := fs.Parse(args); err != nil {
+		return usagef("%v", err)
+	}
+
+	// All argument validation happens before the (potentially large) dataset
+	// is loaded, so a typo fails in microseconds, not after a full load.
+	cmd := fs.Arg(0)
+	switch {
+	case cmd == "":
+		return usagef("missing command")
+	case !knownCommands[cmd]:
+		return usagef("unknown command %q", cmd)
+	case *qSpec == "":
+		return usagef("missing -q")
 	}
 	q, err := parsePoint(*qSpec)
 	if err != nil {
-		die(err)
+		return usagef("bad -q: %v", err)
 	}
-	if len(items) == 0 || items[0].Point.Dims() != q.Dims() {
-		die(fmt.Errorf("query dims %d do not match dataset dims", q.Dims()))
+	if needsCustomer[cmd] && *cid < 0 {
+		return usagef("%s needs -c <customerID>", cmd)
+	}
+	if cmd == "batch" && *cid < 0 && *cid2 < 0 {
+		return usagef("batch needs -c (and optionally -c2)")
+	}
+	if cmd == "approxmwq" && *storePath == "" {
+		return usagef("approxmwq needs -store")
+	}
+	if *timeout < 0 {
+		return usagef("-timeout must be non-negative")
+	}
+	if *degrade && cmd != "mwq" {
+		fmt.Fprintln(os.Stderr, "note: -degrade only affects mwq; ignoring")
+	}
+
+	var store *repro.ApproxStore
+	if *storePath != "" {
+		f, err := os.Open(*storePath)
+		if err != nil {
+			return err
+		}
+		store, err = repro.LoadApproxStore(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	items, err := loadItems(*dataPath)
+	if err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		return fmt.Errorf("dataset is empty")
+	}
+	if items[0].Point.Dims() != q.Dims() {
+		return fmt.Errorf("query has %d dims, dataset has %d", q.Dims(), items[0].Point.Dims())
 	}
 	db := repro.NewDB(q.Dims(), items)
 
+	// ctx bounds every non-ladder query; the mwq ladder instead gives each
+	// rung its own -timeout budget via the Runner.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancelCtx context.CancelFunc
+		ctx, cancelCtx = context.WithTimeout(ctx, *timeout)
+		defer cancelCtx()
+	}
+
 	switch cmd {
 	case "rsl":
-		rsl := db.ReverseSkyline(items, q)
-		fmt.Printf("RSL(%v): %d customers\n", q, len(rsl))
+		rsl, err := db.ReverseSkylineContext(ctx, items, q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "RSL(%v): %d customers\n", q, len(rsl))
 		for _, c := range rsl {
-			fmt.Printf("  customer %d at %v\n", c.ID, c.Point)
+			fmt.Fprintf(out, "  customer %d at %v\n", c.ID, c.Point)
 		}
 	case "saferegion":
-		rsl := db.ReverseSkyline(items, q)
-		sr := db.SafeRegion(q, rsl)
-		fmt.Printf("Safe region of %v (keeps all %d current customers):\n", q, len(rsl))
+		rsl, err := db.ReverseSkylineContext(ctx, items, q)
+		if err != nil {
+			return err
+		}
+		sr, err := db.SafeRegionContext(ctx, q, rsl)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Safe region of %v (keeps all %d current customers):\n", q, len(rsl))
 		for _, r := range sr {
-			fmt.Printf("  %v\n", r)
+			fmt.Fprintf(out, "  %v\n", r)
 		}
 	case "buildstore":
-		rsl := db.ReverseSkyline(items, q)
+		rsl, err := db.ReverseSkylineContext(ctx, items, q)
+		if err != nil {
+			return err
+		}
 		t0 := time.Now()
-		store := db.BuildApproxStoreParallel(rsl, *k, 0)
-		fmt.Printf("precomputed approximate skylines for %d reverse-skyline customers in %s\n",
+		built, err := db.BuildApproxStoreParallelContext(ctx, rsl, *k, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "precomputed approximate skylines for %d reverse-skyline customers in %s\n",
 			len(rsl), time.Since(t0).Round(time.Millisecond))
 		if *saveStore != "" {
 			f, err := os.Create(*saveStore)
 			if err != nil {
-				die(err)
+				return err
 			}
-			defer f.Close()
-			if err := store.Save(f); err != nil {
-				die(err)
+			if err := built.Save(f); err != nil {
+				f.Close()
+				return err
 			}
-			fmt.Println("store written to", *saveStore)
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "store written to", *saveStore)
 		}
 	case "approxmwq":
 		ct, ok := find(items, *cid)
 		if !ok {
-			die(fmt.Errorf("customer %d not found (pass -c)", *cid))
+			return fmt.Errorf("customer %d not found", *cid)
 		}
-		if *storePath == "" {
-			die(fmt.Errorf("approxmwq needs -store"))
-		}
-		f, err := os.Open(*storePath)
+		rsl, err := db.ReverseSkylineContext(ctx, items, q)
 		if err != nil {
-			die(err)
+			return err
 		}
-		store, err := repro.LoadApproxStore(f)
-		f.Close()
-		if err != nil {
-			die(err)
-		}
-		rsl := db.ReverseSkyline(items, q)
 		t0 := time.Now()
-		res := db.MWQApprox(ct, q, rsl, store, repro.Options{})
-		fmt.Printf("Approx-MWQ in %s: case C%d, q* = %v", time.Since(t0).Round(time.Microsecond), res.Case, res.QStar)
-		if res.Case == 2 {
-			fmt.Printf(", move customer to %v (cost %.6f)", res.CtStar, res.Cost)
+		res, err := db.MWQApproxContext(ctx, ct, q, rsl, store, repro.Options{})
+		if err != nil {
+			return err
 		}
-		fmt.Println()
+		fmt.Fprintf(out, "Approx-MWQ in %s: case C%d, q* = %v", time.Since(t0).Round(time.Microsecond), res.Case, res.QStar)
+		if res.Case == 2 {
+			fmt.Fprintf(out, ", move customer to %v (cost %.6f)", res.CtStar, res.Cost)
+		}
+		fmt.Fprintln(out)
 	case "batch":
 		var cts []repro.Item
 		for _, id := range []int{*cid, *cid2} {
@@ -127,72 +238,126 @@ func main() {
 			}
 			ct, ok := find(items, id)
 			if !ok {
-				die(fmt.Errorf("customer %d not found", id))
+				return fmt.Errorf("customer %d not found", id)
 			}
 			cts = append(cts, ct)
 		}
-		if len(cts) == 0 {
-			die(fmt.Errorf("batch needs -c (and optionally -c2)"))
+		rsl, err := db.ReverseSkylineContext(ctx, items, q)
+		if err != nil {
+			return err
 		}
-		rsl := db.ReverseSkyline(items, q)
-		results := db.MWQBatch(cts, q, rsl, repro.Options{})
+		results, err := db.MWQBatchContext(ctx, cts, q, rsl, repro.Options{})
+		if err != nil {
+			return err
+		}
 		for i, res := range results {
-			fmt.Printf("customer %d: case C%d, q* = %v, customer move cost %.6f\n",
+			fmt.Fprintf(out, "customer %d: case C%d, q* = %v, customer move cost %.6f\n",
 				cts[i].ID, res.Case, res.QStar, res.Cost)
 		}
-	case "explain", "mwp", "mqp", "mwq":
+	case "mwq":
 		ct, ok := find(items, *cid)
 		if !ok {
-			die(fmt.Errorf("customer %d not found (pass -c)", *cid))
+			return fmt.Errorf("customer %d not found", *cid)
 		}
-		if db.IsReverseSkyline(ct, q) {
-			fmt.Printf("customer %d is already in RSL(%v) — nothing to fix\n", ct.ID, q)
-			return
+		member, err := db.IsReverseSkylineContext(ctx, ct, q)
+		if err != nil {
+			return err
 		}
-		runWhyNot(db, items, ct, q, cmd)
-	default:
-		usage()
-	}
-}
-
-func runWhyNot(db *repro.DB, items []repro.Item, ct repro.Item, q repro.Point, cmd string) {
-	switch cmd {
-	case "explain":
-		culprits := db.Explain(ct, q)
-		fmt.Printf("customer %d at %v is not in RSL(%v) because these products dominate q from its perspective:\n",
-			ct.ID, ct.Point, q)
-		for _, p := range culprits {
-			fmt.Printf("  product %d at %v\n", p.ID, p.Point)
+		if member {
+			fmt.Fprintf(out, "customer %d is already in RSL(%v) — nothing to fix\n", ct.ID, q)
+			return nil
 		}
-		fmt.Println("deleting them all would admit the customer (Lemma 1)")
-	case "mwp":
-		res := db.MWP(ct, q, repro.Options{})
-		fmt.Printf("move customer %d (currently %v) to one of:\n", ct.ID, ct.Point)
-		for _, c := range res.Candidates {
-			fmt.Printf("  %v   (cost %.6f)\n", c.Point, c.Cost)
+		rsl, err := db.ReverseSkylineContext(ctx, items, q)
+		if err != nil {
+			return err
 		}
-	case "mqp":
-		res := db.MQP(ct, q, repro.Options{})
-		fmt.Printf("move the product q (currently %v) to one of:\n", q)
-		rsl := db.ReverseSkyline(items, q)
-		sr := db.SafeRegion(q, rsl)
-		for _, c := range res.Candidates {
-			total := db.MQPTotalCost(q, c.Point, rsl, sr, repro.Options{})
-			fmt.Printf("  %v   (move cost %.6f, cost incl. lost customers %.6f)\n",
-				c.Point, c.Cost, total)
+		runner := engine.NewRunner(db.Engine(), engine.Config{
+			Timeout: *timeout,
+			Degrade: *degrade,
+			Store:   store,
+		})
+		ans, err := runner.MWQ(context.Background(), ct, q, rsl)
+		if err != nil {
+			return err
 		}
-	case "mwq":
-		rsl := db.ReverseSkyline(items, q)
-		res := db.MWQExact(ct, q, rsl, repro.Options{})
+		if ans.Degraded {
+			fmt.Fprintf(out, "(degraded answer from the %s rung)\n", ans.Rung)
+		}
+		res := ans.Result
 		switch res.Case {
 		case 1:
-			fmt.Printf("the safe region overlaps the customer's region: move q to %v at zero customer-movement cost\n", res.QStar)
-			fmt.Printf("(no existing customer among the %d in RSL(q) is lost)\n", len(rsl))
+			fmt.Fprintf(out, "the safe region overlaps the customer's region: move q to %v at zero customer-movement cost\n", res.QStar)
+			fmt.Fprintf(out, "(no existing customer among the %d in RSL(q) is lost)\n", len(rsl))
 		default:
-			fmt.Printf("safe region cannot reach customer %d; move q to %v (still safe) and the customer to %v (cost %.6f)\n",
+			fmt.Fprintf(out, "safe region cannot reach customer %d; move q to %v (still safe) and the customer to %v (cost %.6f)\n",
 				ct.ID, res.QStar, res.CtStar, res.Cost)
 		}
+	case "explain", "mwp", "mqp":
+		ct, ok := find(items, *cid)
+		if !ok {
+			return fmt.Errorf("customer %d not found", *cid)
+		}
+		member, err := db.IsReverseSkylineContext(ctx, ct, q)
+		if err != nil {
+			return err
+		}
+		if member {
+			fmt.Fprintf(out, "customer %d is already in RSL(%v) — nothing to fix\n", ct.ID, q)
+			return nil
+		}
+		if err := runWhyNot(ctx, out, db, items, ct, q, cmd); err != nil {
+			return err
+		}
 	}
+	return nil
+}
+
+func runWhyNot(ctx context.Context, out *os.File, db *repro.DB, items []repro.Item, ct repro.Item, q repro.Point, cmd string) error {
+	switch cmd {
+	case "explain":
+		culprits, err := db.ExplainContext(ctx, ct, q)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "customer %d at %v is not in RSL(%v) because these products dominate q from its perspective:\n",
+			ct.ID, ct.Point, q)
+		for _, p := range culprits {
+			fmt.Fprintf(out, "  product %d at %v\n", p.ID, p.Point)
+		}
+		fmt.Fprintln(out, "deleting them all would admit the customer (Lemma 1)")
+	case "mwp":
+		res, err := db.MWPContext(ctx, ct, q, repro.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "move customer %d (currently %v) to one of:\n", ct.ID, ct.Point)
+		for _, c := range res.Candidates {
+			fmt.Fprintf(out, "  %v   (cost %.6f)\n", c.Point, c.Cost)
+		}
+	case "mqp":
+		res, err := db.MQPContext(ctx, ct, q, repro.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "move the product q (currently %v) to one of:\n", q)
+		rsl, err := db.ReverseSkylineContext(ctx, items, q)
+		if err != nil {
+			return err
+		}
+		sr, err := db.SafeRegionContext(ctx, q, rsl)
+		if err != nil {
+			return err
+		}
+		for _, c := range res.Candidates {
+			total, err := db.MQPTotalCostContext(ctx, q, c.Point, rsl, sr, repro.Options{})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  %v   (move cost %.6f, cost incl. lost customers %.6f)\n",
+				c.Point, c.Cost, total)
+		}
+	}
+	return nil
 }
 
 func loadItems(path string) ([]repro.Item, error) {
@@ -236,13 +401,8 @@ func find(items []repro.Item, id int) (repro.Item, bool) {
 	return repro.Item{}, false
 }
 
-func die(err error) {
-	fmt.Fprintln(os.Stderr, "error:", err)
-	os.Exit(1)
-}
-
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: whynot [-data file.csv] -q x,y[,...] [-c customerID] <command>
+func usage(w *os.File) {
+	fmt.Fprintln(w, `usage: whynot [-data file.csv] -q x,y[,...] [-c customerID] [-timeout d] [-degrade] <command>
 
 commands:
   rsl         list the reverse skyline of q (who is interested)
@@ -253,6 +413,9 @@ commands:
   mwq         safe-region-aware move of both (Algorithm 4)
   buildstore  precompute the approximate store (§VI.B.1), optionally -save-store
   approxmwq   answer with the approximate store (-store file)
-  batch       answer for several customers (-c, -c2) sharing one safe region`)
-	os.Exit(2)
+  batch       answer for several customers (-c, -c2) sharing one safe region
+
+robustness flags:
+  -timeout d  bound each query by a deadline (e.g. -timeout 100ms)
+  -degrade    let mwq fall back: exact -> approximate (-store) -> MWP`)
 }

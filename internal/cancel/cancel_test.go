@@ -1,0 +1,107 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestNilCheckerIsFree(t *testing.T) {
+	var c *Checker
+	if err := c.Point(SiteRTreeNode); err != nil {
+		t.Fatalf("nil checker Point = %v", err)
+	}
+	if c.Err() != nil || c.Visits() != 0 {
+		t.Fatal("nil checker must report no error and no visits")
+	}
+}
+
+func TestFromContextBackgroundIsNil(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("background context must yield the zero-overhead nil checker")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("nil context must yield nil checker")
+	}
+}
+
+func TestStrideAmortisation(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	ctx = WithStride(ctx, 10)
+	chk := FromContext(ctx)
+	if chk == nil {
+		t.Fatal("cancellable context must yield a checker")
+	}
+	cancelFn()
+	// The first 9 hits fall between polls and must pass.
+	for i := 0; i < 9; i++ {
+		if err := chk.Point(SiteRTreeNode); err != nil {
+			t.Fatalf("hit %d observed cancellation before the stride boundary", i+1)
+		}
+	}
+	if err := chk.Point(SiteRTreeNode); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stride boundary must observe cancellation, got %v", err)
+	}
+	// Sticky from now on, regardless of stride position.
+	if err := chk.Point(SiteRTreeNode); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancellation Point = %v", err)
+	}
+	if !errors.Is(chk.Err(), context.Canceled) {
+		t.Fatalf("Err = %v", chk.Err())
+	}
+}
+
+type recordingHook struct {
+	sites []string
+	ns    []uint64
+	do    func(site string, n uint64)
+}
+
+func (h *recordingHook) Visit(site string, n uint64) {
+	h.sites = append(h.sites, site)
+	h.ns = append(h.ns, n)
+	if h.do != nil {
+		h.do(site, n)
+	}
+}
+
+func TestHookSeesEveryHitAndImmediatePoll(t *testing.T) {
+	ctx, cancelFn := context.WithCancel(context.Background())
+	h := &recordingHook{}
+	h.do = func(site string, n uint64) {
+		if n == 3 {
+			cancelFn()
+		}
+	}
+	chk := FromContext(WithStride(WithHook(ctx, h), 1000))
+	var err error
+	hits := 0
+	for err == nil && hits < 100 {
+		hits++
+		err = chk.Point(SiteSafeRegion)
+	}
+	// Despite the huge stride, the injected cancellation at hit 3 must be
+	// observed at hit 3 because a hook forces an immediate poll.
+	if hits != 3 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled after %d hits, err=%v; want 3 hits", hits, err)
+	}
+	if len(h.sites) != 3 || h.sites[0] != SiteSafeRegion || h.ns[2] != 3 {
+		t.Fatalf("hook saw %v %v", h.sites, h.ns)
+	}
+}
+
+func TestHookOnUncancellableContext(t *testing.T) {
+	h := &recordingHook{}
+	chk := FromContext(WithHook(context.Background(), h))
+	if chk == nil {
+		t.Fatal("hook-carrying context must yield a checker even without Done")
+	}
+	for i := 0; i < 5; i++ {
+		if err := chk.Point(SiteMWQCorner); err != nil {
+			t.Fatalf("uncancellable context returned %v", err)
+		}
+	}
+	if len(h.sites) != 5 {
+		t.Fatalf("hook saw %d hits, want 5", len(h.sites))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -128,47 +129,81 @@ func (d *Dataset) SaveCSV(path string) error {
 }
 
 // ReadCSV parses "id,dim0,dim1,..." rows; a non-numeric first row is treated
-// as a header and recorded as column names.
+// as a header and recorded as column names. The parser is strict — the
+// dataset is the root input of every downstream index and query, so a
+// corrupt file fails loudly here with the input line number instead of
+// producing silent nonsense later:
+//
+//   - coordinates must be finite (NaN and ±Inf poison dominance comparisons
+//     and the R-tree's rectangle arithmetic);
+//   - IDs must be unique non-negative integers (negative collides with the
+//     rskyline.NoExclude sentinel; duplicates break exclusion and store
+//     lookups);
+//   - every row's dimensionality must match the header (or the first data
+//     row when there is no header).
 func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(rows) == 0 {
-		return &Dataset{Name: name}, nil
-	}
+	first := true
 	var columns []string
-	start := 0
-	if _, err := strconv.Atoi(rows[0][0]); err != nil {
-		columns = append([]string(nil), rows[0][1:]...)
-		start = 1
-	}
 	var items []Item
 	dims := -1
-	for idx, row := range rows[start:] {
+	seen := map[int]int{} // id -> input line of first occurrence
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: %w", name, err)
+		}
+		line, _ := cr.FieldPos(0)
+		if first {
+			first = false
+			if _, err := strconv.Atoi(row[0]); err != nil {
+				if len(row) < 2 {
+					return nil, fmt.Errorf("dataset %s: line %d: header needs id plus at least one column", name, line)
+				}
+				columns = append([]string(nil), row[1:]...)
+				dims = len(columns)
+				continue
+			}
+		}
 		if len(row) < 2 {
-			return nil, fmt.Errorf("row %d: need id plus at least one coordinate", idx+start)
+			return nil, fmt.Errorf("dataset %s: line %d: need id plus at least one coordinate", name, line)
 		}
 		id, err := strconv.Atoi(row[0])
 		if err != nil {
-			return nil, fmt.Errorf("row %d: bad id %q: %v", idx+start, row[0], err)
+			return nil, fmt.Errorf("dataset %s: line %d: bad id %q: %v", name, line, row[0], err)
+		}
+		if id < 0 {
+			return nil, fmt.Errorf("dataset %s: line %d: negative id %d (ids must be non-negative)", name, line, id)
+		}
+		if prev, dup := seen[id]; dup {
+			return nil, fmt.Errorf("dataset %s: line %d: duplicate id %d (first used on line %d)", name, line, id, prev)
+		}
+		seen[id] = line
+		if dims >= 0 && len(row)-1 != dims {
+			return nil, fmt.Errorf("dataset %s: line %d: %d coordinates, want %d", name, line, len(row)-1, dims)
 		}
 		p := make(geom.Point, len(row)-1)
 		for i, s := range row[1:] {
 			v, err := strconv.ParseFloat(s, 64)
 			if err != nil {
-				return nil, fmt.Errorf("row %d col %d: %v", idx+start, i+1, err)
+				return nil, fmt.Errorf("dataset %s: line %d column %d: %v", name, line, i+2, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset %s: line %d column %d: non-finite coordinate %q", name, line, i+2, s)
 			}
 			p[i] = v
 		}
 		if dims == -1 {
 			dims = len(p)
-		} else if len(p) != dims {
-			return nil, fmt.Errorf("row %d: %d dims, want %d", idx+start, len(p), dims)
 		}
 		items = append(items, Item{ID: id, Point: p})
+	}
+	if len(items) == 0 && columns == nil {
+		return &Dataset{Name: name}, nil
 	}
 	d, err := New(name, dims, items)
 	if err != nil {

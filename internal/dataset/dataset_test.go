@@ -66,16 +66,41 @@ func TestCSVNoHeader(t *testing.T) {
 }
 
 func TestCSVErrors(t *testing.T) {
-	cases := []string{
-		"0\n",            // too few fields
-		"0,abc\n",        // bad float
-		"x,1,2\ny,z,2\n", // header then bad id... second row id "y" invalid
-		"0,1,2\n1,1\n",   // inconsistent dims
+	cases := []struct {
+		in   string
+		want string // substring the error must carry
+	}{
+		{"0\n", "line 1"},                            // too few fields
+		{"0,abc\n", "line 1"},                        // bad float
+		{"x,1,2\ny,z,2\n", "line 2"},                 // header then bad id
+		{"0,1,2\n1,1\n", "line 2"},                   // inconsistent dims
+		{"id,a,b\n0,1,2\n1,3,4,5\n", "want 2"},       // dims disagree with header
+		{"0,NaN,2\n", "non-finite"},                  // NaN coordinate
+		{"0,1,+Inf\n", "non-finite"},                 // infinite coordinate
+		{"0,1,-Inf\n", "non-finite"},                 // negative infinity
+		{"0,1,2\n1,3,4\n0,5,6\n", "duplicate id 0"},  // duplicate ID
+		{"0,1,2\n1,3,4\n0,5,6\n", "line 1"},          // ...reported with first use
+		{"-3,1,2\n", "negative id"},                  // sentinel-colliding ID
+		{"id,a,b\n5,1,2\nid2,a2,b2\n", "line 3"},     // second header mid-file
 	}
-	for i, in := range cases {
-		if _, err := ReadCSV("bad", strings.NewReader(in)); err == nil {
-			t.Errorf("case %d: expected error for %q", i, in)
+	for i, tc := range cases {
+		_, err := ReadCSV("bad", strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("case %d: expected error for %q", i, tc.in)
+			continue
 		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+}
+
+func TestCSVHeaderLineNumbers(t *testing.T) {
+	// With a header the first bad data row is physical line 3.
+	in := "id,a,b\n0,1,2\n1,oops,4\n"
+	_, err := ReadCSV("bad", strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-3 error, got %v", err)
 	}
 }
 

@@ -1,0 +1,246 @@
+// Package engine wraps the why-not query algorithms with the operational
+// machinery a long-running service needs: per-query deadlines, structured
+// error reporting with panic recovery, and a graceful degradation ladder
+// that trades answer optimality for bounded latency.
+//
+// The ladder for a why-not question (Runner.MWQ) has three rungs:
+//
+//  1. exact MWQ — Algorithm 4 on the exact safe region (Algorithm 3), whose
+//     construction is worst-case exponential in |RSL(q)|;
+//  2. approximate MWQ — Algorithm 4 on the §VI.B.1 precomputed approximate
+//     safe region: a valid but possibly costlier answer, orders of magnitude
+//     faster (requires a Config.Store);
+//  3. MWP — Algorithm 1 alone: move only the why-not point. Always valid,
+//     never cheaper than MWQ (the paper's cost(MWQ) ≤ cost(MWP) bound),
+//     and by far the cheapest to compute.
+//
+// Each rung gets a fresh Config.Timeout budget derived from the caller's
+// context, so one slow rung cannot starve its fallback; the caller's own
+// deadline still bounds the whole ladder. Answers from rung 2 or 3 are
+// tagged Degraded so callers can distinguish best-effort from optimal.
+//
+// Everything runs synchronously on the caller's goroutine — cooperative
+// checkpoints (package cancel) make watchdog goroutines unnecessary, so a
+// degraded or failed query leaks nothing.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/whynot"
+)
+
+// QueryError is the structured failure report of a guarded query: which
+// operation failed, the underlying error, and — when the failure was a panic
+// somewhere in the query algorithms — the recovered value and stack.
+// errors.Is/As see through it via Unwrap, so context.DeadlineExceeded and
+// context.Canceled remain detectable.
+type QueryError struct {
+	// Op names the failed operation (e.g. "exact MWQ").
+	Op string
+	// Err is the underlying cause. For recovered panics it is a synthetic
+	// error carrying the panic message.
+	Err error
+	// Panic is the recovered panic value, nil for ordinary errors.
+	Panic any
+	// Stack is the goroutine stack captured at recovery time, nil for
+	// ordinary errors.
+	Stack []byte
+}
+
+func (e *QueryError) Error() string {
+	if e.Panic != nil {
+		return fmt.Sprintf("engine: %s: panic: %v", e.Op, e.Panic)
+	}
+	return fmt.Sprintf("engine: %s: %v", e.Op, e.Err)
+}
+
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// Rung identifies which level of the degradation ladder produced an answer.
+type Rung int
+
+const (
+	// RungExact is Algorithm 4 over the exact safe region.
+	RungExact Rung = iota
+	// RungApprox is Algorithm 4 over the precomputed approximate safe
+	// region.
+	RungApprox
+	// RungMWP is the Algorithm 1 fallback: only the why-not point moves.
+	RungMWP
+)
+
+func (r Rung) String() string {
+	switch r {
+	case RungExact:
+		return "exact"
+	case RungApprox:
+		return "approx"
+	case RungMWP:
+		return "mwp"
+	}
+	return fmt.Sprintf("rung(%d)", int(r))
+}
+
+// Config tunes a Runner.
+type Config struct {
+	// Timeout is the per-rung budget; each rung of the ladder gets a fresh
+	// timeout derived from the caller's context. Zero means no per-rung
+	// deadline (the caller's context still applies).
+	Timeout time.Duration
+	// Degrade enables the ladder: when the exact rung fails and the
+	// caller's context still has budget, fall through to cheaper rungs
+	// instead of returning the error.
+	Degrade bool
+	// Store enables the approximate rung; nil skips straight from exact to
+	// MWP.
+	Store *whynot.ApproxStore
+	// Options are passed to the underlying algorithms.
+	Options whynot.Options
+}
+
+// Runner executes queries under Config's deadline, recovery, and degradation
+// policy.
+type Runner struct {
+	Engine *whynot.Engine
+	Cfg    Config
+}
+
+// NewRunner builds a Runner over a why-not engine.
+func NewRunner(e *whynot.Engine, cfg Config) *Runner {
+	return &Runner{Engine: e, Cfg: cfg}
+}
+
+// Answer is a query result plus provenance: which rung produced it and
+// whether it is a degraded (valid but possibly suboptimal) answer.
+type Answer struct {
+	Result whynot.MWQResult
+	// Rung is the ladder level that produced Result.
+	Rung Rung
+	// Degraded is true when Result did not come from the exact rung.
+	Degraded bool
+}
+
+// MWQ answers the why-not question for ct against q with rsl = RSL(q),
+// walking the degradation ladder described in the package comment. The
+// returned error (always a *QueryError, possibly joining one failure per
+// attempted rung) unwraps to ctx's error when the budget ran out.
+func (r *Runner) MWQ(ctx context.Context, ct whynot.Item, q geom.Point, rsl []whynot.Item) (Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var errs []error
+
+	var res whynot.MWQResult
+	err := r.runRung(ctx, "exact MWQ", func(rctx context.Context) error {
+		var e error
+		res, e = r.Engine.MWQExactCtx(rctx, ct, q, rsl, r.Cfg.Options)
+		return e
+	})
+	if err == nil {
+		return Answer{Result: res, Rung: RungExact}, nil
+	}
+	errs = append(errs, err)
+
+	if !r.Cfg.Degrade || ctx.Err() != nil {
+		return Answer{}, err
+	}
+
+	if r.Cfg.Store != nil {
+		err = r.runRung(ctx, "approximate MWQ", func(rctx context.Context) error {
+			var e error
+			res, e = r.Engine.MWQApproxCtx(rctx, ct, q, rsl, r.Cfg.Store, r.Cfg.Options)
+			return e
+		})
+		if err == nil {
+			return Answer{Result: res, Rung: RungApprox, Degraded: true}, nil
+		}
+		errs = append(errs, err)
+		if ctx.Err() != nil {
+			return Answer{}, ladderError(errs)
+		}
+	}
+
+	var mres whynot.MWPResult
+	err = r.runRung(ctx, "MWP fallback", func(rctx context.Context) error {
+		var e error
+		mres, e = r.Engine.MWPCtx(rctx, ct, q, r.Cfg.Options)
+		return e
+	})
+	if err == nil {
+		return Answer{Result: mwpAsMWQ(ct, q, mres), Rung: RungMWP, Degraded: true}, nil
+	}
+	errs = append(errs, err)
+	return Answer{}, ladderError(errs)
+}
+
+// Run executes an arbitrary query function under the Runner's per-attempt
+// budget and panic recovery (no degradation — fn is opaque). The context
+// passed to fn carries the derived deadline.
+func (r *Runner) Run(ctx context.Context, op string, fn func(context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return r.runRung(ctx, op, fn)
+}
+
+// runRung gives fn a fresh timeout budget and converts any failure — error
+// or panic — into a *QueryError.
+func (r *Runner) runRung(ctx context.Context, op string, fn func(context.Context) error) (err error) {
+	rctx := ctx
+	if r.Cfg.Timeout > 0 {
+		var cancelBudget context.CancelFunc
+		rctx, cancelBudget = context.WithTimeout(ctx, r.Cfg.Timeout)
+		defer cancelBudget()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = &QueryError{
+				Op:    op,
+				Err:   fmt.Errorf("panic: %v", p),
+				Panic: p,
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	if e := fn(rctx); e != nil {
+		var qe *QueryError
+		if errors.As(e, &qe) {
+			return e
+		}
+		return &QueryError{Op: op, Err: e}
+	}
+	return nil
+}
+
+// ladderError bundles the per-rung failures of an exhausted ladder. A single
+// failure is returned as-is; several are joined so errors.Is finds every
+// cause.
+func ladderError(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	return &QueryError{Op: "degradation ladder", Err: errors.Join(errs...)}
+}
+
+// mwpAsMWQ shapes an Algorithm 1 answer as an MWQResult so ladder callers
+// get a uniform type: q stays put (its "safe region" degenerates to {q}, the
+// always-safe position) and only the why-not point moves, which is exactly
+// Table I's case C2 with the trivial safe region.
+func mwpAsMWQ(ct whynot.Item, q geom.Point, res whynot.MWPResult) whynot.MWQResult {
+	best := res.Best()
+	return whynot.MWQResult{
+		Case:          whynot.CaseDisjoint,
+		QStar:         q.Clone(),
+		QCandidates:   []whynot.Candidate{{Point: q.Clone(), Cost: best.Cost}},
+		CtStar:        best.Point,
+		CtCandidates:  res.Candidates,
+		Cost:          best.Cost,
+		AlreadyMember: res.AlreadyMember,
+	}
+}

@@ -1,0 +1,45 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRuleMatching(t *testing.T) {
+	var fired []uint64
+	inj := New(
+		Rule{Site: "a", OnVisit: 2, Do: func() { fired = append(fired, 2) }},
+		Rule{Site: "b", Do: func() { fired = append(fired, 0) }},
+	)
+	inj.Visit("a", 1)
+	inj.Visit("b", 2) // wildcard OnVisit: fires
+	inj.Visit("a", 3) // second "a" hit: fires the OnVisit=2 rule
+	inj.Visit("a", 4)
+	if len(fired) != 2 || fired[0] != 0 || fired[1] != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if inj.Visits("a") != 3 || inj.Visits("b") != 1 || inj.Visits("c") != 0 {
+		t.Fatalf("visit tallies wrong: a=%d b=%d c=%d",
+			inj.Visits("a"), inj.Visits("b"), inj.Visits("c"))
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	inj := New(Rule{Site: "x", Panic: "boom"})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	inj.Visit("x", 1)
+	t.Fatal("panic rule did not fire")
+}
+
+func TestDelayRule(t *testing.T) {
+	inj := New(Rule{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	inj.Visit("any", 1)
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay rule slept only %v", d)
+	}
+}

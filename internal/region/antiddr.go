@@ -32,7 +32,8 @@ func StaircaseCorners2D(tr []geom.Point, u geom.Point) []geom.Point {
 		corners = append(corners, sky[i].Max(sky[i+1]))
 	}
 	corners = append(corners, geom.NewPoint(u[0], sky[len(sky)-1][1]))
-	return maximalPoints(corners)
+	out, _ := maximalPoints(corners, nil)
+	return out
 }
 
 // StaircaseCornersGrid computes the same maximal corners for any
@@ -43,9 +44,17 @@ func StaircaseCorners2D(tr []geom.Point, u geom.Point) []geom.Point {
 // some dimension with m_i ≤ s_i. Exponential in d; intended for low
 // dimensions and as the test oracle for the 2-d fast path.
 func StaircaseCornersGrid(tr []geom.Point, u geom.Point) []geom.Point {
+	out, _ := staircaseCornersGrid(tr, u, nil)
+	return out
+}
+
+// staircaseCornersGrid is StaircaseCornersGrid with a cooperative
+// cancellation poll: the candidate grid is exponential in d, so the odometer
+// enumeration and the maximal-corner filter poll between iterations.
+func staircaseCornersGrid(tr []geom.Point, u geom.Point, poll func() error) ([]geom.Point, error) {
 	sky := minimalPoints(tr)
 	if len(sky) == 0 {
-		return []geom.Point{u.Clone()}
+		return []geom.Point{u.Clone()}, nil
 	}
 	d := len(u)
 	axes := make([][]float64, d)
@@ -62,6 +71,9 @@ func StaircaseCornersGrid(tr []geom.Point, u geom.Point) []geom.Point {
 	var valid []geom.Point
 	idx := make([]int, d)
 	for {
+		if err := pollErr(poll); err != nil {
+			return nil, err
+		}
 		m := make(geom.Point, d)
 		for i := range idx {
 			m[i] = axes[i][idx[i]]
@@ -96,7 +108,7 @@ func StaircaseCornersGrid(tr []geom.Point, u geom.Point) []geom.Point {
 			break
 		}
 	}
-	return maximalPoints(valid)
+	return maximalPoints(valid, poll)
 }
 
 // minimalPoints filters pts to those not strictly dominated by another
@@ -130,12 +142,19 @@ func minimalPoints(pts []geom.Point) []geom.Point {
 
 // maximalPoints filters pts to those not weakly dominated from above by
 // another point (m is dropped when some other m' ≥ m componentwise),
-// deduplicating equal points.
-func maximalPoints(pts []geom.Point) []geom.Point {
+// deduplicating equal points. The quadratic scan polls for cancellation when
+// poll is non-nil (grid enumeration can feed it millions of candidates).
+func maximalPoints(pts []geom.Point, poll func() error) ([]geom.Point, error) {
 	var out []geom.Point
 	for i, p := range pts {
+		if err := pollErr(poll); err != nil {
+			return nil, err
+		}
 		covered := false
 		for j, q := range pts {
+			if err := pollErr(poll); err != nil {
+				return nil, err
+			}
 			if i == j {
 				continue
 			}
@@ -152,7 +171,7 @@ func maximalPoints(pts []geom.Point) []geom.Point {
 			out = append(out, p)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // AntiDDR builds the anti-dominance region of centre c as a union of
@@ -165,6 +184,14 @@ func maximalPoints(pts []geom.Point) []geom.Point {
 // symmetric around c and may extend beyond the data range, exactly as in the
 // paper's worked example for c7.
 func AntiDDR(c geom.Point, dsl []geom.Point, universe geom.Rect) Set {
+	out, _ := AntiDDRChecked(c, dsl, universe, nil)
+	return out
+}
+
+// AntiDDRChecked is AntiDDR with a cooperative-cancellation poll threaded
+// into the grid staircase construction (exponential in d) and the final
+// prune. A nil poll restores the unpolled loops.
+func AntiDDRChecked(c geom.Point, dsl []geom.Point, universe geom.Rect, poll func() error) (Set, error) {
 	u := universe.TransformMinMax(c).Hi
 	tr := make([]geom.Point, len(dsl))
 	for i, p := range dsl {
@@ -174,13 +201,17 @@ func AntiDDR(c geom.Point, dsl []geom.Point, universe geom.Rect) Set {
 	if len(c) == 2 {
 		corners = StaircaseCorners2D(tr, u)
 	} else {
-		corners = StaircaseCornersGrid(tr, u)
+		var err error
+		corners, err = staircaseCornersGrid(tr, u, poll)
+		if err != nil {
+			return nil, err
+		}
 	}
 	out := make(Set, 0, len(corners))
 	for _, m := range corners {
 		out = append(out, geom.Rect{Lo: c.Sub(m), Hi: c.Add(m)})
 	}
-	return out.Prune()
+	return out.prune(poll)
 }
 
 // AntiDDRFromCorners builds the original-space anti-DDR rectangles from
@@ -225,5 +256,6 @@ func ApproxAntiDDRCorners(c geom.Point, sampled []geom.Point, u geom.Point, sort
 	last := tr[len(tr)-1].Clone()
 	last[sortDim] = u[sortDim]
 	corners = append(corners, last)
-	return maximalPoints(corners)
+	out, _ := maximalPoints(corners, nil)
+	return out
 }

@@ -48,13 +48,24 @@ func (s Set) Clone() Set {
 // Prune removes rectangles fully contained in another rectangle of the set.
 // The represented region is unchanged.
 func (s Set) Prune() Set {
+	out, _ := s.prune(nil)
+	return out
+}
+
+func (s Set) prune(poll func() error) (Set, error) {
 	// Larger rectangles first so that containment checks hit early.
 	sorted := s.Clone()
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Area() > sorted[j].Area() })
 	var out Set
 	for _, r := range sorted {
+		if err := pollErr(poll); err != nil {
+			return nil, err
+		}
 		contained := false
 		for _, kept := range out {
+			if err := pollErr(poll); err != nil {
+				return nil, err
+			}
 			if kept.ContainsRect(r) {
 				contained = true
 				break
@@ -64,21 +75,46 @@ func (s Set) Prune() Set {
 			out = append(out, r)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // IntersectSet intersects two rectangle unions pairwise (the "+ and ·"
 // formula of Section V.B), pruning contained results.
 func (s Set) IntersectSet(o Set) Set {
+	out, _ := s.intersectSet(o, nil)
+	return out
+}
+
+// IntersectSetChecked is IntersectSet with a cooperative-cancellation poll.
+// The pairwise product and the containment prune are where safe-region
+// construction grows combinatorially with |RSL(q)| — a single call can dwarf
+// any per-customer checkpoint — so both loops poll between iterations. A nil
+// poll is valid and restores the unpolled loops.
+func (s Set) IntersectSetChecked(o Set, poll func() error) (Set, error) {
+	return s.intersectSet(o, poll)
+}
+
+func (s Set) intersectSet(o Set, poll func() error) (Set, error) {
 	var out Set
 	for _, a := range s {
 		for _, b := range o {
+			if err := pollErr(poll); err != nil {
+				return nil, err
+			}
 			if r, ok := a.Intersect(b); ok {
 				out = append(out, r)
 			}
 		}
 	}
-	return out.Prune()
+	return out.prune(poll)
+}
+
+// pollErr invokes a cancellation poll, treating nil as "never cancelled".
+func pollErr(poll func() error) error {
+	if poll == nil {
+		return nil
+	}
+	return poll()
 }
 
 // IntersectRect clips the set against a single rectangle.

@@ -13,6 +13,7 @@ package rskyline
 import (
 	"sync"
 
+	"repro/internal/cancel"
 	"repro/internal/geom"
 	"repro/internal/rtree"
 	"repro/internal/skyline"
@@ -96,20 +97,35 @@ func (db *DB) Items() []Item {
 // monochromatic convention that a customer's own product record cannot
 // block it.
 func (db *DB) WindowQuery(c, q geom.Point, excludeID int) []Item {
+	out, _ := db.WindowQueryChecked(nil, c, q, excludeID)
+	return out
+}
+
+// WindowQueryChecked is WindowQuery with cooperative cancellation.
+func (db *DB) WindowQueryChecked(chk *cancel.Checker, c, q geom.Point, excludeID int) ([]Item, error) {
 	var out []Item
-	db.tree.Search(geom.WindowRect(c, q), func(it Item) bool {
+	err := db.tree.SearchChecked(chk, geom.WindowRect(c, q), func(it Item) bool {
 		if it.ID != excludeID && geom.DynDominates(c, it.Point, q) {
 			out = append(out, it)
 		}
 		return true
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // WindowExists reports whether window_query(c, q) is non-empty, stopping at
 // the first dominating product.
 func (db *DB) WindowExists(c, q geom.Point, excludeID int) bool {
-	return db.tree.Exists(geom.WindowRect(c, q), func(it Item) bool {
+	found, _ := db.WindowExistsChecked(nil, c, q, excludeID)
+	return found
+}
+
+// WindowExistsChecked is WindowExists with cooperative cancellation.
+func (db *DB) WindowExistsChecked(chk *cancel.Checker, c, q geom.Point, excludeID int) (bool, error) {
+	return db.tree.ExistsChecked(chk, geom.WindowRect(c, q), func(it Item) bool {
 		return it.ID != excludeID && geom.DynDominates(c, it.Point, q)
 	})
 }
@@ -122,6 +138,14 @@ func (db *DB) WindowExists(c, q geom.Point, excludeID int) bool {
 // filtering WindowQuery(c, q, excludeID) down to its dominance minima, but
 // touches only a fraction of the window when Λ is large.
 func (db *DB) WindowFrontier(c, q, centre geom.Point, excludeID int) []Item {
+	out, _ := db.WindowFrontierChecked(nil, c, q, centre, excludeID)
+	return out
+}
+
+// WindowFrontierChecked is WindowFrontier with cooperative cancellation at
+// node-visit granularity; a cancelled traversal returns the context's error
+// and no partial frontier.
+func (db *DB) WindowFrontierChecked(chk *cancel.Checker, c, q, centre geom.Point, excludeID int) ([]Item, error) {
 	window := geom.WindowRect(c, q)
 	type candidate struct {
 		it Item
@@ -173,7 +197,7 @@ func (db *DB) WindowFrontier(c, q, centre geom.Point, excludeID int) []Item {
 		}
 		return false
 	}
-	db.tree.GuidedSearch(window,
+	err := db.tree.GuidedSearchChecked(chk, window,
 		func(r geom.Rect) float64 { return boxTransformSum(r, centre) },
 		prune,
 		func(it Item) bool {
@@ -191,6 +215,9 @@ func (db *DB) WindowFrontier(c, q, centre geom.Point, excludeID int) []Item {
 			return true
 		},
 	)
+	if err != nil {
+		return nil, err
+	}
 	// Exactify: out-of-order arrivals can leave dominated members behind.
 	var out []Item
 	for a := range cands {
@@ -205,7 +232,7 @@ func (db *DB) WindowFrontier(c, q, centre geom.Point, excludeID int) []Item {
 			out = append(out, cands[a].it)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func boxTransformSum(r geom.Rect, centre geom.Point) float64 {
@@ -229,16 +256,36 @@ func (db *DB) IsReverseSkyline(c Item, q geom.Point) bool {
 	return !db.WindowExists(c.Point, q, c.ID)
 }
 
+// IsReverseSkylineChecked is IsReverseSkyline with cooperative cancellation.
+func (db *DB) IsReverseSkylineChecked(chk *cancel.Checker, c Item, q geom.Point) (bool, error) {
+	found, err := db.WindowExistsChecked(chk, c.Point, q, c.ID)
+	return !found, err
+}
+
 // ReverseSkyline computes RSL(q) over the given customers by running the
 // window-existence test for each customer. This is the direct §II method.
 func (db *DB) ReverseSkyline(customers []Item, q geom.Point) []Item {
+	out, _ := db.ReverseSkylineChecked(nil, customers, q)
+	return out
+}
+
+// ReverseSkylineChecked is ReverseSkyline with a cancellation checkpoint per
+// customer (each customer costs one window-existence query).
+func (db *DB) ReverseSkylineChecked(chk *cancel.Checker, customers []Item, q geom.Point) ([]Item, error) {
 	var out []Item
 	for _, c := range customers {
-		if db.IsReverseSkyline(c, q) {
+		if err := chk.Point(cancel.SiteCustomer); err != nil {
+			return nil, err
+		}
+		in, err := db.IsReverseSkylineChecked(chk, c, q)
+		if err != nil {
+			return nil, err
+		}
+		if in {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ReverseSkylineFiltered computes RSL(q) with the global-skyline candidate
@@ -247,9 +294,22 @@ func (db *DB) ReverseSkyline(customers []Item, q geom.Point) []Item {
 // surviving candidates are verified with window-existence queries. The result
 // is identical to ReverseSkyline; only the work differs.
 func (db *DB) ReverseSkylineFiltered(customers []Item, q geom.Point) []Item {
+	out, _ := db.ReverseSkylineFilteredChecked(nil, customers, q)
+	return out
+}
+
+// ReverseSkylineFilteredChecked is ReverseSkylineFiltered with a cancellation
+// checkpoint per candidate customer.
+func (db *DB) ReverseSkylineFilteredChecked(chk *cancel.Checker, customers []Item, q geom.Point) ([]Item, error) {
+	if err := chk.Err(); err != nil {
+		return nil, err
+	}
 	gsp := skyline.GlobalSkyline(db.Items(), q)
 	var out []Item
 	for _, c := range customers {
+		if err := chk.Point(cancel.SiteCustomer); err != nil {
+			return nil, err
+		}
 		pruned := false
 		for _, p := range gsp {
 			if p.ID != c.ID && skyline.GlobalDominates(q, p.Point, c.Point) {
@@ -260,11 +320,15 @@ func (db *DB) ReverseSkylineFiltered(customers []Item, q geom.Point) []Item {
 		if pruned {
 			continue
 		}
-		if db.IsReverseSkyline(c, q) {
+		in, err := db.IsReverseSkylineChecked(chk, c, q)
+		if err != nil {
+			return nil, err
+		}
+		if in {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ReverseSkylineMono computes RSL(q) in the monochromatic setting where the
@@ -289,19 +353,43 @@ func (db *DB) ReverseSkylineMono(q geom.Point) []Item {
 // candidate is verified with an existence window query. Identical results to
 // ReverseSkylineMono.
 func (db *DB) ReverseSkylineBBRS(q geom.Point) []Item {
+	out, _ := db.ReverseSkylineBBRSChecked(nil, q)
+	return out
+}
+
+// ReverseSkylineBBRSChecked is ReverseSkylineBBRS with cooperative
+// cancellation in both the candidate traversal and the per-candidate
+// verification loop.
+func (db *DB) ReverseSkylineBBRSChecked(chk *cancel.Checker, q geom.Point) ([]Item, error) {
+	cands, err := skyline.GlobalSkylineBBSChecked(chk, db.tree, q)
+	if err != nil {
+		return nil, err
+	}
 	var out []Item
-	for _, c := range skyline.GlobalSkylineBBS(db.tree, q) {
-		if db.IsReverseSkyline(c, q) {
+	for _, c := range cands {
+		if err := chk.Point(cancel.SiteCustomer); err != nil {
+			return nil, err
+		}
+		in, err := db.IsReverseSkylineChecked(chk, c, q)
+		if err != nil {
+			return nil, err
+		}
+		if in {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // DynamicSkyline computes DSL(c) over the products via branch-and-bound on
 // the R*-tree.
 func (db *DB) DynamicSkyline(c geom.Point) []Item {
 	return skyline.DynamicBBS(db.tree, c)
+}
+
+// DynamicSkylineChecked is DynamicSkyline with cooperative cancellation.
+func (db *DB) DynamicSkylineChecked(chk *cancel.Checker, c geom.Point) ([]Item, error) {
+	return skyline.DynamicBBSChecked(chk, db.tree, c)
 }
 
 // DynamicSkylineExcluding computes DSL(c) over the products without the
@@ -312,4 +400,13 @@ func (db *DB) DynamicSkylineExcluding(c geom.Point, excludeID int) []Item {
 		return db.DynamicSkyline(c)
 	}
 	return skyline.DynamicBBSExcluding(db.tree, c, excludeID)
+}
+
+// DynamicSkylineExcludingChecked is DynamicSkylineExcluding with cooperative
+// cancellation.
+func (db *DB) DynamicSkylineExcludingChecked(chk *cancel.Checker, c geom.Point, excludeID int) ([]Item, error) {
+	if excludeID == NoExclude {
+		return db.DynamicSkylineChecked(chk, c)
+	}
+	return skyline.DynamicBBSExcludingChecked(chk, db.tree, c, excludeID)
 }

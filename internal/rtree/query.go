@@ -5,16 +5,32 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/geom"
 )
 
 // Search invokes fn for every item whose point lies in the closed query
 // rectangle. Traversal stops early if fn returns false.
 func (t *Tree) Search(query geom.Rect, fn func(Item) bool) {
-	t.search(t.root, query, fn)
+	t.search(t.root, query, fn, nil)
 }
 
-func (t *Tree) search(n *node, query geom.Rect, fn func(Item) bool) bool {
+// SearchChecked is Search with cooperative cancellation: the checker is
+// consulted once per visited node and the traversal aborts as soon as it
+// reports cancellation, which is then returned. A nil checker degrades to
+// plain Search.
+func (t *Tree) SearchChecked(chk *cancel.Checker, query geom.Rect, fn func(Item) bool) error {
+	if err := chk.Err(); err != nil {
+		return err
+	}
+	t.search(t.root, query, fn, chk)
+	return chk.Err()
+}
+
+func (t *Tree) search(n *node, query geom.Rect, fn func(Item) bool, chk *cancel.Checker) bool {
+	if chk.Point(cancel.SiteRTreeNode) != nil {
+		return false
+	}
 	t.accesses.Add(1)
 	for _, e := range n.entries {
 		if !query.Intersects(e.rect) {
@@ -24,7 +40,7 @@ func (t *Tree) search(n *node, query geom.Rect, fn func(Item) bool) bool {
 			if !fn(e.item) {
 				return false
 			}
-		} else if !t.search(e.child, query, fn) {
+		} else if !t.search(e.child, query, fn, chk) {
 			return false
 		}
 	}
@@ -46,15 +62,23 @@ func (t *Tree) RangeQuery(query geom.Rect) []Item {
 // every item. This is the existence-only window query used to verify reverse
 // skyline membership.
 func (t *Tree) Exists(query geom.Rect, pred func(Item) bool) bool {
+	found, _ := t.ExistsChecked(nil, query, pred)
+	return found
+}
+
+// ExistsChecked is Exists with cooperative cancellation. When the traversal
+// is cancelled before a witness is found, found is false and the context's
+// error is returned.
+func (t *Tree) ExistsChecked(chk *cancel.Checker, query geom.Rect, pred func(Item) bool) (bool, error) {
 	found := false
-	t.Search(query, func(it Item) bool {
+	err := t.SearchChecked(chk, query, func(it Item) bool {
 		if pred == nil || pred(it) {
 			found = true
 			return false
 		}
 		return true
 	})
-	return found
+	return found, err
 }
 
 // Count returns the number of items inside the closed query rectangle.
@@ -69,7 +93,7 @@ func (t *Tree) All(fn func(Item) bool) {
 	if t.size == 0 {
 		return
 	}
-	t.search(t.root, t.root.mbr(), fn)
+	t.search(t.root, t.root.mbr(), fn, nil)
 }
 
 // Items returns all stored items.
@@ -117,12 +141,42 @@ func (t *Tree) BestFirst(
 	prune func(rect geom.Rect) bool,
 	fn func(Item, float64) bool,
 ) {
+	t.bestFirst(nil, itemKey, rectKey, prune, fn)
+}
+
+// BestFirstChecked is BestFirst with cooperative cancellation: the checker is
+// consulted once per heap pop (node or item expansion) and the traversal
+// aborts, returning the context's error, as soon as it fires.
+func (t *Tree) BestFirstChecked(
+	chk *cancel.Checker,
+	itemKey func(geom.Point) float64,
+	rectKey func(geom.Rect) float64,
+	prune func(rect geom.Rect) bool,
+	fn func(Item, float64) bool,
+) error {
+	if err := chk.Err(); err != nil {
+		return err
+	}
+	t.bestFirst(chk, itemKey, rectKey, prune, fn)
+	return chk.Err()
+}
+
+func (t *Tree) bestFirst(
+	chk *cancel.Checker,
+	itemKey func(geom.Point) float64,
+	rectKey func(geom.Rect) float64,
+	prune func(rect geom.Rect) bool,
+	fn func(Item, float64) bool,
+) {
 	if t.size == 0 {
 		return
 	}
 	h := &pq{}
 	heap.Push(h, pqEntry{key: rectKey(t.root.mbr()), node: t.root})
 	for h.Len() > 0 {
+		if chk.Point(cancel.SiteRTreeNode) != nil {
+			return
+		}
 		e := heap.Pop(h).(pqEntry)
 		if e.node != nil {
 			t.accesses.Add(1)
@@ -171,7 +225,25 @@ func (t *Tree) GuidedSearch(
 	if t.size == 0 {
 		return
 	}
-	t.guidedSearch(t.root, query, order, prune, fn)
+	t.guidedSearch(t.root, query, order, prune, fn, nil)
+}
+
+// GuidedSearchChecked is GuidedSearch with cooperative cancellation at
+// node-visit granularity.
+func (t *Tree) GuidedSearchChecked(
+	chk *cancel.Checker,
+	query geom.Rect,
+	order func(geom.Rect) float64,
+	prune func(geom.Rect) bool,
+	fn func(Item) bool,
+) error {
+	if err := chk.Err(); err != nil {
+		return err
+	}
+	if t.size > 0 {
+		t.guidedSearch(t.root, query, order, prune, fn, chk)
+	}
+	return chk.Err()
 }
 
 func (t *Tree) guidedSearch(
@@ -180,7 +252,11 @@ func (t *Tree) guidedSearch(
 	order func(geom.Rect) float64,
 	prune func(geom.Rect) bool,
 	fn func(Item) bool,
+	chk *cancel.Checker,
 ) bool {
+	if chk.Point(cancel.SiteRTreeNode) != nil {
+		return false
+	}
 	t.accesses.Add(1)
 	if n.leaf {
 		for _, e := range n.entries {
@@ -210,7 +286,7 @@ func (t *Tree) guidedSearch(
 		if prune != nil && prune(e.rect) {
 			continue
 		}
-		if !t.guidedSearch(e.child, query, order, prune, fn) {
+		if !t.guidedSearch(e.child, query, order, prune, fn, chk) {
 			return false
 		}
 	}

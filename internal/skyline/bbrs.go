@@ -1,6 +1,7 @@
 package skyline
 
 import (
+	"repro/internal/cancel"
 	"repro/internal/geom"
 	"repro/internal/rtree"
 )
@@ -16,6 +17,15 @@ import (
 // The result equals GlobalSkyline(tree.Items(), q) but touches only the part
 // of the index that can contain global-skyline points.
 func GlobalSkylineBBS(t *rtree.Tree, q geom.Point) []Item {
+	out, _ := GlobalSkylineBBSChecked(nil, t, q)
+	return out
+}
+
+// GlobalSkylineBBSChecked is GlobalSkylineBBS with cooperative cancellation:
+// the checker fires on every node/item expansion of the branch-and-bound
+// loop, and a cancelled traversal returns the context's error with a nil
+// result.
+func GlobalSkylineBBSChecked(chk *cancel.Checker, t *rtree.Tree, q geom.Point) ([]Item, error) {
 	d := len(q)
 	type skyPoint struct {
 		tr    geom.Point
@@ -80,7 +90,8 @@ func GlobalSkylineBBS(t *rtree.Tree, q geom.Point) []Item {
 	}
 
 	var out []Item
-	t.BestFirst(
+	err := t.BestFirstChecked(
+		chk,
 		func(p geom.Point) float64 { return coordSum(p.Transform(q)) },
 		func(r geom.Rect) float64 { return coordSum(r.TransformMinMax(q).Lo) },
 		prune,
@@ -97,5 +108,8 @@ func GlobalSkylineBBS(t *rtree.Tree, q geom.Point) []Item {
 			return true
 		},
 	)
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

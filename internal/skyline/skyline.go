@@ -13,6 +13,7 @@ package skyline
 import (
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/geom"
 	"repro/internal/rtree"
 )
@@ -196,7 +197,15 @@ func Dynamic(items []Item, c geom.Point) []Item {
 // the index-backed DSL computation the paper's safe-region construction
 // relies on.
 func DynamicBBS(t *rtree.Tree, c geom.Point) []Item {
-	return DynamicBBSExcluding(t, c, -1<<62)
+	return DynamicBBSExcluding(t, c, noExclude)
+}
+
+// noExclude is an ID no real item carries, making the exclusion filter inert.
+const noExclude = -1 << 62
+
+// DynamicBBSChecked is DynamicBBS with cooperative cancellation.
+func DynamicBBSChecked(chk *cancel.Checker, t *rtree.Tree, c geom.Point) ([]Item, error) {
+	return DynamicBBSExcludingChecked(chk, t, c, noExclude)
 }
 
 // DynamicBBSExcluding is DynamicBBS with one record made invisible by ID —
@@ -204,6 +213,14 @@ func DynamicBBS(t *rtree.Tree, c geom.Point) []Item {
 // does not shape its dynamic skyline. The excluded item neither appears in
 // the result nor prunes other points.
 func DynamicBBSExcluding(t *rtree.Tree, c geom.Point, excludeID int) []Item {
+	out, _ := DynamicBBSExcludingChecked(nil, t, c, excludeID)
+	return out
+}
+
+// DynamicBBSExcludingChecked is DynamicBBSExcluding with cooperative
+// cancellation at node-expansion granularity; a cancelled traversal returns
+// the context's error and a nil (not partial) skyline.
+func DynamicBBSExcludingChecked(chk *cancel.Checker, t *rtree.Tree, c geom.Point, excludeID int) ([]Item, error) {
 	type skyPoint struct {
 		orig Item
 		tr   geom.Point
@@ -219,7 +236,8 @@ func DynamicBBSExcluding(t *rtree.Tree, c geom.Point, excludeID int) []Item {
 		return false
 	}
 	var out []Item
-	t.BestFirst(
+	err := t.BestFirstChecked(
+		chk,
 		func(p geom.Point) float64 { return coordSum(p.Transform(c)) },
 		func(r geom.Rect) float64 { return coordSum(r.TransformMinMax(c).Lo) },
 		prune,
@@ -238,7 +256,10 @@ func DynamicBBSExcluding(t *rtree.Tree, c geom.Point, excludeID int) []Item {
 			return true
 		},
 	)
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // GlobalDominates reports whether a globally dominates b with respect to

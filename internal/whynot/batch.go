@@ -1,9 +1,12 @@
 package whynot
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/cancel"
 	"repro/internal/geom"
 	"repro/internal/region"
 )
@@ -17,32 +20,127 @@ func (e *Engine) MWQBatch(cts []Item, q geom.Point, rsl []Item, opt Options) []M
 	return e.MWQBatchWithRegion(cts, q, sr, opt)
 }
 
+// MWQBatchCtx is MWQBatch with deadline/cancellation support.
+func (e *Engine) MWQBatchCtx(ctx context.Context, cts []Item, q geom.Point, rsl []Item, opt Options) ([]MWQResult, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := e.safeRegion(chk, q, rsl)
+	if err != nil {
+		return nil, err
+	}
+	return e.mwqBatchWithRegion(chk, cts, q, sr, opt)
+}
+
 // MWQBatchWithRegion runs Algorithm 4 for every customer against a shared
 // precomputed safe region.
 func (e *Engine) MWQBatchWithRegion(cts []Item, q geom.Point, sr region.Set, opt Options) []MWQResult {
+	out, _ := e.mwqBatchWithRegion(nil, cts, q, sr, opt)
+	return out
+}
+
+// MWQBatchWithRegionCtx is MWQBatchWithRegion with deadline/cancellation
+// support: the checkpoint fires once per why-not question on top of the
+// checkpoints inside each question.
+func (e *Engine) MWQBatchWithRegionCtx(ctx context.Context, cts []Item, q geom.Point, sr region.Set, opt Options) ([]MWQResult, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return e.mwqBatchWithRegion(chk, cts, q, sr, opt)
+}
+
+func (e *Engine) mwqBatchWithRegion(chk *cancel.Checker, cts []Item, q geom.Point, sr region.Set, opt Options) ([]MWQResult, error) {
 	out := make([]MWQResult, len(cts))
 	for i, ct := range cts {
-		out[i] = e.MWQ(ct, q, sr, opt)
+		if err := chk.Point(cancel.SiteBatchItem); err != nil {
+			return nil, err
+		}
+		res, err := e.mwq(chk, ct, q, sr, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
 	}
-	return out
+	return out, nil
 }
 
 // MWQBatchParallel fans MWQBatchWithRegion out over workers goroutines
 // (0 = GOMAXPROCS). Each question only reads the index and the shared safe
 // region, so results are identical to the serial batch.
 func (e *Engine) MWQBatchParallel(cts []Item, q geom.Point, sr region.Set, opt Options, workers int) []MWQResult {
+	out, _ := e.mwqBatchParallel(nil, cts, q, sr, opt, workers)
+	return out
+}
+
+// MWQBatchParallelCtx is MWQBatchParallel with deadline/cancellation support.
+// Each worker polls the context through its own checker (checkers are
+// per-goroutine); the first error wins and the batch returns nil. A panic in
+// any worker is re-raised on the calling goroutine once all workers have
+// drained, so recovery middleware above the batch still sees it.
+func (e *Engine) MWQBatchParallelCtx(ctx context.Context, cts []Item, q geom.Point, sr region.Set, opt Options, workers int) ([]MWQResult, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return e.mwqBatchParallel(ctx, cts, q, sr, opt, workers)
+}
+
+func (e *Engine) mwqBatchParallel(ctx context.Context, cts []Item, q geom.Point, sr region.Set, opt Options, workers int) ([]MWQResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out := make([]MWQResult, len(cts))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
+	var mu sync.Mutex
+	var firstErr error
+	var firstPanic any
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each goroutine needs its own checker: Checker is deliberately
+			// not concurrency-safe (no atomics on the hot path).
+			chk := cancel.FromContext(ctx)
 			for i := range jobs {
-				out[i] = e.MWQ(cts[i], q, sr, opt)
+				mu.Lock()
+				stop := firstErr != nil || firstPanic != nil
+				mu.Unlock()
+				if stop {
+					continue // drain remaining jobs without working
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							if firstPanic == nil {
+								firstPanic = r
+							}
+							mu.Unlock()
+						}
+					}()
+					if err := chk.Point(cancel.SiteBatchItem); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					res, err := e.mwq(chk, cts[i], q, sr, opt)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					out[i] = res
+				}()
 			}
 		}()
 	}
@@ -51,5 +149,11 @@ func (e *Engine) MWQBatchParallel(cts []Item, q geom.Point, sr region.Set, opt O
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	if firstPanic != nil {
+		panic(fmt.Sprintf("whynot: MWQ batch worker panicked: %v", firstPanic))
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package whynot
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -14,6 +15,49 @@ var fuzzEngine = NewEngine(rskyline.NewDB(2, randProducts(250, 424242), rtree.Co
 
 // FuzzMWPMQP drives Algorithms 1 and 2 with arbitrary query and why-not
 // coordinates: no panics, no invalid candidates, costs non-negative.
+// FuzzLoadApproxStore feeds arbitrary bytes to the binary store decoder: it
+// must either fail with a descriptive error or produce a store that survives
+// a save/load round trip — never panic, never allocate unboundedly.
+func FuzzLoadApproxStore(f *testing.F) {
+	// Seed with a real store plus truncations and mutations of it.
+	products := randProducts(40, 77)
+	e := NewEngine(rskyline.NewDB(2, products, rtree.Config{}), true)
+	store := e.BuildApproxStore(products[:10], 3, 0)
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(storeMagic))
+	f.Add([]byte("not a store"))
+	f.Add([]byte{})
+	huge := append([]byte{}, valid...)
+	for i := 10; i < 14 && i < len(huge); i++ {
+		huge[i] = 0xff // inflate the customer count
+	}
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := LoadApproxStore(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := s.Save(&out); err != nil {
+			t.Fatalf("decoded store failed to re-encode: %v", err)
+		}
+		back, err := LoadApproxStore(&out)
+		if err != nil {
+			t.Fatalf("re-encoded store failed to decode: %v", err)
+		}
+		if back.Len() != s.Len() || back.K != s.K || back.SortDim != s.SortDim {
+			t.Fatalf("round trip changed store: %d/%d/%d vs %d/%d/%d",
+				back.Len(), back.K, back.SortDim, s.Len(), s.K, s.SortDim)
+		}
+	})
+}
+
 func FuzzMWPMQP(f *testing.F) {
 	f.Add(50.0, 50.0, 10.0, 90.0)
 	f.Add(0.0, 0.0, 100.0, 100.0)

@@ -1,8 +1,10 @@
 package whynot
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/geom"
 	"repro/internal/region"
 )
@@ -30,12 +32,29 @@ func (r MQPResult) Best() Candidate { return r.Candidates[0] }
 // mapped back to the original space on q's side of c_t, which reproduces the
 // paper's example exactly and remains correct when products surround c_t.
 func (e *Engine) MQP(ct Item, q geom.Point, opt Options) MQPResult {
-	frontier := e.DB.WindowFrontier(ct.Point, q, ct.Point, e.exclude(ct))
+	res, _ := e.mqp(nil, ct, q, opt)
+	return res
+}
+
+// MQPCtx is MQP with deadline/cancellation support.
+func (e *Engine) MQPCtx(ctx context.Context, ct Item, q geom.Point, opt Options) (MQPResult, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return MQPResult{}, err
+	}
+	return e.mqp(chk, ct, q, opt)
+}
+
+func (e *Engine) mqp(chk *cancel.Checker, ct Item, q geom.Point, opt Options) (MQPResult, error) {
+	frontier, err := e.DB.WindowFrontierChecked(chk, ct.Point, q, ct.Point, e.exclude(ct))
+	if err != nil {
+		return MQPResult{}, err
+	}
 	if len(frontier) == 0 {
 		return MQPResult{
 			AlreadyMember: true,
 			Candidates:    []Candidate{{Point: q.Clone(), Cost: 0}},
-		}
+		}, nil
 	}
 
 	i := opt.SortDim
@@ -88,7 +107,7 @@ func (e *Engine) MQP(ct Item, q geom.Point, opt Options) MQPResult {
 		cands = append(cands, Candidate{Point: p, Cost: e.costQ(q, p, opt)})
 	}
 	sortCandidates(cands)
-	return MQPResult{Frontier: frontier, Candidates: dedupCandidates(cands)}
+	return MQPResult{Frontier: frontier, Candidates: dedupCandidates(cands)}, nil
 }
 
 // transValid reports whether transformed candidate z lies in the closure of
@@ -145,6 +164,21 @@ func (e *Engine) ValidateQueryMove(ct Item, cand geom.Point, eps float64) bool {
 	return !e.DB.WindowExists(ct.Point, nudged, e.exclude(ct))
 }
 
+// ValidateQueryMoveCtx is ValidateQueryMove with deadline/cancellation
+// support.
+func (e *Engine) ValidateQueryMoveCtx(ctx context.Context, ct Item, cand geom.Point, eps float64) (bool, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return false, err
+	}
+	nudged := nudgeToward(cand, ct.Point, eps)
+	found, err := e.DB.WindowExistsChecked(chk, ct.Point, nudged, e.exclude(ct))
+	if err != nil {
+		return false, err
+	}
+	return !found, nil
+}
+
 // MQPTotalCost computes the experimental cost of a refined query point q*
 // from §VI.A: α·|q' − q*| where q' is the point of the safe region sr
 // closest to q*, plus, for every original reverse-skyline customer lost by
@@ -152,6 +186,22 @@ func (e *Engine) ValidateQueryMove(ct Item, cand geom.Point, eps float64) bool {
 // rsl must be RSL(q) over the customers of interest. A nil sr charges the
 // full distance from q (the safe region degenerates to {q}).
 func (e *Engine) MQPTotalCost(q, qStar geom.Point, rsl []Item, sr region.Set, opt Options) float64 {
+	total, _ := e.mqpTotalCost(nil, q, qStar, rsl, sr, opt)
+	return total
+}
+
+// MQPTotalCostCtx is MQPTotalCost with deadline/cancellation support (the
+// cost charges one MWP per lost customer, so it can be as expensive as |RSL|
+// why-not questions).
+func (e *Engine) MQPTotalCostCtx(ctx context.Context, q, qStar geom.Point, rsl []Item, sr region.Set, opt Options) (float64, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return e.mqpTotalCost(chk, q, qStar, rsl, sr, opt)
+}
+
+func (e *Engine) mqpTotalCost(chk *cancel.Checker, q, qStar geom.Point, rsl []Item, sr region.Set, opt Options) (float64, error) {
 	anchor := q
 	if len(sr) > 0 {
 		if p, _, ok := sr.NearestPoint(qStar, opt.WeightsQ); ok {
@@ -160,11 +210,21 @@ func (e *Engine) MQPTotalCost(q, qStar geom.Point, rsl []Item, sr region.Set, op
 	}
 	total := e.costQ(anchor, qStar, opt)
 	for _, c := range rsl {
-		if !e.DB.WindowExists(c.Point, qStar, e.exclude(c)) {
+		if err := chk.Point(cancel.SiteCustomer); err != nil {
+			return 0, err
+		}
+		lost, err := e.DB.WindowExistsChecked(chk, c.Point, qStar, e.exclude(c))
+		if err != nil {
+			return 0, err
+		}
+		if !lost {
 			continue // still a reverse-skyline point of q*
 		}
-		res := e.MWP(c, qStar, opt)
+		res, err := e.mwp(chk, c, qStar, opt)
+		if err != nil {
+			return 0, err
+		}
 		total += res.Best().Cost
 	}
-	return total
+	return total, nil
 }

@@ -1,9 +1,11 @@
 package whynot
 
 import (
+	"context"
 	"math"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/geom"
 	"repro/internal/region"
 )
@@ -57,7 +59,27 @@ type MWQResult struct {
 // ApproxSafeRegion; the paper reuses one safe region across many why-not
 // questions on the same query).
 func (e *Engine) MWQ(ct Item, q geom.Point, sr region.Set, opt Options) MWQResult {
-	if !e.DB.WindowExists(ct.Point, q, e.exclude(ct)) {
+	res, _ := e.mwq(nil, ct, q, sr, opt)
+	return res
+}
+
+// MWQCtx is MWQ with deadline/cancellation support: checkpoints cover the
+// membership probe, the anti-DDR construction, and every corner evaluation of
+// the case-C2 loop (each of which runs a full checked MWP).
+func (e *Engine) MWQCtx(ctx context.Context, ct Item, q geom.Point, sr region.Set, opt Options) (MWQResult, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return MWQResult{}, err
+	}
+	return e.mwq(chk, ct, q, sr, opt)
+}
+
+func (e *Engine) mwq(chk *cancel.Checker, ct Item, q geom.Point, sr region.Set, opt Options) (MWQResult, error) {
+	member, err := e.DB.WindowExistsChecked(chk, ct.Point, q, e.exclude(ct))
+	if err != nil {
+		return MWQResult{}, err
+	}
+	if !member {
 		return MWQResult{
 			AlreadyMember: true,
 			SafeRegion:    sr,
@@ -65,9 +87,12 @@ func (e *Engine) MWQ(ct Item, q geom.Point, sr region.Set, opt Options) MWQResul
 			CtStar:        ct.Point.Clone(),
 			QCandidates:   []Candidate{{Point: q.Clone(), Cost: 0}},
 			CtCandidates:  []Candidate{{Point: ct.Point.Clone(), Cost: 0}},
-		}
+		}, nil
 	}
-	antiDDR := e.AntiDDROf(ct)
+	antiDDR, err := e.antiDDROf(chk, ct)
+	if err != nil {
+		return MWQResult{}, err
+	}
 	// Only an overlap with non-empty interior counts as case C1: candidates
 	// are infima of open regions, so a measure-zero (degenerate) overlap has
 	// no strictly valid point arbitrarily close and must be handled as C2.
@@ -92,7 +117,7 @@ func (e *Engine) MWQ(ct Item, q geom.Point, sr region.Set, opt Options) MWQResul
 			CtStar:       ct.Point.Clone(),
 			CtCandidates: []Candidate{{Point: ct.Point.Clone(), Cost: 0}},
 			Cost:         0,
-		}
+		}, nil
 	}
 
 	// Case C2 (steps 7–20): q may move only inside its safe region, so the
@@ -137,7 +162,13 @@ func (e *Engine) MWQ(ct Item, q geom.Point, sr region.Set, opt Options) MWQResul
 	var bestCt []Candidate
 	var qEvaluated []Candidate
 	for _, qc := range qCands {
-		res := e.MWP(ct, qc.pt, opt)
+		if err := chk.Point(cancel.SiteMWQCorner); err != nil {
+			return MWQResult{}, err
+		}
+		res, err := e.mwp(chk, ct, qc.pt, opt)
+		if err != nil {
+			return MWQResult{}, err
+		}
 		cost := res.Best().Cost
 		qEvaluated = append(qEvaluated, Candidate{Point: qc.pt, Cost: cost})
 		if cost < bestCost {
@@ -157,7 +188,7 @@ func (e *Engine) MWQ(ct Item, q geom.Point, sr region.Set, opt Options) MWQResul
 		CtStar:       bestCt[0].Point,
 		CtCandidates: bestCt,
 		Cost:         bestCost,
-	}
+	}, nil
 }
 
 // positiveRects keeps only rectangles with strictly positive volume.
@@ -177,8 +208,37 @@ func (e *Engine) MWQExact(ct Item, q geom.Point, rsl []Item, opt Options) MWQRes
 	return e.MWQ(ct, q, e.SafeRegion(q, rsl), opt)
 }
 
+// MWQExactCtx is MWQExact with deadline/cancellation support; the safe-region
+// construction — the step that is exponential in |RSL(q)| in the worst case —
+// is fully checkpointed.
+func (e *Engine) MWQExactCtx(ctx context.Context, ct Item, q geom.Point, rsl []Item, opt Options) (MWQResult, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return MWQResult{}, err
+	}
+	sr, err := e.safeRegion(chk, q, rsl)
+	if err != nil {
+		return MWQResult{}, err
+	}
+	return e.mwq(chk, ct, q, sr, opt)
+}
+
 // MWQApprox runs Algorithm 4 on the approximate safe region assembled from
 // the pre-computed store (§VI.B.1).
 func (e *Engine) MWQApprox(ct Item, q geom.Point, rsl []Item, store *ApproxStore, opt Options) MWQResult {
 	return e.MWQ(ct, q, e.ApproxSafeRegion(q, rsl, store), opt)
+}
+
+// MWQApproxCtx is MWQApprox with deadline/cancellation support — the fast
+// rung of the engine's degradation ladder.
+func (e *Engine) MWQApproxCtx(ctx context.Context, ct Item, q geom.Point, rsl []Item, store *ApproxStore, opt Options) (MWQResult, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return MWQResult{}, err
+	}
+	sr, err := e.approxSafeRegion(chk, q, rsl, store)
+	if err != nil {
+		return MWQResult{}, err
+	}
+	return e.mwq(chk, ct, q, sr, opt)
 }

@@ -1,6 +1,9 @@
 package whynot
 
 import (
+	"context"
+
+	"repro/internal/cancel"
 	"repro/internal/geom"
 	"repro/internal/region"
 	"repro/internal/rskyline"
@@ -15,28 +18,69 @@ import (
 // has no customers to lose. By construction q itself always lies in the
 // result.
 func (e *Engine) SafeRegion(q geom.Point, rsl []Item) region.Set {
+	sr, _ := e.safeRegion(nil, q, rsl)
+	return sr
+}
+
+// SafeRegionCtx is SafeRegion with deadline/cancellation support: the
+// checkpoint fires once per reverse-skyline member (each contributes one DSL
+// computation plus one rectangle-set intersection, the part that can grow
+// exponentially with |RSL(q)|).
+func (e *Engine) SafeRegionCtx(ctx context.Context, q geom.Point, rsl []Item) (region.Set, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return e.safeRegion(chk, q, rsl)
+}
+
+func (e *Engine) safeRegion(chk *cancel.Checker, q geom.Point, rsl []Item) (region.Set, error) {
 	universe, ok := e.DB.Universe()
 	if !ok {
-		return region.Set{geom.PointRect(q)}
+		return region.Set{geom.PointRect(q)}, nil
 	}
 	var sr region.Set
 	started := false
+	poll := pollAt(chk, cancel.SiteSafeRegion)
 	for _, c := range rsl {
-		dsl := e.DB.DynamicSkylineExcluding(c.Point, e.exclude(c))
-		add := region.AntiDDR(c.Point, points(dsl), universe)
+		if err := chk.Point(cancel.SiteSafeRegion); err != nil {
+			return nil, err
+		}
+		dsl, err := e.DB.DynamicSkylineExcludingChecked(chk, c.Point, e.exclude(c))
+		if err != nil {
+			return nil, err
+		}
+		add, err := region.AntiDDRChecked(c.Point, points(dsl), universe, poll)
+		if err != nil {
+			return nil, err
+		}
 		if !started {
 			sr, started = add, true
 		} else {
-			sr = sr.IntersectSet(add)
+			sr, err = sr.IntersectSetChecked(add, poll)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	if !started {
 		// No reverse-skyline points: every position is safe within the
 		// universe (extended symmetrically around q like any anti-DDR).
 		u := universe.TransformMinMax(q).Hi
-		return region.Set{{Lo: q.Sub(u), Hi: q.Add(u)}}
+		return region.Set{{Lo: q.Sub(u), Hi: q.Add(u)}}, nil
 	}
-	return ensureContainsQ(sr, q)
+	return ensureContainsQ(sr, q), nil
+}
+
+// pollAt adapts a checker to the poll-callback form the region package's
+// combinatorial loops accept (rectangle-set intersection and grid staircase
+// construction can dwarf any per-customer checkpoint). A nil checker yields a
+// nil poll so the legacy paths keep region's zero-overhead loops.
+func pollAt(chk *cancel.Checker, site string) func() error {
+	if chk == nil {
+		return nil
+	}
+	return func() error { return chk.Point(site) }
 }
 
 // ensureContainsQ guarantees the trivially safe position q itself is part of
@@ -75,18 +119,40 @@ type ApproxStore struct {
 // resulting corners stored (first and last sorted points always retained, no
 // successive-pair merging — Fig. 16).
 func (e *Engine) BuildApproxStore(customers []Item, k, sortDim int) *ApproxStore {
+	store, _ := e.buildApproxStore(nil, customers, k, sortDim)
+	return store
+}
+
+// BuildApproxStoreCtx is BuildApproxStore with deadline/cancellation support
+// (the offline precomputation is linear in customers but each step is a full
+// DSL computation).
+func (e *Engine) BuildApproxStoreCtx(ctx context.Context, customers []Item, k, sortDim int) (*ApproxStore, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return e.buildApproxStore(chk, customers, k, sortDim)
+}
+
+func (e *Engine) buildApproxStore(chk *cancel.Checker, customers []Item, k, sortDim int) (*ApproxStore, error) {
 	universe, ok := e.DB.Universe()
 	if !ok {
-		return &ApproxStore{K: k, SortDim: sortDim, corners: map[int][]geom.Point{}}
+		return &ApproxStore{K: k, SortDim: sortDim, corners: map[int][]geom.Point{}}, nil
 	}
 	store := &ApproxStore{K: k, SortDim: sortDim, corners: make(map[int][]geom.Point, len(customers))}
 	for _, c := range customers {
-		dsl := e.DB.DynamicSkylineExcluding(c.Point, e.exclude(c))
+		if err := chk.Point(cancel.SiteStoreBuild); err != nil {
+			return nil, err
+		}
+		dsl, err := e.DB.DynamicSkylineExcludingChecked(chk, c.Point, e.exclude(c))
+		if err != nil {
+			return nil, err
+		}
 		sampled := skyline.ApproxDynamic(dsl, c.Point, k, sortDim)
 		u := universe.TransformMinMax(c.Point).Hi
 		store.corners[c.ID] = region.ApproxAntiDDRCorners(c.Point, points(sampled), u, sortDim)
 	}
-	return store
+	return store, nil
 }
 
 // Corners returns the stored transformed corners for a customer ID; ok is
@@ -101,31 +167,61 @@ func (s *ApproxStore) Corners(id int) ([]geom.Point, bool) {
 // computation, keeping the result correct (always a subset of the exact safe
 // region, so no existing customer can be lost).
 func (e *Engine) ApproxSafeRegion(q geom.Point, rsl []Item, store *ApproxStore) region.Set {
+	sr, _ := e.approxSafeRegion(nil, q, rsl, store)
+	return sr
+}
+
+// ApproxSafeRegionCtx is ApproxSafeRegion with deadline/cancellation support.
+// Its checkpoints use a distinct site from the exact construction so fault
+// injection can slow one rung of the degradation ladder without the other.
+func (e *Engine) ApproxSafeRegionCtx(ctx context.Context, q geom.Point, rsl []Item, store *ApproxStore) (region.Set, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return e.approxSafeRegion(chk, q, rsl, store)
+}
+
+func (e *Engine) approxSafeRegion(chk *cancel.Checker, q geom.Point, rsl []Item, store *ApproxStore) (region.Set, error) {
 	universe, ok := e.DB.Universe()
 	if !ok {
-		return region.Set{geom.PointRect(q)}
+		return region.Set{geom.PointRect(q)}, nil
 	}
 	var sr region.Set
 	started := false
+	poll := pollAt(chk, cancel.SiteApproxSafeRegion)
 	for _, c := range rsl {
+		if err := chk.Point(cancel.SiteApproxSafeRegion); err != nil {
+			return nil, err
+		}
 		var add region.Set
 		if corners, found := store.Corners(c.ID); found {
 			add = region.AntiDDRFromCorners(c.Point, corners)
 		} else {
-			dsl := e.DB.DynamicSkylineExcluding(c.Point, e.exclude(c))
-			add = region.AntiDDR(c.Point, points(dsl), universe)
+			dsl, err := e.DB.DynamicSkylineExcludingChecked(chk, c.Point, e.exclude(c))
+			if err != nil {
+				return nil, err
+			}
+			add, err = region.AntiDDRChecked(c.Point, points(dsl), universe, poll)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if !started {
 			sr, started = add, true
 		} else {
-			sr = sr.IntersectSet(add)
+			var err error
+			sr, err = sr.IntersectSetChecked(add, poll)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	if !started {
 		u := universe.TransformMinMax(q).Hi
-		return region.Set{{Lo: q.Sub(u), Hi: q.Add(u)}}
+		return region.Set{{Lo: q.Sub(u), Hi: q.Add(u)}}, nil
 	}
-	return ensureContainsQ(sr, q)
+	return ensureContainsQ(sr, q), nil
 }
 
 // TruncateSafeRegion implements the §V.B flexibility note: clip the safe
@@ -151,38 +247,98 @@ func ExpandSafeRegion(limits geom.Rect) region.Set {
 // skyline if the query point moved to qStar — the side-effect measure for
 // truncated/expanded safe regions and for raw MQP answers.
 func (e *Engine) LostCustomers(qStar geom.Point, rsl []Item) []Item {
+	lost, _ := e.lostCustomers(nil, qStar, rsl)
+	return lost
+}
+
+// LostCustomersCtx is LostCustomers with deadline/cancellation support (one
+// window-existence probe per reverse-skyline member).
+func (e *Engine) LostCustomersCtx(ctx context.Context, qStar geom.Point, rsl []Item) ([]Item, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return e.lostCustomers(chk, qStar, rsl)
+}
+
+func (e *Engine) lostCustomers(chk *cancel.Checker, qStar geom.Point, rsl []Item) ([]Item, error) {
 	var lost []Item
 	for _, c := range rsl {
-		if e.DB.WindowExists(c.Point, qStar, e.exclude(c)) {
+		if err := chk.Point(cancel.SiteCustomer); err != nil {
+			return nil, err
+		}
+		gone, err := e.DB.WindowExistsChecked(chk, c.Point, qStar, e.exclude(c))
+		if err != nil {
+			return nil, err
+		}
+		if gone {
 			lost = append(lost, c)
 		}
 	}
-	return lost
+	return lost, nil
 }
 
 // AntiDDROf returns the anti-dominance region of an arbitrary point as a
 // rectangle set (used by Algorithm 4 for the why-not point and exposed for
 // callers that want to inspect it).
 func (e *Engine) AntiDDROf(c Item) region.Set {
+	set, _ := e.antiDDROf(nil, c)
+	return set
+}
+
+// AntiDDROfCtx is AntiDDROf with deadline/cancellation support.
+func (e *Engine) AntiDDROfCtx(ctx context.Context, c Item) (region.Set, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return e.antiDDROf(chk, c)
+}
+
+func (e *Engine) antiDDROf(chk *cancel.Checker, c Item) (region.Set, error) {
 	universe, ok := e.DB.Universe()
 	if !ok {
-		return region.Set{geom.PointRect(c.Point)}
+		return region.Set{geom.PointRect(c.Point)}, nil
 	}
-	dsl := e.DB.DynamicSkylineExcluding(c.Point, e.exclude(c))
-	return region.AntiDDR(c.Point, points(dsl), universe)
+	dsl, err := e.DB.DynamicSkylineExcludingChecked(chk, c.Point, e.exclude(c))
+	if err != nil {
+		return nil, err
+	}
+	return region.AntiDDRChecked(c.Point, points(dsl), universe, pollAt(chk, cancel.SiteAntiDDR))
 }
 
 // ReverseSkyline recomputes RSL(q) over the given customers (convenience
 // passthrough used by the harness and examples).
 func (e *Engine) ReverseSkyline(customers []Item, q geom.Point) []Item {
+	out, _ := e.reverseSkyline(nil, customers, q)
+	return out
+}
+
+// ReverseSkylineCtx is ReverseSkyline with deadline/cancellation support.
+func (e *Engine) ReverseSkylineCtx(ctx context.Context, customers []Item, q geom.Point) ([]Item, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return e.reverseSkyline(chk, customers, q)
+}
+
+func (e *Engine) reverseSkyline(chk *cancel.Checker, customers []Item, q geom.Point) ([]Item, error) {
 	if e.Mono {
-		return e.DB.ReverseSkyline(customers, q)
+		return e.DB.ReverseSkylineChecked(chk, customers, q)
 	}
 	out := make([]Item, 0)
 	for _, c := range customers {
-		if !e.DB.WindowExists(c.Point, q, rskyline.NoExclude) {
+		if err := chk.Point(cancel.SiteCustomer); err != nil {
+			return nil, err
+		}
+		member, err := e.DB.WindowExistsChecked(chk, c.Point, q, rskyline.NoExclude)
+		if err != nil {
+			return nil, err
+		}
+		if !member {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
 }

@@ -1,57 +1,218 @@
 package whynot
 
 import (
-	"encoding/gob"
+	"bufio"
+	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 
+	"repro/internal/cancel"
 	"repro/internal/geom"
 	"repro/internal/region"
 	"repro/internal/skyline"
 )
 
-// storeDTO is the gob wire format of an ApproxStore.
-type storeDTO struct {
-	K       int
-	SortDim int
-	IDs     []int
-	Corners [][][]float64
-}
+// Binary wire format of an ApproxStore (all integers little-endian):
+//
+//	magic "RSKA" | u16 version | i32 K | i32 SortDim | u32 customer count
+//	per customer: i64 id | u32 corner count
+//	per corner:   u16 dims | dims × f64 coordinates
+//
+// The format is length-prefixed but every length is validated against what
+// the reader can actually deliver: decoding allocates proportionally to the
+// bytes read, never to a length claimed by the header, so hostile input
+// cannot trigger unbounded allocation or a panic.
+const (
+	storeMagic   = "RSKA"
+	storeVersion = 1
+	// maxStoreDims caps point dimensionality; real datasets are ≤ ~10-d and
+	// anything near the cap indicates corruption.
+	maxStoreDims = 1 << 10
+)
 
 // Save writes the store in a self-contained binary format (§VI.B.1 keeps the
 // approximate skylines "stored (off-line)"; this is that offline artifact).
+// Customers are written in ascending ID order so the output is deterministic.
 func (s *ApproxStore) Save(w io.Writer) error {
-	dto := storeDTO{K: s.K, SortDim: s.SortDim}
-	for id, corners := range s.corners {
-		dto.IDs = append(dto.IDs, id)
-		cs := make([][]float64, len(corners))
-		for i, c := range corners {
-			cs[i] = c
-		}
-		dto.Corners = append(dto.Corners, cs)
+	ids := make([]int, 0, len(s.corners))
+	for id := range s.corners {
+		ids = append(ids, id)
 	}
-	return gob.NewEncoder(w).Encode(dto)
+	sort.Ints(ids)
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(storeMagic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	putU16 := func(v uint16) error {
+		binary.LittleEndian.PutUint16(scratch[:2], v)
+		_, err := bw.Write(scratch[:2])
+		return err
+	}
+	putU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	putU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	if err := putU16(storeVersion); err != nil {
+		return err
+	}
+	if err := putU32(uint32(int32(s.K))); err != nil {
+		return err
+	}
+	if err := putU32(uint32(int32(s.SortDim))); err != nil {
+		return err
+	}
+	if err := putU32(uint32(len(ids))); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := putU64(uint64(int64(id))); err != nil {
+			return err
+		}
+		corners := s.corners[id]
+		if err := putU32(uint32(len(corners))); err != nil {
+			return err
+		}
+		for _, c := range corners {
+			if len(c) > maxStoreDims {
+				return fmt.Errorf("whynot: approx store: customer %d has %d-d corner (max %d)", id, len(c), maxStoreDims)
+			}
+			if err := putU16(uint16(len(c))); err != nil {
+				return err
+			}
+			for _, x := range c {
+				if err := putU64(math.Float64bits(x)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
 }
 
-// LoadApproxStore reads a store written by Save.
+// LoadApproxStore reads a store written by Save. It rejects malformed input
+// with a descriptive error instead of panicking: bad magic or version,
+// truncated sections, duplicate customer IDs, oversized or inconsistent
+// dimensionality, and non-finite coordinates are all reported explicitly.
 func LoadApproxStore(r io.Reader) (*ApproxStore, error) {
-	var dto storeDTO
-	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, fmt.Errorf("whynot: decode approx store: %w", err)
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	readN := func(n int, what string) error {
+		if _, err := io.ReadFull(br, scratch[:n]); err != nil {
+			return fmt.Errorf("whynot: approx store: truncated %s: %w", what, err)
+		}
+		return nil
 	}
-	if len(dto.IDs) != len(dto.Corners) {
-		return nil, fmt.Errorf("whynot: corrupt approx store: %d ids, %d corner sets",
-			len(dto.IDs), len(dto.Corners))
+	readU16 := func(what string) (uint16, error) {
+		if err := readN(2, what); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint16(scratch[:2]), nil
 	}
-	s := &ApproxStore{K: dto.K, SortDim: dto.SortDim, corners: make(map[int][]geom.Point, len(dto.IDs))}
-	for i, id := range dto.IDs {
-		cs := make([]geom.Point, len(dto.Corners[i]))
-		for j, c := range dto.Corners[i] {
-			cs[j] = geom.Point(c)
+	readU32 := func(what string) (uint32, error) {
+		if err := readN(4, what); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	readU64 := func(what string) (uint64, error) {
+		if err := readN(8, what); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+
+	if err := readN(4, "magic"); err != nil {
+		return nil, err
+	}
+	if string(scratch[:4]) != storeMagic {
+		return nil, fmt.Errorf("whynot: approx store: bad magic %q (not an approx store)", scratch[:4])
+	}
+	version, err := readU16("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != storeVersion {
+		return nil, fmt.Errorf("whynot: approx store: unsupported version %d (want %d)", version, storeVersion)
+	}
+	k, err := readU32("K")
+	if err != nil {
+		return nil, err
+	}
+	sortDim, err := readU32("sort dimension")
+	if err != nil {
+		return nil, err
+	}
+	count, err := readU32("customer count")
+	if err != nil {
+		return nil, err
+	}
+
+	// Capacity hints are capped: allocation must track bytes actually read,
+	// not lengths a hostile header claims.
+	s := &ApproxStore{
+		K:       int(int32(k)),
+		SortDim: int(int32(sortDim)),
+		corners: make(map[int][]geom.Point, min(int(count), 1<<12)),
+	}
+	dims := -1 // dimensionality once observed; -1 until the first corner
+	for i := uint32(0); i < count; i++ {
+		rawID, err := readU64(fmt.Sprintf("customer %d id", i))
+		if err != nil {
+			return nil, err
+		}
+		id := int(int64(rawID))
+		if _, dup := s.corners[id]; dup {
+			return nil, fmt.Errorf("whynot: approx store: duplicate customer id %d", id)
+		}
+		ncorners, err := readU32(fmt.Sprintf("customer %d corner count", id))
+		if err != nil {
+			return nil, err
+		}
+		cs := make([]geom.Point, 0, min(int(ncorners), 1<<12))
+		for j := uint32(0); j < ncorners; j++ {
+			d, err := readU16(fmt.Sprintf("customer %d corner %d dims", id, j))
+			if err != nil {
+				return nil, err
+			}
+			if int(d) > maxStoreDims {
+				return nil, fmt.Errorf("whynot: approx store: customer %d corner %d claims %d dims (max %d)", id, j, d, maxStoreDims)
+			}
+			if dims == -1 {
+				dims = int(d)
+			} else if int(d) != dims {
+				return nil, fmt.Errorf("whynot: approx store: customer %d corner %d has %d dims, want %d", id, j, d, dims)
+			}
+			p := make(geom.Point, d)
+			for m := range p {
+				bits, err := readU64(fmt.Sprintf("customer %d corner %d coordinate %d", id, j, m))
+				if err != nil {
+					return nil, err
+				}
+				x := math.Float64frombits(bits)
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					return nil, fmt.Errorf("whynot: approx store: customer %d corner %d has non-finite coordinate %d", id, j, m)
+				}
+				p[m] = x
+			}
+			cs = append(cs, p)
 		}
 		s.corners[id] = cs
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("whynot: approx store: trailing data after %d customers", count)
 	}
 	return s, nil
 }
@@ -65,13 +226,30 @@ func (s *ApproxStore) Len() int { return len(s.corners) }
 // linearly — the offline precomputation is the only heavyweight step of the
 // approximate pipeline.
 func (e *Engine) BuildApproxStoreParallel(customers []Item, k, sortDim, workers int) *ApproxStore {
+	store, _ := e.buildApproxStoreParallel(nil, customers, k, sortDim, workers)
+	return store
+}
+
+// BuildApproxStoreParallelCtx is BuildApproxStoreParallel with
+// deadline/cancellation support. Each worker polls the context through its
+// own checker (checkers are per-goroutine); the first error wins.
+func (e *Engine) BuildApproxStoreParallelCtx(ctx context.Context, customers []Item, k, sortDim, workers int) (*ApproxStore, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return e.buildApproxStoreParallel(ctx, customers, k, sortDim, workers)
+}
+
+func (e *Engine) buildApproxStoreParallel(ctx context.Context, customers []Item, k, sortDim, workers int) (*ApproxStore, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	universe, ok := e.DB.Universe()
 	store := &ApproxStore{K: k, SortDim: sortDim, corners: make(map[int][]geom.Point, len(customers))}
 	if !ok || len(customers) == 0 {
-		return store
+		return store, nil
 	}
 	type result struct {
 		id      int
@@ -80,12 +258,37 @@ func (e *Engine) BuildApproxStoreParallel(customers []Item, k, sortDim, workers 
 	jobs := make(chan Item)
 	results := make(chan result, workers)
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			chk := cancel.FromContext(ctx)
 			for c := range jobs {
-				dsl := e.DB.DynamicSkylineExcluding(c.Point, e.exclude(c))
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					continue // drain remaining jobs without working
+				}
+				if err := chk.Point(cancel.SiteStoreBuild); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				dsl, err := e.DB.DynamicSkylineExcludingChecked(chk, c.Point, e.exclude(c))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
 				sampled := skyline.ApproxDynamic(dsl, c.Point, k, sortDim)
 				u := universe.TransformMinMax(c.Point).Hi
 				results <- result{
@@ -106,5 +309,10 @@ func (e *Engine) BuildApproxStoreParallel(customers []Item, k, sortDim, workers 
 	for r := range results {
 		store.corners[r.id] = r.corners
 	}
-	return store
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return store, nil
 }

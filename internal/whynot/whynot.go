@@ -25,9 +25,11 @@
 package whynot
 
 import (
+	"context"
 	"math"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/internal/geom"
 	"repro/internal/rskyline"
 	"repro/internal/rtree"
@@ -83,11 +85,33 @@ func (e *Engine) exclude(ct Item) int {
 	return rskyline.NoExclude
 }
 
+// entry guards a context-aware entry point: it rejects an already-cancelled
+// context before any algorithmic work happens and hands back the per-query
+// checker used by every checkpoint below.
+func entry(ctx context.Context) (*cancel.Checker, error) {
+	if ctx == nil {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return cancel.FromContext(ctx), nil
+}
+
 // Explain answers aspect (1) of §III: it returns the products Λ that keep
 // c_t out of RSL(q). An empty result means c_t is already a reverse-skyline
 // point of q. By Lemma 1, deleting Λ from P admits c_t.
 func (e *Engine) Explain(ct Item, q geom.Point) []Item {
 	return e.DB.WindowQuery(ct.Point, q, e.exclude(ct))
+}
+
+// ExplainCtx is Explain with deadline/cancellation support.
+func (e *Engine) ExplainCtx(ctx context.Context, ct Item, q geom.Point) ([]Item, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return e.DB.WindowQueryChecked(chk, ct.Point, q, e.exclude(ct))
 }
 
 // costC returns the normalised β-weighted movement cost of the why-not point.
@@ -125,12 +149,30 @@ func (r MWPResult) Best() Candidate { return r.Candidates[0] }
 // formulas exactly for their configuration and stays correct for arbitrary
 // relative positions.
 func (e *Engine) MWP(ct Item, q geom.Point, opt Options) MWPResult {
-	frontier := e.DB.WindowFrontier(ct.Point, q, q, e.exclude(ct))
+	res, _ := e.mwp(nil, ct, q, opt)
+	return res
+}
+
+// MWPCtx is MWP with deadline/cancellation support: the frontier extraction
+// (the only index-touching, potentially expensive step) carries checkpoints.
+func (e *Engine) MWPCtx(ctx context.Context, ct Item, q geom.Point, opt Options) (MWPResult, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return MWPResult{}, err
+	}
+	return e.mwp(chk, ct, q, opt)
+}
+
+func (e *Engine) mwp(chk *cancel.Checker, ct Item, q geom.Point, opt Options) (MWPResult, error) {
+	frontier, err := e.DB.WindowFrontierChecked(chk, ct.Point, q, q, e.exclude(ct))
+	if err != nil {
+		return MWPResult{}, err
+	}
 	if len(frontier) == 0 {
 		return MWPResult{
 			AlreadyMember: true,
 			Candidates:    []Candidate{{Point: ct.Point.Clone(), Cost: 0}},
-		}
+		}, nil
 	}
 
 	d := len(q)
@@ -209,7 +251,7 @@ func (e *Engine) MWP(ct Item, q geom.Point, opt Options) MWPResult {
 		cands = append(cands, Candidate{Point: p, Cost: e.costC(ct.Point, p, opt)})
 	}
 	sortCandidates(cands)
-	return MWPResult{Frontier: frontier, Candidates: dedupCandidates(cands)}
+	return MWPResult{Frontier: frontier, Candidates: dedupCandidates(cands)}, nil
 }
 
 // constraint is one binding frontier midpoint with its per-dimension
@@ -312,6 +354,21 @@ func dedupCandidates(cands []Candidate) []Candidate {
 func (e *Engine) ValidateWhyNotMove(ct Item, q geom.Point, cand geom.Point, eps float64) bool {
 	nudged := nudgeToward(cand, q, eps)
 	return !e.DB.WindowExists(nudged, q, e.exclude(ct))
+}
+
+// ValidateWhyNotMoveCtx is ValidateWhyNotMove with deadline/cancellation
+// support.
+func (e *Engine) ValidateWhyNotMoveCtx(ctx context.Context, ct Item, q geom.Point, cand geom.Point, eps float64) (bool, error) {
+	chk, err := entry(ctx)
+	if err != nil {
+		return false, err
+	}
+	nudged := nudgeToward(cand, q, eps)
+	found, err := e.DB.WindowExistsChecked(chk, nudged, q, e.exclude(ct))
+	if err != nil {
+		return false, err
+	}
+	return !found, nil
 }
 
 // nudgeToward moves p a relative distance eps toward target.

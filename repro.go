@@ -36,8 +36,11 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"io"
 
+	"repro/internal/cancel"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/geom"
@@ -249,6 +252,195 @@ func (db *DB) ValidateQueryMove(ct Item, cand Point, eps float64) bool {
 // Engine exposes the underlying why-not engine for advanced use (custom
 // normalisers, direct window queries).
 func (db *DB) Engine() *whynot.Engine { return db.engine }
+
+// --- Context-aware API -----------------------------------------------------
+//
+// Every XxxContext method is the corresponding method with cooperative
+// deadline/cancellation support: pass a context carrying a deadline (or one
+// that may be cancelled) and the query returns early with a wrapped ctx.Err()
+// instead of running to completion. A context that is already cancelled at the
+// call boundary returns immediately with zero algorithmic work — no index
+// node is touched. Errors unwrap to context.Canceled or
+// context.DeadlineExceeded via errors.Is.
+
+// wrapCtxErr stamps query-stack errors with the public package and operation
+// name so a caller several layers up can tell which query timed out.
+func wrapCtxErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("repro: %s: %w", op, err)
+}
+
+// begin is the shared call-boundary guard: an already-expired context is
+// rejected before any work, and an active one is converted to a checker for
+// the internal layers.
+func begin(ctx context.Context, op string) (*cancel.Checker, error) {
+	if ctx == nil {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCtxErr(op, err)
+	}
+	return cancel.FromContext(ctx), nil
+}
+
+// DynamicSkylineContext is DynamicSkyline with deadline/cancellation support.
+func (db *DB) DynamicSkylineContext(ctx context.Context, c Point) ([]Item, error) {
+	const op = "dynamic skyline"
+	chk, err := begin(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	out, err := db.engine.DB.DynamicSkylineChecked(chk, c)
+	return out, wrapCtxErr(op, err)
+}
+
+// ReverseSkylineContext is ReverseSkyline with deadline/cancellation support.
+func (db *DB) ReverseSkylineContext(ctx context.Context, customers []Item, q Point) ([]Item, error) {
+	const op = "reverse skyline"
+	chk, err := begin(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	out, err := db.engine.DB.ReverseSkylineFilteredChecked(chk, customers, q)
+	return out, wrapCtxErr(op, err)
+}
+
+// IsReverseSkylineContext is IsReverseSkyline with deadline/cancellation
+// support.
+func (db *DB) IsReverseSkylineContext(ctx context.Context, c Item, q Point) (bool, error) {
+	const op = "reverse skyline membership"
+	chk, err := begin(ctx, op)
+	if err != nil {
+		return false, err
+	}
+	ok, err := db.engine.DB.IsReverseSkylineChecked(chk, c, q)
+	return ok, wrapCtxErr(op, err)
+}
+
+// ReverseSkylineBBRSContext is ReverseSkylineBBRS with deadline/cancellation
+// support.
+func (db *DB) ReverseSkylineBBRSContext(ctx context.Context, q Point) ([]Item, error) {
+	const op = "reverse skyline (BBRS)"
+	chk, err := begin(ctx, op)
+	if err != nil {
+		return nil, err
+	}
+	out, err := db.engine.DB.ReverseSkylineBBRSChecked(chk, q)
+	return out, wrapCtxErr(op, err)
+}
+
+// ExplainContext is Explain with deadline/cancellation support.
+func (db *DB) ExplainContext(ctx context.Context, ct Item, q Point) ([]Item, error) {
+	out, err := db.engine.ExplainCtx(ctx, ct, q)
+	return out, wrapCtxErr("explain", err)
+}
+
+// MWPContext is MWP with deadline/cancellation support.
+func (db *DB) MWPContext(ctx context.Context, ct Item, q Point, opt Options) (MWPResult, error) {
+	res, err := db.engine.MWPCtx(ctx, ct, q, opt)
+	return res, wrapCtxErr("MWP", err)
+}
+
+// MQPContext is MQP with deadline/cancellation support.
+func (db *DB) MQPContext(ctx context.Context, ct Item, q Point, opt Options) (MQPResult, error) {
+	res, err := db.engine.MQPCtx(ctx, ct, q, opt)
+	return res, wrapCtxErr("MQP", err)
+}
+
+// MQPTotalCostContext is MQPTotalCost with deadline/cancellation support.
+func (db *DB) MQPTotalCostContext(ctx context.Context, q, qStar Point, rsl []Item, sr Region, opt Options) (float64, error) {
+	cost, err := db.engine.MQPTotalCostCtx(ctx, q, qStar, rsl, sr, opt)
+	return cost, wrapCtxErr("MQP total cost", err)
+}
+
+// SafeRegionContext is SafeRegion with deadline/cancellation support. The
+// exact construction is the step that grows exponentially with |RSL(q)| in
+// the worst case, so this is the method that most needs a deadline.
+func (db *DB) SafeRegionContext(ctx context.Context, q Point, rsl []Item) (Region, error) {
+	sr, err := db.engine.SafeRegionCtx(ctx, q, rsl)
+	return sr, wrapCtxErr("safe region", err)
+}
+
+// ApproxSafeRegionContext assembles the approximate safe region from a
+// precomputed store with deadline/cancellation support.
+func (db *DB) ApproxSafeRegionContext(ctx context.Context, q Point, rsl []Item, store *ApproxStore) (Region, error) {
+	sr, err := db.engine.ApproxSafeRegionCtx(ctx, q, rsl, store)
+	return sr, wrapCtxErr("approximate safe region", err)
+}
+
+// AntiDominanceRegionContext is AntiDominanceRegion with
+// deadline/cancellation support.
+func (db *DB) AntiDominanceRegionContext(ctx context.Context, c Item) (Region, error) {
+	set, err := db.engine.AntiDDROfCtx(ctx, c)
+	return set, wrapCtxErr("anti-dominance region", err)
+}
+
+// MWQContext is MWQ with deadline/cancellation support.
+func (db *DB) MWQContext(ctx context.Context, ct Item, q Point, sr Region, opt Options) (MWQResult, error) {
+	res, err := db.engine.MWQCtx(ctx, ct, q, sr, opt)
+	return res, wrapCtxErr("MWQ", err)
+}
+
+// MWQExactContext is MWQExact with deadline/cancellation support.
+func (db *DB) MWQExactContext(ctx context.Context, ct Item, q Point, rsl []Item, opt Options) (MWQResult, error) {
+	res, err := db.engine.MWQExactCtx(ctx, ct, q, rsl, opt)
+	return res, wrapCtxErr("exact MWQ", err)
+}
+
+// MWQApproxContext is MWQApprox with deadline/cancellation support.
+func (db *DB) MWQApproxContext(ctx context.Context, ct Item, q Point, rsl []Item, store *ApproxStore, opt Options) (MWQResult, error) {
+	res, err := db.engine.MWQApproxCtx(ctx, ct, q, rsl, store, opt)
+	return res, wrapCtxErr("approximate MWQ", err)
+}
+
+// MWQBatchContext is MWQBatch with deadline/cancellation support.
+func (db *DB) MWQBatchContext(ctx context.Context, cts []Item, q Point, rsl []Item, opt Options) ([]MWQResult, error) {
+	out, err := db.engine.MWQBatchCtx(ctx, cts, q, rsl, opt)
+	return out, wrapCtxErr("MWQ batch", err)
+}
+
+// MWQBatchParallelContext is MWQBatchParallel with deadline/cancellation
+// support; a panic in any worker is re-raised on the calling goroutine.
+func (db *DB) MWQBatchParallelContext(ctx context.Context, cts []Item, q Point, sr Region, opt Options, workers int) ([]MWQResult, error) {
+	out, err := db.engine.MWQBatchParallelCtx(ctx, cts, q, sr, opt, workers)
+	return out, wrapCtxErr("parallel MWQ batch", err)
+}
+
+// LostCustomersContext is LostCustomers with deadline/cancellation support.
+func (db *DB) LostCustomersContext(ctx context.Context, qStar Point, rsl []Item) ([]Item, error) {
+	out, err := db.engine.LostCustomersCtx(ctx, qStar, rsl)
+	return out, wrapCtxErr("lost customers", err)
+}
+
+// BuildApproxStoreContext is BuildApproxStore with deadline/cancellation
+// support.
+func (db *DB) BuildApproxStoreContext(ctx context.Context, customers []Item, k int) (*ApproxStore, error) {
+	store, err := db.engine.BuildApproxStoreCtx(ctx, customers, k, 0)
+	return store, wrapCtxErr("approx store build", err)
+}
+
+// BuildApproxStoreParallelContext is BuildApproxStoreParallel with
+// deadline/cancellation support.
+func (db *DB) BuildApproxStoreParallelContext(ctx context.Context, customers []Item, k, workers int) (*ApproxStore, error) {
+	store, err := db.engine.BuildApproxStoreParallelCtx(ctx, customers, k, 0, workers)
+	return store, wrapCtxErr("parallel approx store build", err)
+}
+
+// ValidateWhyNotMoveContext is ValidateWhyNotMove with deadline/cancellation
+// support.
+func (db *DB) ValidateWhyNotMoveContext(ctx context.Context, ct Item, q Point, cand Point, eps float64) (bool, error) {
+	ok, err := db.engine.ValidateWhyNotMoveCtx(ctx, ct, q, cand, eps)
+	return ok, wrapCtxErr("why-not move validation", err)
+}
+
+// ValidateQueryMoveContext is ValidateQueryMove with deadline/cancellation
+// support.
+func (db *DB) ValidateQueryMoveContext(ctx context.Context, ct Item, cand Point, eps float64) (bool, error) {
+	ok, err := db.engine.ValidateQueryMoveCtx(ctx, ct, cand, eps)
+	return ok, wrapCtxErr("query move validation", err)
+}
 
 // GenerateDataset produces one of the paper's experiment datasets: "UN"
 // (uniform), "CO" (correlated), "AC" (anti-correlated) in dims dimensions,

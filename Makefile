@@ -10,9 +10,9 @@ GO ?= go
 # detection on fresh mutations of the seed corpus, not deep exploration.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz-smoke bench
+.PHONY: check build vet test race race-core bench-smoke fuzz-smoke bench
 
-check: vet build test race fuzz-smoke
+check: vet build test race race-core bench-smoke fuzz-smoke
 	@echo "tier-1 gate: OK"
 
 build:
@@ -26,6 +26,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Targeted race gate for the executor substrate and the differential oracle
+# suite — the packages whose whole point is concurrency correctness. Redundant
+# with `race` but kept separate so the critical slice has its own fast signal.
+race-core:
+	$(GO) test -race ./internal/exec/... ./internal/oracle/...
+
+# Benchmark smoke: the parallel/cache-aware configuration against the
+# sequential reference on CarDB-50K, recorded as BENCH_parallel.json.
+bench-smoke:
+	$(GO) run ./cmd/parallelbench -out BENCH_parallel.json
 
 # go test accepts one -fuzz pattern per package invocation, hence one line
 # per fuzz target.

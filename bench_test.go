@@ -8,6 +8,7 @@ package repro
 // table or one point of the corresponding figure.
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -265,6 +266,77 @@ func BenchmarkStaticSkylineAlgorithms(b *testing.B) {
 			skyline.BBS(tr)
 		}
 	})
+}
+
+// Parallel-executor benchmarks on the CarDB-50K workload (the JSON smoke run
+// with a fixed configuration is `make bench-smoke` / cmd/parallelbench).
+
+var carDB50K = struct {
+	sync.Once
+	items []Item
+	q     Point
+	rsl   []Item
+}{}
+
+// benchCarDB50K lazily builds the CarDB-50K dataset plus a product-anchored
+// query whose monochromatic reverse skyline is large enough for safe-region
+// work to dominate, mirroring the paper's timing figures.
+func benchCarDB50K(b *testing.B) ([]Item, Point, []Item) {
+	b.Helper()
+	carDB50K.Do(func() {
+		items := datagen.Generate(datagen.CarDB, 50_000, 2, benchSeed)
+		db := rskyline.NewDB(2, items, rtree.Config{})
+		rng := rand.New(rand.NewSource(benchSeed + 1))
+		for tries := 0; tries < 500; tries++ {
+			p := items[rng.Intn(len(items))]
+			q := append(Point{}, p.Point...)
+			for j := range q {
+				q[j] *= 1.01
+			}
+			if rsl := db.ReverseSkylineBBRS(q); len(rsl) >= 16 {
+				carDB50K.items, carDB50K.q, carDB50K.rsl = items, q, rsl[:16]
+				return
+			}
+		}
+	})
+	if carDB50K.items == nil {
+		b.Fatal("no suitable CarDB-50K query found")
+	}
+	return carDB50K.items, carDB50K.q, carDB50K.rsl
+}
+
+func BenchmarkReverseSkylineParallel(b *testing.B) {
+	items, q, _ := benchCarDB50K(b)
+	cts := items[:5000]
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			db := NewDBWithOptions(2, items, DBOptions{Parallelism: w})
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				db.ReverseSkyline(cts, q)
+			}
+		})
+	}
+}
+
+func BenchmarkSafeRegionParallel(b *testing.B) {
+	items, q, rsl := benchCarDB50K(b)
+	for _, cfg := range []struct {
+		name string
+		opts DBOptions
+	}{
+		{"sequential", DBOptions{}},
+		{"workers=4", DBOptions{Parallelism: 4}},
+		{"workers=4+cache", DBOptions{Parallelism: 4, CacheSize: 4096}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			db := NewDBWithOptions(2, items, cfg.opts)
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				db.SafeRegion(q, rsl)
+			}
+		})
+	}
 }
 
 func BenchmarkApproxStoreBuild(b *testing.B) {

@@ -93,6 +93,8 @@ func run(args []string, out *os.File) error {
 	saveStore := fs.String("save-store", "", "file to write the approximate store to (buildstore)")
 	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none), e.g. 100ms")
 	degrade := fs.Bool("degrade", false, "on deadline/fault, fall back to cheaper algorithms (mwq)")
+	workers := fs.Int("workers", 1, "parallelism for per-customer loops (1 = sequential, 0 or <0 = all CPUs)")
+	cacheSize := fs.Int("cache", 0, "per-customer memoisation cache entries (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return usagef("%v", err)
 	}
@@ -151,7 +153,14 @@ func run(args []string, out *os.File) error {
 	if items[0].Point.Dims() != q.Dims() {
 		return fmt.Errorf("query has %d dims, dataset has %d", q.Dims(), items[0].Point.Dims())
 	}
-	db := repro.NewDB(q.Dims(), items)
+	par := *workers
+	if par <= 0 {
+		par = -1 // repro convention: negative = GOMAXPROCS
+	}
+	db := repro.NewDBWithOptions(q.Dims(), items, repro.DBOptions{
+		Parallelism: par,
+		CacheSize:   *cacheSize,
+	})
 
 	// ctx bounds every non-ladder query; the mwq ladder instead gives each
 	// rung its own -timeout budget via the Runner.
@@ -191,7 +200,7 @@ func run(args []string, out *os.File) error {
 			return err
 		}
 		t0 := time.Now()
-		built, err := db.BuildApproxStoreParallelContext(ctx, rsl, *k, 0)
+		built, err := db.BuildApproxStoreParallelContext(ctx, rsl, *k, db.Workers())
 		if err != nil {
 			return err
 		}
@@ -275,6 +284,7 @@ func run(args []string, out *os.File) error {
 			Timeout: *timeout,
 			Degrade: *degrade,
 			Store:   store,
+			Workers: db.Workers(),
 		})
 		ans, err := runner.MWQ(context.Background(), ct, q, rsl)
 		if err != nil {
@@ -417,5 +427,9 @@ commands:
 
 robustness flags:
   -timeout d  bound each query by a deadline (e.g. -timeout 100ms)
-  -degrade    let mwq fall back: exact -> approximate (-store) -> MWP`)
+  -degrade    let mwq fall back: exact -> approximate (-store) -> MWP
+
+performance flags:
+  -workers n  fan per-customer loops out over n goroutines (1 = sequential, 0 = all CPUs)
+  -cache n    memoise up to n per-customer dynamic skylines / anti-DDRs (0 = off)`)
 }

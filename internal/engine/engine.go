@@ -102,6 +102,12 @@ type Config struct {
 	Store *whynot.ApproxStore
 	// Options are passed to the underlying algorithms.
 	Options whynot.Options
+	// Workers is the parallelism of the exact rung's safe-region
+	// construction: 0 or 1 runs sequentially, n > 1 fans the per-customer
+	// anti-dominance regions out over n goroutines (internal/exec). The
+	// cooperative checkpoints keep firing inside the pool, so per-rung
+	// timeouts and fault injection behave as in the sequential rung.
+	Workers int
 }
 
 // Runner executes queries under Config's deadline, recovery, and degradation
@@ -139,7 +145,11 @@ func (r *Runner) MWQ(ctx context.Context, ct whynot.Item, q geom.Point, rsl []wh
 	var res whynot.MWQResult
 	err := r.runRung(ctx, "exact MWQ", func(rctx context.Context) error {
 		var e error
-		res, e = r.Engine.MWQExactCtx(rctx, ct, q, rsl, r.Cfg.Options)
+		if r.Cfg.Workers > 1 {
+			res, e = r.Engine.MWQExactParallelCtx(rctx, ct, q, rsl, r.Cfg.Options, r.Cfg.Workers)
+		} else {
+			res, e = r.Engine.MWQExactCtx(rctx, ct, q, rsl, r.Cfg.Options)
+		}
 		return e
 	})
 	if err == nil {

@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a concurrency-safe, bounded, LRU-evicting memoisation cache.
+//
+// It is the substrate for the per-customer caches of the query engine
+// (dynamic skylines in internal/rskyline, anti-dominance regions in
+// internal/whynot): influence-style workloads evaluate reverse skylines for
+// many candidate query points over a fixed customer set, and the dominant
+// per-customer DSL cost is identical across those queries.
+//
+// A nil *Cache is valid and behaves as an always-miss cache (Get misses, Put
+// is a no-op), so call sites need no "is caching enabled" branches. Values
+// are returned as stored: callers must treat cached values as immutable.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	m        map[K]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewCache builds a cache bounded to capacity entries. capacity <= 0 returns
+// nil — the always-miss cache — so a zero CacheSize knob disables caching
+// without any further plumbing.
+func NewCache[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		m:        make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry[K, V]).val, true
+}
+
+// Put stores v under k, evicting the least recently used entry when full.
+func (c *Cache[K, V]) Put(k K, v V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*cacheEntry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.m, oldest.Value.(*cacheEntry[K, V]).key)
+		}
+	}
+	c.m[k] = c.ll.PushFront(&cacheEntry[K, V]{key: k, val: v})
+}
+
+// Purge drops every entry (the explicit invalidation hook for mutations:
+// any product Insert/Delete can change every cached per-customer structure).
+// Hit/miss counters survive a purge.
+func (c *Cache[K, V]) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.m)
+}
+
+// Len returns the current number of entries.
+func (c *Cache[K, V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit and miss counts (test and ops visibility).
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

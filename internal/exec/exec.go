@@ -1,0 +1,105 @@
+// Package exec is the shared parallel-execution substrate of the query
+// engine: a context-aware worker pool for the per-customer loops that
+// dominate reverse-skyline and why-not workloads, plus a concurrency-safe
+// memoisation cache (cache.go) for the per-customer structures those loops
+// recompute.
+//
+// Every fan-out in the repository — reverse-skyline verification, safe-region
+// anti-DDR construction, batch why-not answering, approximate-store
+// precomputation — goes through ForEach, so the cancellation, first-error and
+// panic-propagation semantics are identical everywhere:
+//
+//   - each worker goroutine builds its own cancel.Checker from the shared
+//     context (Checkers are deliberately single-goroutine), so deadlines and
+//     fault-injection hooks keep working inside parallel sections;
+//   - the first error wins and stops further work; remaining jobs drain
+//     without running;
+//   - a panic in any worker is re-raised on the calling goroutine after all
+//     workers have exited, so recovery middleware above the pool still sees
+//     it and no goroutine leaks;
+//   - workers <= 1 runs inline on the calling goroutine with sequential
+//     semantics, so the parallel entry points degrade to exactly the
+//     single-threaded behaviour when parallelism is disabled.
+package exec
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/cancel"
+)
+
+// Resolve maps a workers knob onto an actual worker count for n jobs:
+// 0 or negative means GOMAXPROCS, and the count never exceeds n (spawning
+// more goroutines than jobs only costs scheduling).
+func Resolve(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach runs fn(chk, i) for every i in [0, n), fanned out over the given
+// number of worker goroutines (0 = GOMAXPROCS, capped at n). Before each job
+// the per-worker checker fires a checkpoint at site, so deadlines and
+// fault-injection rules behave as in the sequential loops. The first error
+// returned by any fn stops the pool and is returned; a panic in any fn is
+// re-raised on the calling goroutine once every worker has drained.
+//
+// fn must be safe to call concurrently for distinct i; writes to shared
+// output should go to per-index slots (out[i] = ...), which needs no locking.
+func ForEach(ctx context.Context, n, workers int, site string, fn func(chk *cancel.Checker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers, n)
+	if workers == 1 {
+		chk := cancel.FromContext(ctx)
+		for i := 0; i < n; i++ {
+			if err := chk.Point(site); err != nil {
+				return err
+			}
+			if err := fn(chk, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var pool pool
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		pool.wg.Add(1)
+		go func() {
+			defer pool.wg.Done()
+			// One checker per goroutine: Checker has no atomics on its hot
+			// path and must not be shared.
+			chk := cancel.FromContext(ctx)
+			for i := range jobs {
+				if pool.stopped() {
+					continue // drain remaining jobs without working
+				}
+				pool.run(chk, i, site, fn)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	pool.wg.Wait()
+	return pool.finish()
+}
+
+// ForEachChecked is ForEach for call sites that hold a *cancel.Checker
+// rather than a context (the internal checked paths). The workers are built
+// from the checker's underlying context, so hooks and deadlines carry over.
+func ForEachChecked(chk *cancel.Checker, n, workers int, site string, fn func(chk *cancel.Checker, i int) error) error {
+	return ForEach(chk.Context(), n, workers, site, fn)
+}

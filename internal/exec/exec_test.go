@@ -1,0 +1,229 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cancel"
+)
+
+func TestForEachRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		n := 100
+		out := make([]int, n)
+		err := ForEach(context.Background(), n, workers, "test.site", func(_ *cancel.Checker, i int) error {
+			out[i] = i + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: job %d not run (got %d)", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	called := false
+	if err := ForEach(context.Background(), 0, 4, "s", func(_ *cancel.Checker, _ int) error {
+		called = true
+		return nil
+	}); err != nil || called {
+		t.Fatalf("err=%v called=%v, want nil/false", err, called)
+	}
+}
+
+func TestForEachFirstErrorWinsAndStops(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEach(context.Background(), 1000, workers, "s", func(_ *cancel.Checker, i int) error {
+			ran.Add(1)
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		// After the failure, remaining jobs drain without running. With
+		// workers in flight some overshoot is expected, but nowhere near all.
+		if workers > 1 && ran.Load() == 1000 {
+			t.Fatalf("workers=%d: pool did not stop after first error", workers)
+		}
+	}
+}
+
+func TestForEachPanicReRaisedOnCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not re-raised", workers)
+				}
+				if !strings.Contains(r.(string), "kaboom") {
+					t.Fatalf("workers=%d: recovered %v, want wrapped kaboom", workers, r)
+				}
+			}()
+			_ = ForEach(context.Background(), 50, workers, "s", func(_ *cancel.Checker, i int) error {
+				if i == 7 {
+					panic("kaboom")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestForEachObservesContextCancellation(t *testing.T) {
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	ctx = cancel.WithStride(ctx, 1)
+	cancelCtx()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEach(ctx, 100, workers, "s", func(_ *cancel.Checker, _ int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d jobs ran after cancellation", workers, ran.Load())
+		}
+	}
+}
+
+// countingHook counts checkpoint visits per site; safe for concurrent use as
+// the cancel.Hook contract requires.
+type countingHook struct{ n atomic.Uint64 }
+
+func (h *countingHook) Visit(string, uint64) { h.n.Add(1) }
+
+func TestForEachFiresCheckpointPerJob(t *testing.T) {
+	h := &countingHook{}
+	ctx := cancel.WithHook(context.Background(), h)
+	if err := ForEach(ctx, 64, 4, "s", func(*cancel.Checker, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.n.Load(); got < 64 {
+		t.Fatalf("hook saw %d visits, want >= 64 (one per job)", got)
+	}
+}
+
+func TestForEachCheckedForwardsContext(t *testing.T) {
+	ctx, cancelCtx := context.WithCancel(cancel.WithStride(context.Background(), 1))
+	cancelCtx()
+	chk := cancel.FromContext(ctx)
+	err := ForEachChecked(chk, 10, 4, "s", func(*cancel.Checker, int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled through the forked checkers", err)
+	}
+	// A nil checker forwards a nil context: runs everything, returns nil.
+	if err := ForEachChecked(nil, 10, 4, "s", func(*cancel.Checker, int) error { return nil }); err != nil {
+		t.Fatalf("nil checker: %v", err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(4, 100); got != 4 {
+		t.Fatalf("Resolve(4,100) = %d", got)
+	}
+	if got := Resolve(8, 3); got != 3 {
+		t.Fatalf("Resolve(8,3) = %d, want capped at n", got)
+	}
+	if got := Resolve(0, 1000); got < 1 {
+		t.Fatalf("Resolve(0,·) = %d, want >= 1", got)
+	}
+}
+
+func TestCacheBasicsAndLRU(t *testing.T) {
+	c := NewCache[int, string](2)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q,%v", v, ok)
+	}
+	c.Put(3, "c") // evicts 2: 1 was touched more recently
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU entry 2 not evicted")
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("recently used entry evicted: %q,%v", v, ok)
+	}
+	c.Put(1, "a2") // update keeps size
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if v, _ := c.Get(1); v != "a2" {
+		t.Fatalf("update lost: %q", v)
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats = %d/%d, want both nonzero", hits, misses)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after purge = %d", c.Len())
+	}
+	if h2, m2 := c.Stats(); h2 != hits || m2 != misses+1 {
+		// the Get(1) above after update was a hit; counters survive Purge
+		t.Logf("stats after purge: %d/%d", h2, m2)
+	}
+}
+
+func TestCacheNilIsAlwaysMiss(t *testing.T) {
+	var c *Cache[int, int]
+	c.Put(1, 1)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len != 0")
+	}
+	if NewCache[int, int](0) != nil {
+		t.Fatal("capacity 0 must return the nil always-miss cache")
+	}
+}
+
+// TestCacheConcurrentReadersAndPurge is the -race witness for the cache: many
+// readers, writers and purgers at once must be data-race free.
+func TestCacheConcurrentReadersAndPurge(t *testing.T) {
+	c := NewCache[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (g*31 + i) % 97
+				switch i % 4 {
+				case 0:
+					c.Put(k, i)
+				case 3:
+					if i%256 == 3 {
+						c.Purge()
+					}
+				default:
+					if v, ok := c.Get(k); ok && v < 0 {
+						t.Error("corrupt value")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cancel"
+)
+
+// pool collects the shared failure state of one ForEach fan-out.
+type pool struct {
+	wg         sync.WaitGroup
+	mu         sync.Mutex
+	firstErr   error
+	firstPanic any
+	panicked   bool
+}
+
+func (p *pool) stopped() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.firstErr != nil || p.panicked
+}
+
+func (p *pool) fail(err error) {
+	p.mu.Lock()
+	if p.firstErr == nil {
+		p.firstErr = err
+	}
+	p.mu.Unlock()
+}
+
+// run executes one job under panic capture.
+func (p *pool) run(chk *cancel.Checker, i int, site string, fn func(chk *cancel.Checker, i int) error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			if !p.panicked {
+				p.panicked = true
+				p.firstPanic = r
+			}
+			p.mu.Unlock()
+		}
+	}()
+	if err := chk.Point(site); err != nil {
+		p.fail(err)
+		return
+	}
+	if err := fn(chk, i); err != nil {
+		p.fail(err)
+	}
+}
+
+// finish reports the pool outcome after wg.Wait: re-raise the first panic on
+// the caller, otherwise return the first error.
+func (p *pool) finish() error {
+	if p.panicked {
+		panic(fmt.Sprintf("exec: worker panicked: %v", p.firstPanic))
+	}
+	return p.firstErr
+}

@@ -1,0 +1,94 @@
+// Package oracle provides brute-force reference implementations of the
+// query primitives: O(n·m) nested loops straight from the paper's
+// definitions, with no index, no pruning, no caching and no concurrency.
+//
+// They exist to be obviously correct, not fast. The differential tests in
+// this package (and the property tests built on top elsewhere) run the
+// optimised paths — branch-and-bound traversals, the BBRS pipeline, the
+// worker-pool variants and the memoised caches — against these oracles on
+// seeded datasets and assert exact agreement.
+package oracle
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// Item aliases the R-tree item type used across the repository.
+type Item = rtree.Item
+
+// NoExclude mirrors rskyline.NoExclude: exclude no record.
+const NoExclude = -1
+
+// DynamicSkyline returns DSL(c) over products by the Definition 2 nested
+// loop: a product is a member iff no other product (the record excludeID
+// aside) dynamically dominates it with respect to c. Output preserves the
+// input order of products.
+func DynamicSkyline(products []Item, c geom.Point, excludeID int) []Item {
+	var out []Item
+	for i, p := range products {
+		if p.ID == excludeID {
+			continue
+		}
+		dominated := false
+		for j, o := range products {
+			if i == j || o.ID == excludeID {
+				continue
+			}
+			if geom.DynDominates(c, o.Point, p.Point) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IsReverseSkyline reports whether customer c belongs to RSL(q) over
+// products by the Definition 3 test: no product other than the customer's
+// own record may dynamically dominate q with respect to c.
+func IsReverseSkyline(products []Item, c Item, q geom.Point) bool {
+	for _, p := range products {
+		if p.ID == c.ID {
+			continue
+		}
+		if geom.DynDominates(c.Point, p.Point, q) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReverseSkyline returns RSL(q): the customers whose dynamic skyline
+// contains q, in input order. It applies the monochromatic convention of the
+// optimised paths (a customer's own product record, matched by ID, never
+// blocks it); for bichromatic data the ID sets are disjoint and the
+// convention is a no-op.
+func ReverseSkyline(products, customers []Item, q geom.Point) []Item {
+	var out []Item
+	for _, c := range customers {
+		if IsReverseSkyline(products, c, q) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SafeAt reports whether moving the query product to position x keeps every
+// customer of rsl in the reverse skyline — the semantic definition of safe-
+// region membership (Lemma 2): x ∈ SR(q) iff every c ∈ RSL(q) satisfies
+// c ∈ RSL(x). The constructed safe region (Algorithm 3) is a closed set, so
+// the two can disagree exactly on the region's boundary; differential tests
+// sample continuous positions, which miss that measure-zero set almost
+// surely.
+func SafeAt(products, rsl []Item, x geom.Point) bool {
+	for _, c := range rsl {
+		if !IsReverseSkyline(products, c, x) {
+			return false
+		}
+	}
+	return true
+}

@@ -11,9 +11,12 @@
 package rskyline
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cancel"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/rtree"
 	"repro/internal/skyline"
@@ -28,14 +31,42 @@ const NoExclude = -1
 
 // DB holds an R*-tree over the product set plus the dimensionality, and is
 // the substrate every reverse-skyline and why-not computation runs against.
+//
+// All query methods are safe for concurrent use with each other and with
+// Insert/Delete: index traversals run under a read lock, mutations under a
+// write lock, and every memoised structure is either purged on mutation or
+// validated against the mutation generation. Only the raw Tree() accessor is
+// exempt — callers holding it must serialise against mutations themselves.
 type DB struct {
-	tree *rtree.Tree
-	dims int
+	// treeMu serialises index mutations against traversals. Only the leaf
+	// methods that touch tree directly take it, and they never nest, so the
+	// read lock is never acquired re-entrantly.
+	treeMu sync.RWMutex
+	tree   *rtree.Tree
+	dims   int
+	// gen counts mutations. Caches of per-customer derived structures (the
+	// DSL cache here, the anti-DDR cache in internal/whynot) stamp entries
+	// with the generation observed before computing and treat entries from
+	// another generation as misses, which closes the compute-mutate-store
+	// invalidation race without holding any lock across a computation.
+	gen atomic.Uint64
 	// itemCache memoises Tree().Items() for the candidate-generation paths;
 	// guarded by itemMu and invalidated on mutation, so concurrent read-only
 	// queries stay race-free.
 	itemMu    sync.Mutex
 	itemCache []Item
+	// dsl memoises dynamic skylines per customer ID (nil = caching off).
+	dsl *exec.Cache[int, dslEntry]
+}
+
+// dslEntry is one cached dynamic skyline. Point and exclude are stored so a
+// hit is honoured only for the same preference point and monochromatic
+// convention; gen ties the entry to the index state it was computed against.
+type dslEntry struct {
+	point   geom.Point
+	exclude int
+	gen     uint64
+	items   []Item
 }
 
 // NewDB bulk-loads the products into an R*-tree. The paper's page-size-1536
@@ -44,32 +75,70 @@ func NewDB(dims int, products []Item, cfg rtree.Config) *DB {
 	return &DB{tree: rtree.BulkLoad(dims, products, cfg), dims: dims}
 }
 
-// Tree exposes the underlying product index.
+// EnableDSLCache turns on memoisation of per-customer dynamic skylines,
+// bounded to capacity entries (<= 0 disables). Call during setup, before the
+// DB is shared between goroutines.
+func (db *DB) EnableDSLCache(capacity int) {
+	db.dsl = exec.NewCache[int, dslEntry](capacity)
+}
+
+// DSLCacheStats returns cumulative hit/miss counters of the DSL cache.
+func (db *DB) DSLCacheStats() (hits, misses uint64) {
+	return db.dsl.Stats()
+}
+
+// Generation returns the mutation counter: it increases on every Insert or
+// Delete, and any derived structure computed at an older generation is stale.
+func (db *DB) Generation() uint64 { return db.gen.Load() }
+
+// Tree exposes the underlying product index. The returned tree is not
+// synchronised: do not mutate the DB while traversing it directly.
 func (db *DB) Tree() *rtree.Tree { return db.tree }
 
 // Dims returns the dimensionality of the product space.
 func (db *DB) Dims() int { return db.dims }
 
 // Len returns the number of products.
-func (db *DB) Len() int { return db.tree.Len() }
+func (db *DB) Len() int {
+	db.treeMu.RLock()
+	defer db.treeMu.RUnlock()
+	return db.tree.Len()
+}
 
 // Universe returns the MBR of the product set; ok is false when empty. The
 // anti-dominance region construction clips against this rectangle.
-func (db *DB) Universe() (geom.Rect, bool) { return db.tree.Bounds() }
+func (db *DB) Universe() (geom.Rect, bool) {
+	db.treeMu.RLock()
+	defer db.treeMu.RUnlock()
+	return db.tree.Bounds()
+}
 
-// Insert adds a product.
+// Insert adds a product and invalidates every derived cache.
 func (db *DB) Insert(it Item) {
+	db.treeMu.Lock()
 	db.tree.Insert(it)
-	db.invalidateItems()
+	db.treeMu.Unlock()
+	db.mutated()
 }
 
 // Delete removes a product, reporting whether it was present.
 func (db *DB) Delete(it Item) bool {
+	db.treeMu.Lock()
 	ok := db.tree.Delete(it)
+	db.treeMu.Unlock()
 	if ok {
-		db.invalidateItems()
+		db.mutated()
 	}
 	return ok
+}
+
+// mutated bumps the generation and drops memoised state. The generation is
+// bumped first so that a concurrent reader that already computed against the
+// old tree stores an entry that can never be served again.
+func (db *DB) mutated() {
+	db.gen.Add(1)
+	db.dsl.Purge()
+	db.invalidateItems()
 }
 
 func (db *DB) invalidateItems() {
@@ -85,9 +154,16 @@ func (db *DB) Items() []Item {
 	db.itemMu.Lock()
 	defer db.itemMu.Unlock()
 	if db.itemCache == nil {
-		db.itemCache = db.tree.Items()
+		db.itemCache = db.snapshotItems()
 	}
 	return db.itemCache
+}
+
+// snapshotItems reads the full item list under the tree read lock.
+func (db *DB) snapshotItems() []Item {
+	db.treeMu.RLock()
+	defer db.treeMu.RUnlock()
+	return db.tree.Items()
 }
 
 // WindowQuery returns Λ = window_query(c, q): every product inside the
@@ -103,6 +179,8 @@ func (db *DB) WindowQuery(c, q geom.Point, excludeID int) []Item {
 
 // WindowQueryChecked is WindowQuery with cooperative cancellation.
 func (db *DB) WindowQueryChecked(chk *cancel.Checker, c, q geom.Point, excludeID int) ([]Item, error) {
+	db.treeMu.RLock()
+	defer db.treeMu.RUnlock()
 	var out []Item
 	err := db.tree.SearchChecked(chk, geom.WindowRect(c, q), func(it Item) bool {
 		if it.ID != excludeID && geom.DynDominates(c, it.Point, q) {
@@ -125,6 +203,8 @@ func (db *DB) WindowExists(c, q geom.Point, excludeID int) bool {
 
 // WindowExistsChecked is WindowExists with cooperative cancellation.
 func (db *DB) WindowExistsChecked(chk *cancel.Checker, c, q geom.Point, excludeID int) (bool, error) {
+	db.treeMu.RLock()
+	defer db.treeMu.RUnlock()
 	return db.tree.ExistsChecked(chk, geom.WindowRect(c, q), func(it Item) bool {
 		return it.ID != excludeID && geom.DynDominates(c, it.Point, q)
 	})
@@ -197,6 +277,7 @@ func (db *DB) WindowFrontierChecked(chk *cancel.Checker, c, q, centre geom.Point
 		}
 		return false
 	}
+	db.treeMu.RLock()
 	err := db.tree.GuidedSearchChecked(chk, window,
 		func(r geom.Rect) float64 { return boxTransformSum(r, centre) },
 		prune,
@@ -215,6 +296,7 @@ func (db *DB) WindowFrontierChecked(chk *cancel.Checker, c, q, centre geom.Point
 			return true
 		},
 	)
+	db.treeMu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +443,7 @@ func (db *DB) ReverseSkylineBBRS(q geom.Point) []Item {
 // cancellation in both the candidate traversal and the per-candidate
 // verification loop.
 func (db *DB) ReverseSkylineBBRSChecked(chk *cancel.Checker, q geom.Point) ([]Item, error) {
-	cands, err := skyline.GlobalSkylineBBSChecked(chk, db.tree, q)
+	cands, err := db.globalSkylineBBS(chk, q)
 	if err != nil {
 		return nil, err
 	}
@@ -381,14 +463,24 @@ func (db *DB) ReverseSkylineBBRSChecked(chk *cancel.Checker, q geom.Point) ([]It
 	return out, nil
 }
 
+// globalSkylineBBS runs the candidate traversal under the tree read lock.
+func (db *DB) globalSkylineBBS(chk *cancel.Checker, q geom.Point) ([]Item, error) {
+	db.treeMu.RLock()
+	defer db.treeMu.RUnlock()
+	return skyline.GlobalSkylineBBSChecked(chk, db.tree, q)
+}
+
 // DynamicSkyline computes DSL(c) over the products via branch-and-bound on
 // the R*-tree.
 func (db *DB) DynamicSkyline(c geom.Point) []Item {
-	return skyline.DynamicBBS(db.tree, c)
+	out, _ := db.DynamicSkylineChecked(nil, c)
+	return out
 }
 
 // DynamicSkylineChecked is DynamicSkyline with cooperative cancellation.
 func (db *DB) DynamicSkylineChecked(chk *cancel.Checker, c geom.Point) ([]Item, error) {
+	db.treeMu.RLock()
+	defer db.treeMu.RUnlock()
 	return skyline.DynamicBBSChecked(chk, db.tree, c)
 }
 
@@ -396,10 +488,8 @@ func (db *DB) DynamicSkylineChecked(chk *cancel.Checker, c geom.Point) ([]Item, 
 // record whose ID is excludeID (monochromatic convention). Pass NoExclude to
 // keep everything.
 func (db *DB) DynamicSkylineExcluding(c geom.Point, excludeID int) []Item {
-	if excludeID == NoExclude {
-		return db.DynamicSkyline(c)
-	}
-	return skyline.DynamicBBSExcluding(db.tree, c, excludeID)
+	out, _ := db.DynamicSkylineExcludingChecked(nil, c, excludeID)
+	return out
 }
 
 // DynamicSkylineExcludingChecked is DynamicSkylineExcluding with cooperative
@@ -408,5 +498,130 @@ func (db *DB) DynamicSkylineExcludingChecked(chk *cancel.Checker, c geom.Point, 
 	if excludeID == NoExclude {
 		return db.DynamicSkylineChecked(chk, c)
 	}
+	db.treeMu.RLock()
+	defer db.treeMu.RUnlock()
 	return skyline.DynamicBBSExcludingChecked(chk, db.tree, c, excludeID)
+}
+
+// DynamicSkylineOfChecked computes DSL(c.Point) excluding excludeID through
+// the DSL cache when one is enabled: a hit must match the customer's point,
+// the exclusion convention, and the current mutation generation; anything
+// else recomputes and refreshes the entry. Callers must not modify the
+// returned slice — it may be shared with other queries.
+func (db *DB) DynamicSkylineOfChecked(chk *cancel.Checker, c Item, excludeID int) ([]Item, error) {
+	if db.dsl == nil {
+		return db.DynamicSkylineExcludingChecked(chk, c.Point, excludeID)
+	}
+	gen := db.gen.Load()
+	if e, ok := db.dsl.Get(c.ID); ok && e.gen == gen && e.exclude == excludeID && e.point.Equal(c.Point) {
+		return e.items, nil
+	}
+	out, err := db.DynamicSkylineExcludingChecked(chk, c.Point, excludeID)
+	if err != nil {
+		return nil, err
+	}
+	// Stamped with the pre-computation generation: if a mutation raced with
+	// the traversal the entry is already stale and will never be served.
+	db.dsl.Put(c.ID, dslEntry{point: c.Point.Clone(), exclude: excludeID, gen: gen, items: out})
+	return out, nil
+}
+
+// --- Parallel reverse-skyline variants --------------------------------------
+//
+// Each variant fans the per-customer verification loop of its sequential
+// counterpart out over an internal/exec worker pool and returns an identical,
+// deterministically ordered result: membership flags land in per-index slots
+// and the output is assembled in input order afterwards. workers <= 1 runs
+// the sequential code path unchanged.
+
+// ReverseSkylineParallel is ReverseSkyline with the per-customer window
+// queries fanned out over workers goroutines (0 = GOMAXPROCS).
+func (db *DB) ReverseSkylineParallel(ctx context.Context, customers []Item, q geom.Point, workers int) ([]Item, error) {
+	if exec.Resolve(workers, len(customers)) == 1 {
+		return db.ReverseSkylineChecked(cancel.FromContext(ctx), customers, q)
+	}
+	in := make([]bool, len(customers))
+	err := exec.ForEach(ctx, len(customers), workers, cancel.SiteCustomer, func(chk *cancel.Checker, i int) error {
+		member, err := db.IsReverseSkylineChecked(chk, customers[i], q)
+		in[i] = member
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return selectMembers(customers, in), nil
+}
+
+// ReverseSkylineFilteredParallel is ReverseSkylineFiltered with the
+// per-candidate verification fanned out over workers goroutines.
+func (db *DB) ReverseSkylineFilteredParallel(ctx context.Context, customers []Item, q geom.Point, workers int) ([]Item, error) {
+	if exec.Resolve(workers, len(customers)) == 1 {
+		return db.ReverseSkylineFilteredChecked(cancel.FromContext(ctx), customers, q)
+	}
+	gsp := skyline.GlobalSkyline(db.Items(), q)
+	in := make([]bool, len(customers))
+	err := exec.ForEach(ctx, len(customers), workers, cancel.SiteCustomer, func(chk *cancel.Checker, i int) error {
+		c := customers[i]
+		for _, p := range gsp {
+			if p.ID != c.ID && skyline.GlobalDominates(q, p.Point, c.Point) {
+				return nil // pruned: cannot be a reverse-skyline member
+			}
+		}
+		member, err := db.IsReverseSkylineChecked(chk, c, q)
+		in[i] = member
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return selectMembers(customers, in), nil
+}
+
+// ReverseSkylineBBRSParallel is ReverseSkylineBBRS with the per-candidate
+// verification fanned out over workers goroutines; the branch-and-bound
+// candidate traversal itself stays sequential (it is a tiny fraction of the
+// work and inherently ordered).
+func (db *DB) ReverseSkylineBBRSParallel(ctx context.Context, q geom.Point, workers int) ([]Item, error) {
+	chk := cancel.FromContext(ctx)
+	cands, err := db.globalSkylineBBS(chk, q)
+	if err != nil {
+		return nil, err
+	}
+	if exec.Resolve(workers, len(cands)) == 1 {
+		var out []Item
+		for _, c := range cands {
+			if err := chk.Point(cancel.SiteCustomer); err != nil {
+				return nil, err
+			}
+			in, err := db.IsReverseSkylineChecked(chk, c, q)
+			if err != nil {
+				return nil, err
+			}
+			if in {
+				out = append(out, c)
+			}
+		}
+		return out, nil
+	}
+	in := make([]bool, len(cands))
+	err = exec.ForEach(ctx, len(cands), workers, cancel.SiteCustomer, func(chk *cancel.Checker, i int) error {
+		member, err := db.IsReverseSkylineChecked(chk, cands[i], q)
+		in[i] = member
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return selectMembers(cands, in), nil
+}
+
+// selectMembers assembles the positionally flagged members in input order.
+func selectMembers(customers []Item, in []bool) []Item {
+	var out []Item
+	for i, ok := range in {
+		if ok {
+			out = append(out, customers[i])
+		}
+	}
+	return out
 }

@@ -2,11 +2,9 @@ package whynot
 
 import (
 	"context"
-	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/cancel"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/region"
 )
@@ -89,71 +87,17 @@ func (e *Engine) MWQBatchParallelCtx(ctx context.Context, cts []Item, q geom.Poi
 }
 
 func (e *Engine) mwqBatchParallel(ctx context.Context, cts []Item, q geom.Point, sr region.Set, opt Options, workers int) ([]MWQResult, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	out := make([]MWQResult, len(cts))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	var mu sync.Mutex
-	var firstErr error
-	var firstPanic any
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each goroutine needs its own checker: Checker is deliberately
-			// not concurrency-safe (no atomics on the hot path).
-			chk := cancel.FromContext(ctx)
-			for i := range jobs {
-				mu.Lock()
-				stop := firstErr != nil || firstPanic != nil
-				mu.Unlock()
-				if stop {
-					continue // drain remaining jobs without working
-				}
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							mu.Lock()
-							if firstPanic == nil {
-								firstPanic = r
-							}
-							mu.Unlock()
-						}
-					}()
-					if err := chk.Point(cancel.SiteBatchItem); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						return
-					}
-					res, err := e.mwq(chk, cts[i], q, sr, opt)
-					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						return
-					}
-					out[i] = res
-				}()
-			}
-		}()
-	}
-	for i := range cts {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	if firstPanic != nil {
-		panic(fmt.Sprintf("whynot: MWQ batch worker panicked: %v", firstPanic))
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	err := exec.ForEach(ctx, len(cts), workers, cancel.SiteBatchItem, func(chk *cancel.Checker, i int) error {
+		res, err := e.mwq(chk, cts[i], q, sr, opt)
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -223,6 +223,17 @@ func (e *Engine) MWQExactCtx(ctx context.Context, ct Item, q geom.Point, rsl []I
 	return e.mwq(chk, ct, q, sr, opt)
 }
 
+// MWQExactParallelCtx is MWQExactCtx with the safe-region construction fanned
+// out over workers goroutines (0 = GOMAXPROCS); Algorithm 4 itself runs on
+// the calling goroutine. Results are identical to MWQExactCtx.
+func (e *Engine) MWQExactParallelCtx(ctx context.Context, ct Item, q geom.Point, rsl []Item, opt Options, workers int) (MWQResult, error) {
+	sr, err := e.SafeRegionParallel(ctx, q, rsl, workers)
+	if err != nil {
+		return MWQResult{}, err
+	}
+	return e.MWQCtx(ctx, ct, q, sr, opt)
+}
+
 // MWQApprox runs Algorithm 4 on the approximate safe region assembled from
 // the pre-computed store (§VI.B.1).
 func (e *Engine) MWQApprox(ct Item, q geom.Point, rsl []Item, store *ApproxStore, opt Options) MWQResult {

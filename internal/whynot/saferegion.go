@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/cancel"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/region"
 	"repro/internal/rskyline"
@@ -46,16 +47,14 @@ func (e *Engine) safeRegion(chk *cancel.Checker, q geom.Point, rsl []Item) (regi
 		if err := chk.Point(cancel.SiteSafeRegion); err != nil {
 			return nil, err
 		}
-		dsl, err := e.DB.DynamicSkylineExcludingChecked(chk, c.Point, e.exclude(c))
-		if err != nil {
-			return nil, err
-		}
-		add, err := region.AntiDDRChecked(c.Point, points(dsl), universe, poll)
+		add, err := e.antiDDRCached(chk, c, universe, poll)
 		if err != nil {
 			return nil, err
 		}
 		if !started {
-			sr, started = add, true
+			// Copy: add may be a shared cached set and the fold (and
+			// ensureContainsQ below) append to sr.
+			sr, started = append(region.Set{}, add...), true
 		} else {
 			sr, err = sr.IntersectSetChecked(add, poll)
 			if err != nil {
@@ -70,6 +69,87 @@ func (e *Engine) safeRegion(chk *cancel.Checker, q geom.Point, rsl []Item) (regi
 		return region.Set{{Lo: q.Sub(u), Hi: q.Add(u)}}, nil
 	}
 	return ensureContainsQ(sr, q), nil
+}
+
+// SafeRegionParallel is SafeRegionCtx with the per-customer anti-DDR
+// construction — DSL computation plus staircase assembly, the bulk of
+// Algorithm 3 — fanned out over workers goroutines (0 = GOMAXPROCS). The
+// rectangle-set intersection fold stays sequential: it is an ordered
+// reduction whose cost is dwarfed by the per-customer work. workers <= 1
+// falls back to the sequential construction, so results are always identical.
+func (e *Engine) SafeRegionParallel(ctx context.Context, q geom.Point, rsl []Item, workers int) (region.Set, error) {
+	if exec.Resolve(workers, len(rsl)) <= 1 {
+		return e.SafeRegionCtx(ctx, q, rsl)
+	}
+	chk, err := entry(ctx)
+	if err != nil {
+		return nil, err
+	}
+	universe, ok := e.DB.Universe()
+	if !ok {
+		return region.Set{geom.PointRect(q)}, nil
+	}
+	adds := make([]region.Set, len(rsl))
+	err = exec.ForEach(ctx, len(rsl), workers, cancel.SiteSafeRegion, func(chk *cancel.Checker, i int) error {
+		add, err := e.antiDDRCached(chk, rsl[i], universe, pollAt(chk, cancel.SiteSafeRegion))
+		adds[i] = add
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	poll := pollAt(chk, cancel.SiteSafeRegion)
+	var sr region.Set
+	started := false
+	for _, add := range adds {
+		if !started {
+			sr, started = append(region.Set{}, add...), true
+			continue
+		}
+		sr, err = sr.IntersectSetChecked(add, poll)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !started {
+		u := universe.TransformMinMax(q).Hi
+		return region.Set{{Lo: q.Sub(u), Hi: q.Add(u)}}, nil
+	}
+	return ensureContainsQ(sr, q), nil
+}
+
+// antiDDRCached computes the anti-dominance region of customer c against the
+// current universe, through the engine's anti-DDR cache when one is enabled.
+// A hit must match the customer's position and the current database
+// generation; anything else recomputes and refreshes the entry. The returned
+// set may be shared — callers must not modify it in place.
+func (e *Engine) antiDDRCached(chk *cancel.Checker, c Item, universe geom.Rect, poll func() error) (region.Set, error) {
+	if e.addr == nil {
+		return e.antiDDRCompute(chk, c, universe, poll)
+	}
+	gen := e.DB.Generation()
+	if ent, ok := e.addr.Get(c.ID); ok && ent.gen == gen && ent.point.Equal(c.Point) {
+		return ent.set, nil
+	}
+	set, err := e.antiDDRCompute(chk, c, universe, poll)
+	if err != nil {
+		return nil, err
+	}
+	// Stamped with the pre-computation generation: a mutation racing with the
+	// traversal leaves the entry stale-on-arrival and it is never served.
+	e.addr.Put(c.ID, addrEntry{point: c.Point.Clone(), gen: gen, set: set})
+	return set, nil
+}
+
+// antiDDRCompute is the uncached per-customer unit of Algorithm 3: DSL(c)
+// (through the database's DSL cache when enabled) followed by the Fig. 10
+// staircase construction.
+func (e *Engine) antiDDRCompute(chk *cancel.Checker, c Item, universe geom.Rect, poll func() error) (region.Set, error) {
+	dsl, err := e.DB.DynamicSkylineOfChecked(chk, c, e.exclude(c))
+	if err != nil {
+		return nil, err
+	}
+	return region.AntiDDRChecked(c.Point, points(dsl), universe, poll)
 }
 
 // pollAt adapts a checker to the poll-callback form the region package's
@@ -198,17 +278,14 @@ func (e *Engine) approxSafeRegion(chk *cancel.Checker, q geom.Point, rsl []Item,
 		if corners, found := store.Corners(c.ID); found {
 			add = region.AntiDDRFromCorners(c.Point, corners)
 		} else {
-			dsl, err := e.DB.DynamicSkylineExcludingChecked(chk, c.Point, e.exclude(c))
-			if err != nil {
-				return nil, err
-			}
-			add, err = region.AntiDDRChecked(c.Point, points(dsl), universe, poll)
+			var err error
+			add, err = e.antiDDRCached(chk, c, universe, poll)
 			if err != nil {
 				return nil, err
 			}
 		}
 		if !started {
-			sr, started = add, true
+			sr, started = append(region.Set{}, add...), true
 		} else {
 			var err error
 			sr, err = sr.IntersectSetChecked(add, poll)
@@ -300,11 +377,7 @@ func (e *Engine) antiDDROf(chk *cancel.Checker, c Item) (region.Set, error) {
 	if !ok {
 		return region.Set{geom.PointRect(c.Point)}, nil
 	}
-	dsl, err := e.DB.DynamicSkylineExcludingChecked(chk, c.Point, e.exclude(c))
-	if err != nil {
-		return nil, err
-	}
-	return region.AntiDDRChecked(c.Point, points(dsl), universe, pollAt(chk, cancel.SiteAntiDDR))
+	return e.antiDDRCompute(chk, c, universe, pollAt(chk, cancel.SiteAntiDDR))
 }
 
 // ReverseSkyline recomputes RSL(q) over the given customers (convenience

@@ -7,11 +7,10 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/cancel"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/region"
 	"repro/internal/skyline"
@@ -243,76 +242,30 @@ func (e *Engine) BuildApproxStoreParallelCtx(ctx context.Context, customers []It
 }
 
 func (e *Engine) buildApproxStoreParallel(ctx context.Context, customers []Item, k, sortDim, workers int) (*ApproxStore, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	universe, ok := e.DB.Universe()
 	store := &ApproxStore{K: k, SortDim: sortDim, corners: make(map[int][]geom.Point, len(customers))}
 	if !ok || len(customers) == 0 {
 		return store, nil
 	}
-	type result struct {
-		id      int
-		corners []geom.Point
-	}
-	jobs := make(chan Item)
-	results := make(chan result, workers)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			chk := cancel.FromContext(ctx)
-			for c := range jobs {
-				mu.Lock()
-				stop := firstErr != nil
-				mu.Unlock()
-				if stop {
-					continue // drain remaining jobs without working
-				}
-				if err := chk.Point(cancel.SiteStoreBuild); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				dsl, err := e.DB.DynamicSkylineExcludingChecked(chk, c.Point, e.exclude(c))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				sampled := skyline.ApproxDynamic(dsl, c.Point, k, sortDim)
-				u := universe.TransformMinMax(c.Point).Hi
-				results <- result{
-					id:      c.ID,
-					corners: region.ApproxAntiDDRCorners(c.Point, points(sampled), u, sortDim),
-				}
-			}
-		}()
-	}
-	go func() {
-		for _, c := range customers {
-			jobs <- c
+	// Per-index result slots: each worker writes only its own index, so the
+	// map is assembled without locking once the pool drains.
+	corners := make([][]geom.Point, len(customers))
+	err := exec.ForEach(ctx, len(customers), workers, cancel.SiteStoreBuild, func(chk *cancel.Checker, i int) error {
+		c := customers[i]
+		dsl, err := e.DB.DynamicSkylineExcludingChecked(chk, c.Point, e.exclude(c))
+		if err != nil {
+			return err
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-	for r := range results {
-		store.corners[r.id] = r.corners
+		sampled := skyline.ApproxDynamic(dsl, c.Point, k, sortDim)
+		u := universe.TransformMinMax(c.Point).Hi
+		corners[i] = region.ApproxAntiDDRCorners(c.Point, points(sampled), u, sortDim)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	if firstErr != nil {
-		return nil, firstErr
+	for i, c := range customers {
+		store.corners[c.ID] = corners[i]
 	}
 	return store, nil
 }

@@ -30,7 +30,9 @@ import (
 	"sort"
 
 	"repro/internal/cancel"
+	"repro/internal/exec"
 	"repro/internal/geom"
+	"repro/internal/region"
 	"repro/internal/rskyline"
 	"repro/internal/rtree"
 )
@@ -66,6 +68,46 @@ type Engine struct {
 	DB   *rskyline.DB
 	Norm *geom.Normalizer
 	Mono bool
+
+	// addr memoises per-customer anti-dominance regions (the per-c_l unit of
+	// Algorithm 3). Nil — the default — disables caching. Entries carry the
+	// database generation observed before computing and are ignored when the
+	// database has mutated since, so Insert/Delete invalidate implicitly even
+	// if a stale entry survives a purge race.
+	addr *exec.Cache[int, addrEntry]
+}
+
+// addrEntry is one cached anti-DDR: the customer position it was computed
+// for, the database generation it is valid against, and the rectangle set.
+// The set is shared between queries and must be treated as immutable.
+type addrEntry struct {
+	point geom.Point
+	gen   uint64
+	set   region.Set
+}
+
+// EnableAntiDDRCache turns on memoisation of per-customer anti-dominance
+// regions, bounded to capacity entries (capacity <= 0 disables caching).
+// Safe-region construction for repeated query points over a stable customer
+// set then skips both the DSL computation and the staircase construction for
+// cached customers.
+func (e *Engine) EnableAntiDDRCache(capacity int) {
+	e.addr = exec.NewCache[int, addrEntry](capacity)
+}
+
+// AntiDDRCacheStats reports cumulative hit/miss counts of the anti-DDR cache
+// (zeros when caching is disabled).
+func (e *Engine) AntiDDRCacheStats() (hits, misses uint64) {
+	return e.addr.Stats()
+}
+
+// InvalidateCaches eagerly drops every cached per-customer structure held by
+// the engine. Correctness never depends on calling it — entries are
+// generation-validated against the database and go stale automatically on
+// Insert/Delete — but an explicit purge releases their memory immediately
+// instead of waiting for LRU eviction.
+func (e *Engine) InvalidateCaches() {
+	e.addr.Purge()
 }
 
 // NewEngine builds an engine over db. The cost normaliser is fitted to the

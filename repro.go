@@ -92,6 +92,25 @@ func NewPoint(coords ...float64) Point { return geom.NewPoint(coords...) }
 // queries and why-not questions over it.
 type DB struct {
 	engine *whynot.Engine
+	// workers is the configured parallelism: 0 means GOMAXPROCS, 1 means
+	// fully sequential execution (the default).
+	workers int
+}
+
+// DBOptions tunes execution of a DB beyond the paper's single-threaded
+// reference configuration. The zero value preserves that reference behaviour
+// exactly: sequential execution, no caching.
+type DBOptions struct {
+	// Parallelism is the worker count for the parallelisable per-customer
+	// loops (reverse skylines, safe-region construction, batch why-not
+	// answering, approximate-store builds). 0 or 1 runs sequentially — the
+	// paper's reference behaviour; n > 1 uses n workers; negative means
+	// GOMAXPROCS.
+	Parallelism int
+	// CacheSize bounds the memoisation caches for per-customer dynamic
+	// skylines and anti-dominance regions (entries each). 0 disables
+	// caching. Cached entries are invalidated by Insert and Delete.
+	CacheSize int
 }
 
 // NewDB bulk-loads products into an R*-tree (the paper's 1536-byte page
@@ -99,7 +118,47 @@ type DB struct {
 // treated monochromatically: a customer whose ID matches a product record is
 // not blocked by its own record.
 func NewDB(dims int, products []Item) *DB {
-	return &DB{engine: whynot.NewEngine(rskyline.NewDB(dims, products, rtree.Config{}), true)}
+	return NewDBWithOptions(dims, products, DBOptions{})
+}
+
+// NewDBWithOptions is NewDB with explicit parallelism and caching knobs.
+func NewDBWithOptions(dims int, products []Item, opts DBOptions) *DB {
+	rdb := rskyline.NewDB(dims, products, rtree.Config{})
+	engine := whynot.NewEngine(rdb, true)
+	if opts.CacheSize > 0 {
+		rdb.EnableDSLCache(opts.CacheSize)
+		engine.EnableAntiDDRCache(opts.CacheSize)
+	}
+	workers := opts.Parallelism
+	switch {
+	case workers < 0:
+		workers = 0 // internal layers read 0 as GOMAXPROCS
+	case workers == 0:
+		workers = 1 // zero value: the paper's sequential reference behaviour
+	}
+	return &DB{engine: engine, workers: workers}
+}
+
+// Workers returns the resolved parallelism in the internal convention:
+// 0 = GOMAXPROCS, 1 = sequential, n > 1 = n worker goroutines.
+func (db *DB) Workers() int { return db.workers }
+
+// Insert adds a product to the index and invalidates every derived cache
+// (cached dynamic skylines and anti-dominance regions are stamped with a
+// mutation generation and can never be served after this call).
+func (db *DB) Insert(it Item) {
+	db.engine.DB.Insert(it)
+	db.engine.InvalidateCaches()
+}
+
+// Delete removes the product equal to it (ID and position), reporting whether
+// it was present. A successful delete invalidates every derived cache.
+func (db *DB) Delete(it Item) bool {
+	ok := db.engine.DB.Delete(it)
+	if ok {
+		db.engine.InvalidateCaches()
+	}
+	return ok
 }
 
 // Len returns the number of products.
@@ -115,8 +174,13 @@ func (db *DB) DynamicSkyline(c Point) []Item {
 }
 
 // ReverseSkyline returns RSL(q) over the given customers: those whose dynamic
-// skyline contains q (Definition 3).
+// skyline contains q (Definition 3). With Parallelism configured the
+// per-customer verification runs on the worker pool; results are identical.
 func (db *DB) ReverseSkyline(customers []Item, q Point) []Item {
+	if db.workers != 1 {
+		out, _ := db.engine.DB.ReverseSkylineFilteredParallel(context.Background(), customers, q, db.workers)
+		return out
+	}
 	return db.engine.DB.ReverseSkylineFiltered(customers, q)
 }
 
@@ -153,7 +217,13 @@ func (db *DB) MQPTotalCost(q, qStar Point, rsl []Item, sr Region, opt Options) f
 
 // SafeRegion computes the exact safe region of q (Algorithm 3): the locus of
 // query positions that keep every customer of rsl in the reverse skyline.
+// With Parallelism configured the per-customer anti-dominance regions are
+// built on the worker pool; results are identical.
 func (db *DB) SafeRegion(q Point, rsl []Item) Region {
+	if db.workers != 1 {
+		sr, _ := db.engine.SafeRegionParallel(context.Background(), q, rsl, db.workers)
+		return sr
+	}
 	return db.engine.SafeRegion(q, rsl)
 }
 
@@ -169,15 +239,29 @@ func (db *DB) MWQ(ct Item, q Point, sr Region, opt Options) MWQResult {
 	return db.engine.MWQ(ct, q, sr, opt)
 }
 
-// MWQExact computes the safe region and answers the why-not question.
+// MWQExact computes the safe region and answers the why-not question. With
+// Parallelism configured the safe-region construction runs on the worker
+// pool; results are identical.
 func (db *DB) MWQExact(ct Item, q Point, rsl []Item, opt Options) MWQResult {
+	if db.workers != 1 {
+		res, _ := db.engine.MWQExactParallelCtx(context.Background(), ct, q, rsl, opt, db.workers)
+		return res
+	}
 	return db.engine.MWQExact(ct, q, rsl, opt)
 }
 
 // MWQBatch answers one why-not question per customer against the same query
 // point, computing the safe region once (§VI.B's reuse property). Results
-// align positionally with cts.
+// align positionally with cts. With Parallelism configured both the
+// safe-region construction and the per-question loop run on the worker pool.
 func (db *DB) MWQBatch(cts []Item, q Point, rsl []Item, opt Options) []MWQResult {
+	if db.workers != 1 {
+		sr, err := db.engine.SafeRegionParallel(context.Background(), q, rsl, db.workers)
+		if err != nil {
+			return nil
+		}
+		return db.engine.MWQBatchParallel(cts, q, sr, opt, db.workers)
+	}
 	return db.engine.MWQBatch(cts, q, rsl, opt)
 }
 
@@ -207,8 +291,12 @@ func (db *DB) LostCustomers(qStar Point, rsl []Item) []Item {
 }
 
 // BuildApproxStore precomputes k-sampled dynamic skylines for the given
-// customers (the offline step of §VI.B.1).
+// customers (the offline step of §VI.B.1). With Parallelism configured the
+// per-customer precomputation runs on the worker pool.
 func (db *DB) BuildApproxStore(customers []Item, k int) *ApproxStore {
+	if db.workers != 1 {
+		return db.engine.BuildApproxStoreParallel(customers, k, 0, db.workers)
+	}
 	return db.engine.BuildApproxStore(customers, k, 0)
 }
 
@@ -226,8 +314,13 @@ func LoadApproxStore(r io.Reader) (*ApproxStore, error) {
 
 // ReverseSkylineBBRS computes RSL(q) in the monochromatic setting (customer
 // preferences are the product records themselves) with the index-based BBRS
-// pipeline of Dellis & Seeger.
+// pipeline of Dellis & Seeger. With Parallelism configured the per-candidate
+// verification runs on the worker pool; results are identical.
 func (db *DB) ReverseSkylineBBRS(q Point) []Item {
+	if db.workers != 1 {
+		out, _ := db.engine.DB.ReverseSkylineBBRSParallel(context.Background(), q, db.workers)
+		return out
+	}
 	return db.engine.DB.ReverseSkylineBBRS(q)
 }
 
@@ -252,6 +345,14 @@ func (db *DB) ValidateQueryMove(ct Item, cand Point, eps float64) bool {
 // Engine exposes the underlying why-not engine for advanced use (custom
 // normalisers, direct window queries).
 func (db *DB) Engine() *whynot.Engine { return db.engine }
+
+// CacheStats reports cumulative hit/miss counts of the dynamic-skyline and
+// anti-dominance-region caches (all zeros when CacheSize is 0).
+func (db *DB) CacheStats() (dslHits, dslMisses, addrHits, addrMisses uint64) {
+	dslHits, dslMisses = db.engine.DB.DSLCacheStats()
+	addrHits, addrMisses = db.engine.AntiDDRCacheStats()
+	return
+}
 
 // --- Context-aware API -----------------------------------------------------
 //
@@ -303,6 +404,10 @@ func (db *DB) ReverseSkylineContext(ctx context.Context, customers []Item, q Poi
 	if err != nil {
 		return nil, err
 	}
+	if db.workers != 1 {
+		out, err := db.engine.DB.ReverseSkylineFilteredParallel(ctx, customers, q, db.workers)
+		return out, wrapCtxErr(op, err)
+	}
 	out, err := db.engine.DB.ReverseSkylineFilteredChecked(chk, customers, q)
 	return out, wrapCtxErr(op, err)
 }
@@ -326,6 +431,10 @@ func (db *DB) ReverseSkylineBBRSContext(ctx context.Context, q Point) ([]Item, e
 	chk, err := begin(ctx, op)
 	if err != nil {
 		return nil, err
+	}
+	if db.workers != 1 {
+		out, err := db.engine.DB.ReverseSkylineBBRSParallel(ctx, q, db.workers)
+		return out, wrapCtxErr(op, err)
 	}
 	out, err := db.engine.DB.ReverseSkylineBBRSChecked(chk, q)
 	return out, wrapCtxErr(op, err)
@@ -359,6 +468,10 @@ func (db *DB) MQPTotalCostContext(ctx context.Context, q, qStar Point, rsl []Ite
 // exact construction is the step that grows exponentially with |RSL(q)| in
 // the worst case, so this is the method that most needs a deadline.
 func (db *DB) SafeRegionContext(ctx context.Context, q Point, rsl []Item) (Region, error) {
+	if db.workers != 1 {
+		sr, err := db.engine.SafeRegionParallel(ctx, q, rsl, db.workers)
+		return sr, wrapCtxErr("safe region", err)
+	}
 	sr, err := db.engine.SafeRegionCtx(ctx, q, rsl)
 	return sr, wrapCtxErr("safe region", err)
 }
@@ -385,6 +498,10 @@ func (db *DB) MWQContext(ctx context.Context, ct Item, q Point, sr Region, opt O
 
 // MWQExactContext is MWQExact with deadline/cancellation support.
 func (db *DB) MWQExactContext(ctx context.Context, ct Item, q Point, rsl []Item, opt Options) (MWQResult, error) {
+	if db.workers != 1 {
+		res, err := db.engine.MWQExactParallelCtx(ctx, ct, q, rsl, opt, db.workers)
+		return res, wrapCtxErr("exact MWQ", err)
+	}
 	res, err := db.engine.MWQExactCtx(ctx, ct, q, rsl, opt)
 	return res, wrapCtxErr("exact MWQ", err)
 }

@@ -10,9 +10,9 @@ GO ?= go
 # detection on fresh mutations of the seed corpus, not deep exploration.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race race-core bench-smoke fuzz-smoke bench
+.PHONY: check build vet vet-obs test race race-core bench-smoke fuzz-smoke bench
 
-check: vet build test race race-core bench-smoke fuzz-smoke
+check: vet-obs build test race race-core bench-smoke fuzz-smoke
 	@echo "tier-1 gate: OK"
 
 build:
@@ -20,6 +20,23 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Observability lint on top of go vet: the query-path packages must take
+# timestamps through internal/obs (monotonic, mockable via SetClockForTest,
+# batched into histograms) — a raw time.Now() in a hot loop is both a per-
+# iteration cost and untestable. internal/obs itself anchors the process
+# clock and internal/experiments measures wall-clock by design; both are
+# exempt, as are tests and the cmd/ front-ends.
+OBS_LINT_PKGS = internal/rtree internal/skyline internal/rskyline internal/whynot \
+	internal/exec internal/region internal/geom internal/cancel internal/grid \
+	internal/engine
+vet-obs: vet
+	@bad=$$(grep -rn 'time\.Now()' $(OBS_LINT_PKGS) --include='*.go' | grep -v _test.go || true); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-obs: raw time.Now() on the query path (use internal/obs):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "vet-obs: OK"
 
 test:
 	$(GO) test ./...

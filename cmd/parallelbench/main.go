@@ -1,5 +1,5 @@
 // Command parallelbench measures the parallel, cache-aware executor against
-// the sequential reference configuration and writes the result as JSON
+// the sequential reference configuration and appends the result as JSON
 // (BENCH_parallel.json by default) for the tier-1 benchmark smoke.
 //
 // The workload is the influence-style access pattern that motivated the
@@ -11,10 +11,18 @@
 // first, and the worker pool fans the per-customer construction out across
 // cores. The recorded speedup reflects both knobs together — on a
 // single-core host (host_cpus in the output) it comes from caching alone.
+//
+// Besides wall-clock times, each configuration records the paper's cost
+// counters for its best iteration (R-tree node accesses, dominance tests,
+// DSL computations) and the full cache accounting, so a regression in work
+// done is visible even when timing noise hides it. Records are appended to
+// the output file (schema_version 2, an array of runs), never overwritten,
+// so the file accumulates a benchmark history across sessions.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -25,26 +33,98 @@ import (
 	"repro"
 )
 
+// schemaVersion identifies the record layout. Version 1 was a single
+// overwritten object without cost counters; version 2 is an appended array
+// element with per-configuration cost deltas and cache accounting.
+const schemaVersion = 2
+
+type costDelta struct {
+	NodeAccesses    uint64 `json:"node_accesses"`
+	LeafScans       uint64 `json:"leaf_scans"`
+	DominanceTests  uint64 `json:"dominance_tests"`
+	DSLComputations uint64 `json:"dsl_computations"`
+	WindowQueries   uint64 `json:"window_queries"`
+}
+
+type cacheReport struct {
+	repro.CacheStatsDetail
+	HitRate float64 `json:"hit_rate"`
+}
+
 type configResult struct {
-	NsPerOp   int64   `json:"ns_per_op"`
-	TotalMs   float64 `json:"total_ms"`
-	Workers   int     `json:"workers"`
-	CacheSize int     `json:"cache_size"`
-	DSLHits   uint64  `json:"dsl_hits"`
-	AddrHits  uint64  `json:"addr_hits"`
+	NsPerOp   int64       `json:"ns_per_op"`
+	TotalMs   float64     `json:"total_ms"`
+	Workers   int         `json:"workers"`
+	CacheSize int         `json:"cache_size"`
+	Cost      costDelta   `json:"cost"`
+	DSLCache  cacheReport `json:"dsl_cache"`
+	AddrCache cacheReport `json:"antiddr_cache"`
 }
 
 type benchReport struct {
-	Benchmark  string       `json:"benchmark"`
-	Dataset    string       `json:"dataset"`
-	N          int          `json:"n"`
-	RSL        int          `json:"rsl"`
-	Queries    int          `json:"queries"`
-	Iters      int          `json:"iters"`
-	HostCPUs   int          `json:"host_cpus"`
-	Sequential configResult `json:"sequential"`
-	Parallel   configResult `json:"workers4"`
-	Speedup    float64      `json:"speedup"`
+	SchemaVersion int          `json:"schema_version"`
+	Timestamp     string       `json:"timestamp"`
+	Benchmark     string       `json:"benchmark"`
+	Dataset       string       `json:"dataset"`
+	N             int          `json:"n"`
+	RSL           int          `json:"rsl"`
+	Queries       int          `json:"queries"`
+	Iters         int          `json:"iters"`
+	HostCPUs      int          `json:"host_cpus"`
+	Sequential    configResult `json:"sequential"`
+	Parallel      configResult `json:"workers4"`
+	Speedup       float64      `json:"speedup"`
+}
+
+func cacheReportOf(s repro.CacheStatsDetail) cacheReport {
+	return cacheReport{CacheStatsDetail: s, HitRate: s.HitRate()}
+}
+
+// appendRecord loads path (accepting both the legacy single-object layout
+// and the current array layout), appends rep, and writes the array back.
+func appendRecord(path string, rep benchReport) error {
+	var records []json.RawMessage
+	if buf, err := os.ReadFile(path); err == nil {
+		trimmed := firstNonSpace(buf)
+		switch trimmed {
+		case '[':
+			if err := json.Unmarshal(buf, &records); err != nil {
+				return fmt.Errorf("existing %s is not a valid record array: %w", path, err)
+			}
+		case '{':
+			// Legacy schema-1 single object: keep it as the first element.
+			records = append(records, json.RawMessage(buf))
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	newRec, err := json.MarshalIndent(rep, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	records = append(records, newRec)
+	out := []byte("[\n")
+	for i, r := range records {
+		out = append(out, "  "...)
+		out = append(out, r...)
+		if i < len(records)-1 {
+			out = append(out, ',')
+		}
+		out = append(out, '\n')
+	}
+	out = append(out, "]\n"...)
+	return os.WriteFile(path, out, 0o644)
+}
+
+func firstNonSpace(buf []byte) byte {
+	for _, b := range buf {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return b
+	}
+	return 0
 }
 
 func main() {
@@ -97,57 +177,69 @@ func main() {
 		qs[i] = q
 	}
 
-	run := func(opts repro.DBOptions) (time.Duration, *repro.DB) {
+	run := func(opts repro.DBOptions) (time.Duration, costDelta, *repro.DB) {
 		var best time.Duration
+		var bestCost costDelta
 		var db *repro.DB
 		for it := 0; it < *iters; it++ {
 			db = repro.NewDBWithOptions(2, items, opts)
+			before := db.Cost()
 			start := time.Now()
 			for _, q := range qs {
 				db.SafeRegion(q, rsl)
 			}
-			if el := time.Since(start); it == 0 || el < best {
+			el := time.Since(start)
+			d := db.Cost().Sub(before)
+			if it == 0 || el < best {
 				best = el
+				bestCost = costDelta{
+					NodeAccesses:    d.NodeAccesses,
+					LeafScans:       d.LeafScans,
+					DominanceTests:  d.DominanceTests,
+					DSLComputations: d.DSLComputations,
+					WindowQueries:   d.WindowQueries,
+				}
 			}
 		}
-		return best, db
+		return best, bestCost, db
 	}
 
-	seqTime, _ := run(repro.DBOptions{})
-	parTime, parDB := run(repro.DBOptions{Parallelism: *workers, CacheSize: *cache})
-	dslHits, _, addrHits, _ := parDB.CacheStats()
+	seqTime, seqCost, seqDB := run(repro.DBOptions{})
+	parTime, parCost, parDB := run(repro.DBOptions{Parallelism: *workers, CacheSize: *cache})
+	seqCaches := seqDB.CacheStats()
+	parCaches := parDB.CacheStats()
 
 	rep := benchReport{
-		Benchmark: "safe-region sweep over candidate query positions",
-		Dataset:   *kind,
-		N:         *n,
-		RSL:       len(rsl),
-		Queries:   *queries,
-		Iters:     *iters,
-		HostCPUs:  runtime.NumCPU(),
+		SchemaVersion: schemaVersion,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		Benchmark:     "safe-region sweep over candidate query positions",
+		Dataset:       *kind,
+		N:             *n,
+		RSL:           len(rsl),
+		Queries:       *queries,
+		Iters:         *iters,
+		HostCPUs:      runtime.NumCPU(),
 		Sequential: configResult{
-			NsPerOp: seqTime.Nanoseconds() / int64(*queries),
-			TotalMs: float64(seqTime.Microseconds()) / 1e3,
-			Workers: 1,
+			NsPerOp:   seqTime.Nanoseconds() / int64(*queries),
+			TotalMs:   float64(seqTime.Microseconds()) / 1e3,
+			Workers:   1,
+			Cost:      seqCost,
+			DSLCache:  cacheReportOf(seqCaches.DSL),
+			AddrCache: cacheReportOf(seqCaches.AntiDDR),
 		},
 		Parallel: configResult{
 			NsPerOp:   parTime.Nanoseconds() / int64(*queries),
 			TotalMs:   float64(parTime.Microseconds()) / 1e3,
 			Workers:   *workers,
 			CacheSize: *cache,
-			DSLHits:   dslHits,
-			AddrHits:  addrHits,
+			Cost:      parCost,
+			DSLCache:  cacheReportOf(parCaches.DSL),
+			AddrCache: cacheReportOf(parCaches.AntiDDR),
 		},
 		Speedup: float64(seqTime) / float64(parTime),
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "parallelbench:", err)
-		os.Exit(1)
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := appendRecord(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "parallelbench:", err)
 		os.Exit(1)
 	}

@@ -37,14 +37,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -80,7 +85,7 @@ var knownCommands = map[string]bool{
 	"mwq": true, "buildstore": true, "approxmwq": true, "batch": true,
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("whynot", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	fs.Usage = func() { usage(os.Stderr) }
@@ -95,6 +100,9 @@ func run(args []string, out *os.File) error {
 	degrade := fs.Bool("degrade", false, "on deadline/fault, fall back to cheaper algorithms (mwq)")
 	workers := fs.Int("workers", 1, "parallelism for per-customer loops (1 = sequential, 0 or <0 = all CPUs)")
 	cacheSize := fs.Int("cache", 0, "per-customer memoisation cache entries (0 = disabled)")
+	stats := fs.Bool("stats", false, "print the paper's cost counters (node accesses, dominance tests, ...) after the answer")
+	traceFlag := fs.Bool("trace", false, "print the per-query span/event trace after the answer")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address and wait for SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return usagef("%v", err)
 	}
@@ -157,19 +165,34 @@ func run(args []string, out *os.File) error {
 	if par <= 0 {
 		par = -1 // repro convention: negative = GOMAXPROCS
 	}
+	observe := *stats || *traceFlag || *metricsAddr != ""
 	db := repro.NewDBWithOptions(q.Dims(), items, repro.DBOptions{
-		Parallelism: par,
-		CacheSize:   *cacheSize,
+		Parallelism:   par,
+		CacheSize:     *cacheSize,
+		Observability: observe,
 	})
 
-	// ctx bounds every non-ladder query; the mwq ladder instead gives each
-	// rung its own -timeout budget via the Runner.
-	ctx := context.Background()
+	// baseCtx carries the per-query trace (no deadline: the mwq ladder
+	// budgets each rung itself); ctx adds the -timeout bound for every
+	// non-ladder query.
+	baseCtx := context.Background()
+	var tr *repro.QueryTrace
+	if observe {
+		baseCtx, tr = db.StartTrace(baseCtx, cmd)
+	}
+	ctx := baseCtx
 	if *timeout > 0 {
 		var cancelCtx context.CancelFunc
-		ctx, cancelCtx = context.WithTimeout(ctx, *timeout)
+		ctx, cancelCtx = context.WithTimeout(baseCtx, *timeout)
 		defer cancelCtx()
 	}
+
+	// The stats delta is re-marked immediately before each command's primary
+	// algorithm call, so preparatory queries (membership probes, RSL
+	// computation for commands whose subject is a later step) do not blur the
+	// printed counters.
+	sp := &statsPrinter{db: db, enabled: *stats}
+	sp.mark()
 
 	switch cmd {
 	case "rsl":
@@ -186,6 +209,7 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
+		sp.mark()
 		sr, err := db.SafeRegionContext(ctx, q, rsl)
 		if err != nil {
 			return err
@@ -199,6 +223,7 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
+		sp.mark()
 		t0 := time.Now()
 		built, err := db.BuildApproxStoreParallelContext(ctx, rsl, *k, db.Workers())
 		if err != nil {
@@ -229,6 +254,7 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
+		sp.mark()
 		t0 := time.Now()
 		res, err := db.MWQApproxContext(ctx, ct, q, rsl, store, repro.Options{})
 		if err != nil {
@@ -255,6 +281,7 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
+		sp.mark()
 		results, err := db.MWQBatchContext(ctx, cts, q, rsl, repro.Options{})
 		if err != nil {
 			return err
@@ -280,13 +307,18 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		runner := engine.NewRunner(db.Engine(), engine.Config{
+		cfg := engine.Config{
 			Timeout: *timeout,
 			Degrade: *degrade,
 			Store:   store,
 			Workers: db.Workers(),
-		})
-		ans, err := runner.MWQ(context.Background(), ct, q, rsl)
+		}
+		if observe {
+			cfg.Metrics = engine.NewMetrics(db.Metrics())
+		}
+		runner := engine.NewRunner(db.Engine(), cfg)
+		sp.mark()
+		ans, err := runner.MWQ(baseCtx, ct, q, rsl)
 		if err != nil {
 			return err
 		}
@@ -315,16 +347,74 @@ func run(args []string, out *os.File) error {
 			fmt.Fprintf(out, "customer %d is already in RSL(%v) — nothing to fix\n", ct.ID, q)
 			return nil
 		}
-		if err := runWhyNot(ctx, out, db, items, ct, q, cmd); err != nil {
+		if err := runWhyNot(ctx, out, db, items, ct, q, cmd, sp); err != nil {
 			return err
 		}
+	}
+	sp.print(out)
+	if *traceFlag && tr != nil {
+		fmt.Fprintln(out, "--- trace ---")
+		tr.Format(out)
+	}
+	if *metricsAddr != "" {
+		return serveMetrics(out, *metricsAddr, db.Metrics())
 	}
 	return nil
 }
 
-func runWhyNot(ctx context.Context, out *os.File, db *repro.DB, items []repro.Item, ct repro.Item, q repro.Point, cmd string) error {
+// statsPrinter prints the delta of the paper's cost counters between the
+// last mark() and the end of the command.
+type statsPrinter struct {
+	db      *repro.DB
+	enabled bool
+	before  repro.Cost
+}
+
+func (s *statsPrinter) mark() {
+	if s.enabled {
+		s.before = s.db.Cost()
+	}
+}
+
+func (s *statsPrinter) print(out io.Writer) {
+	if !s.enabled {
+		return
+	}
+	d := s.db.Cost().Sub(s.before)
+	fmt.Fprintln(out, "--- stats ---")
+	fmt.Fprintf(out, "node accesses: %d\n", d.NodeAccesses)
+	fmt.Fprintf(out, "leaf scans: %d\n", d.LeafScans)
+	fmt.Fprintf(out, "dominance tests: %d\n", d.DominanceTests)
+	fmt.Fprintf(out, "dsl computations: %d\n", d.DSLComputations)
+	fmt.Fprintf(out, "window queries: %d\n", d.WindowQueries)
+	fmt.Fprintf(out, "safe-region vertices: %d\n", d.SafeRegionVertices)
+	fmt.Fprintf(out, "candidate evaluations: %d\n", d.CandidateEvaluations)
+	fmt.Fprintf(out, "cache stale-on-arrival: %d\n", d.CacheStale)
+	fmt.Fprintf(out, "degradation events: %d\n", d.Degradations)
+}
+
+// serveMetrics exposes the observability endpoints until SIGINT/SIGTERM.
+func serveMetrics(out io.Writer, addr string, reg *obs.Registry) error {
+	srv := &http.Server{Addr: addr, Handler: obs.DebugMux(reg)}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(out, "serving metrics on http://%s/metrics (SIGINT/SIGTERM to stop)\n", addr)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancelShut := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancelShut()
+		return srv.Shutdown(shutCtx)
+	}
+}
+
+func runWhyNot(ctx context.Context, out io.Writer, db *repro.DB, items []repro.Item, ct repro.Item, q repro.Point, cmd string, sp *statsPrinter) error {
 	switch cmd {
 	case "explain":
+		sp.mark()
 		culprits, err := db.ExplainContext(ctx, ct, q)
 		if err != nil {
 			return err
@@ -336,6 +426,7 @@ func runWhyNot(ctx context.Context, out *os.File, db *repro.DB, items []repro.It
 		}
 		fmt.Fprintln(out, "deleting them all would admit the customer (Lemma 1)")
 	case "mwp":
+		sp.mark()
 		res, err := db.MWPContext(ctx, ct, q, repro.Options{})
 		if err != nil {
 			return err
@@ -345,6 +436,7 @@ func runWhyNot(ctx context.Context, out *os.File, db *repro.DB, items []repro.It
 			fmt.Fprintf(out, "  %v   (cost %.6f)\n", c.Point, c.Cost)
 		}
 	case "mqp":
+		sp.mark()
 		res, err := db.MQPContext(ctx, ct, q, repro.Options{})
 		if err != nil {
 			return err
@@ -411,7 +503,7 @@ func find(items []repro.Item, id int) (repro.Item, bool) {
 	return repro.Item{}, false
 }
 
-func usage(w *os.File) {
+func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: whynot [-data file.csv] -q x,y[,...] [-c customerID] [-timeout d] [-degrade] <command>
 
 commands:
@@ -431,5 +523,11 @@ robustness flags:
 
 performance flags:
   -workers n  fan per-customer loops out over n goroutines (1 = sequential, 0 = all CPUs)
-  -cache n    memoise up to n per-customer dynamic skylines / anti-DDRs (0 = off)`)
+  -cache n    memoise up to n per-customer dynamic skylines / anti-DDRs (0 = off)
+
+observability flags:
+  -stats            print the paper's cost counters (node accesses, dominance tests, ...)
+  -trace            print the per-query span/event trace
+  -metrics-addr a   serve /metrics (Prometheus), /metrics.json, /debug/vars and
+                    /debug/pprof on address a, then wait for SIGINT/SIGTERM`)
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExplainStatsWorkedExample pins the paper's worked example (§III/Fig. 1a):
+// for q = (8.5, 55) and why-not customer 1 at (5, 30), the only culprit is
+// product 2 at (7.5, 42). The running example tree is a single leaf, so the
+// window query costs exactly one node access, and only product 2 falls inside
+// the window, so the culprit check performs exactly one dominance test.
+func TestExplainStatsWorkedExample(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-q", "8.5,55", "-c", "1", "-stats", "explain"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"product 2 at (7.5, 42)",
+		"node accesses: 1\n",
+		"dominance tests: 1\n",
+		"window queries: 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMWQStatsAndTrace exercises the full observability path of the ladder
+// command: spans for the safe-region construction and Algorithm 4 must appear
+// in the trace, and the safe-region corner counter must be populated when the
+// answer lands in case C2.
+func TestMWQStatsAndTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-q", "8.5,55", "-c", "1", "-stats", "-trace", "mwq"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"--- stats ---", "--- trace ---", "rung.exact", "mwq"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "node accesses: 0") {
+		t.Errorf("mwq should touch the index at least once:\n%s", out)
+	}
+}
+
+// TestStatsDisabledByDefault keeps the plain output stable: without -stats or
+// -trace no observability section may appear.
+func TestStatsDisabledByDefault(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-q", "8.5,55", "-c", "1", "explain"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(sb.String(), "--- stats ---") || strings.Contains(sb.String(), "--- trace ---") {
+		t.Errorf("observability output leaked into default mode:\n%s", sb.String())
+	}
+}

@@ -70,18 +70,18 @@ func TestCSVErrors(t *testing.T) {
 		in   string
 		want string // substring the error must carry
 	}{
-		{"0\n", "line 1"},                            // too few fields
-		{"0,abc\n", "line 1"},                        // bad float
-		{"x,1,2\ny,z,2\n", "line 2"},                 // header then bad id
-		{"0,1,2\n1,1\n", "line 2"},                   // inconsistent dims
-		{"id,a,b\n0,1,2\n1,3,4,5\n", "want 2"},       // dims disagree with header
-		{"0,NaN,2\n", "non-finite"},                  // NaN coordinate
-		{"0,1,+Inf\n", "non-finite"},                 // infinite coordinate
-		{"0,1,-Inf\n", "non-finite"},                 // negative infinity
-		{"0,1,2\n1,3,4\n0,5,6\n", "duplicate id 0"},  // duplicate ID
-		{"0,1,2\n1,3,4\n0,5,6\n", "line 1"},          // ...reported with first use
-		{"-3,1,2\n", "negative id"},                  // sentinel-colliding ID
-		{"id,a,b\n5,1,2\nid2,a2,b2\n", "line 3"},     // second header mid-file
+		{"0\n", "line 1"},                           // too few fields
+		{"0,abc\n", "line 1"},                       // bad float
+		{"x,1,2\ny,z,2\n", "line 2"},                // header then bad id
+		{"0,1,2\n1,1\n", "line 2"},                  // inconsistent dims
+		{"id,a,b\n0,1,2\n1,3,4,5\n", "want 2"},      // dims disagree with header
+		{"0,NaN,2\n", "non-finite"},                 // NaN coordinate
+		{"0,1,+Inf\n", "non-finite"},                // infinite coordinate
+		{"0,1,-Inf\n", "non-finite"},                // negative infinity
+		{"0,1,2\n1,3,4\n0,5,6\n", "duplicate id 0"}, // duplicate ID
+		{"0,1,2\n1,3,4\n0,5,6\n", "line 1"},         // ...reported with first use
+		{"-3,1,2\n", "negative id"},                 // sentinel-colliding ID
+		{"id,a,b\n5,1,2\nid2,a2,b2\n", "line 3"},    // second header mid-file
 	}
 	for i, tc := range cases {
 		_, err := ReadCSV("bad", strings.NewReader(tc.in))

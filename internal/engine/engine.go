@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/whynot"
 )
 
@@ -87,6 +88,79 @@ func (r Rung) String() string {
 	return fmt.Sprintf("rung(%d)", int(r))
 }
 
+// Metrics aggregates the Runner's operational counters. All fields are
+// nil-safe: a nil *Metrics (the default) makes every recording a no-op, so
+// instrumentation costs nothing when disabled.
+type Metrics struct {
+	// RungAttempts counts ladder rung executions by rung name
+	// (exact/approx/mwp, plus the op string for Runner.Run calls).
+	RungAttempts *obs.LabeledCounter
+	// RungFailures counts rung executions that returned an error, by rung.
+	RungFailures *obs.LabeledCounter
+	// Degradations counts fall-throughs to a cheaper rung by failure reason
+	// (deadline, canceled, panic, error).
+	Degradations *obs.LabeledCounter
+	// RungDuration observes wall-clock seconds per rung execution,
+	// successful or not.
+	RungDuration *obs.Histogram
+}
+
+// NewMetrics builds a Metrics bundle registered under reg (engine_* names).
+// A nil registry returns a valid bundle whose recordings still work but are
+// not exported anywhere.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return &Metrics{
+			RungAttempts: obs.NewLabeledCounter("rung"),
+			RungFailures: obs.NewLabeledCounter("rung"),
+			Degradations: obs.NewLabeledCounter("reason"),
+			RungDuration: obs.NewHistogram(obs.DurationBuckets()),
+		}
+	}
+	return &Metrics{
+		RungAttempts: reg.LabeledCounter("engine_rung_attempts_total",
+			"Degradation-ladder rung executions by rung.", "rung"),
+		RungFailures: reg.LabeledCounter("engine_rung_failures_total",
+			"Rung executions that returned an error, by rung.", "rung"),
+		Degradations: reg.LabeledCounter("engine_degradations_total",
+			"Fall-throughs to a cheaper rung by failure reason.", "reason"),
+		RungDuration: reg.Histogram("engine_rung_duration_seconds",
+			"Wall-clock duration of each rung execution.", obs.DurationBuckets()),
+	}
+}
+
+// rungAttempt records the start of one rung execution and returns a closure
+// that records its outcome. Nil-safe on m.
+func (m *Metrics) rungAttempt(rung string) func(err error) {
+	if m == nil {
+		return func(error) {}
+	}
+	m.RungAttempts.With(rung).Inc()
+	start := obs.Now()
+	return func(err error) {
+		m.RungDuration.ObserveSince(start)
+		if err != nil {
+			m.RungFailures.With(rung).Inc()
+		}
+	}
+}
+
+// degradeReason classifies why a rung failed, for the degradation counters
+// and trace events.
+func degradeReason(err error) string {
+	var qe *QueryError
+	switch {
+	case errors.As(err, &qe) && qe.Panic != nil:
+		return "panic"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
 // Config tunes a Runner.
 type Config struct {
 	// Timeout is the per-rung budget; each rung of the ladder gets a fresh
@@ -108,6 +182,9 @@ type Config struct {
 	// cooperative checkpoints keep firing inside the pool, so per-rung
 	// timeouts and fault injection behave as in the sequential rung.
 	Workers int
+	// Metrics, when non-nil, receives per-rung attempt/failure/duration and
+	// degradation recordings.
+	Metrics *Metrics
 }
 
 // Runner executes queries under Config's deadline, recovery, and degradation
@@ -140,10 +217,11 @@ func (r *Runner) MWQ(ctx context.Context, ct whynot.Item, q geom.Point, rsl []wh
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tr := obs.TraceFrom(ctx)
 	var errs []error
 
 	var res whynot.MWQResult
-	err := r.runRung(ctx, "exact MWQ", func(rctx context.Context) error {
+	err := r.runRung(ctx, "exact MWQ", "exact", func(rctx context.Context) error {
 		var e error
 		if r.Cfg.Workers > 1 {
 			res, e = r.Engine.MWQExactParallelCtx(rctx, ct, q, rsl, r.Cfg.Options, r.Cfg.Workers)
@@ -158,11 +236,12 @@ func (r *Runner) MWQ(ctx context.Context, ct whynot.Item, q geom.Point, rsl []wh
 	errs = append(errs, err)
 
 	if !r.Cfg.Degrade || ctx.Err() != nil {
-		return Answer{}, err
+		return Answer{}, r.ladderExhausted(ctx, err)
 	}
+	r.degraded(tr, "exact", err)
 
 	if r.Cfg.Store != nil {
-		err = r.runRung(ctx, "approximate MWQ", func(rctx context.Context) error {
+		err = r.runRung(ctx, "approximate MWQ", "approx", func(rctx context.Context) error {
 			var e error
 			res, e = r.Engine.MWQApproxCtx(rctx, ct, q, rsl, r.Cfg.Store, r.Cfg.Options)
 			return e
@@ -172,12 +251,13 @@ func (r *Runner) MWQ(ctx context.Context, ct whynot.Item, q geom.Point, rsl []wh
 		}
 		errs = append(errs, err)
 		if ctx.Err() != nil {
-			return Answer{}, ladderError(errs)
+			return Answer{}, r.ladderExhausted(ctx, ladderError(errs))
 		}
+		r.degraded(tr, "approx", err)
 	}
 
 	var mres whynot.MWPResult
-	err = r.runRung(ctx, "MWP fallback", func(rctx context.Context) error {
+	err = r.runRung(ctx, "MWP fallback", "mwp", func(rctx context.Context) error {
 		var e error
 		mres, e = r.Engine.MWPCtx(rctx, ct, q, r.Cfg.Options)
 		return e
@@ -186,7 +266,27 @@ func (r *Runner) MWQ(ctx context.Context, ct whynot.Item, q geom.Point, rsl []wh
 		return Answer{Result: mwpAsMWQ(ct, q, mres), Rung: RungMWP, Degraded: true}, nil
 	}
 	errs = append(errs, err)
-	return Answer{}, ladderError(errs)
+	return Answer{}, r.ladderExhausted(ctx, ladderError(errs))
+}
+
+// degraded records one fall-through to a cheaper rung: the process-wide
+// degradation counter, the Runner's by-reason counter, and a trace event.
+func (r *Runner) degraded(tr *obs.Trace, rung string, err error) {
+	reason := degradeReason(err)
+	obs.AddDegradations(1)
+	if m := r.Cfg.Metrics; m != nil {
+		m.Degradations.With(reason).Inc()
+	}
+	tr.Eventf("degrade", "%s rung failed (%s), falling through", rung, reason)
+}
+
+// ladderExhausted accounts for a query that returns no answer at all; a
+// caller-cancelled context counts toward the cancellation counter.
+func (r *Runner) ladderExhausted(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		obs.AddCancellations(1)
+	}
+	return err
 }
 
 // Run executes an arbitrary query function under the Runner's per-attempt
@@ -196,12 +296,15 @@ func (r *Runner) Run(ctx context.Context, op string, fn func(context.Context) er
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return r.runRung(ctx, op, fn)
+	return r.runRung(ctx, op, op, fn)
 }
 
 // runRung gives fn a fresh timeout budget and converts any failure — error
-// or panic — into a *QueryError.
-func (r *Runner) runRung(ctx context.Context, op string, fn func(context.Context) error) (err error) {
+// or panic — into a *QueryError. rung names the execution for metrics and
+// the per-query trace span ("rung.<rung>").
+func (r *Runner) runRung(ctx context.Context, op, rung string, fn func(context.Context) error) (err error) {
+	done := r.Cfg.Metrics.rungAttempt(rung)
+	endSpan := obs.TraceFrom(ctx).StartSpan("rung." + rung)
 	rctx := ctx
 	if r.Cfg.Timeout > 0 {
 		var cancelBudget context.CancelFunc
@@ -217,6 +320,8 @@ func (r *Runner) runRung(ctx context.Context, op string, fn func(context.Context
 				Stack: debug.Stack(),
 			}
 		}
+		endSpan()
+		done(err)
 	}()
 	if e := fn(rctx); e != nil {
 		var qe *QueryError

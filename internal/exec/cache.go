@@ -17,12 +17,14 @@ import (
 // is a no-op), so call sites need no "is caching enabled" branches. Values
 // are returned as stored: callers must treat cached values as immutable.
 type Cache[K comparable, V any] struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List // front = most recently used
-	m        map[K]*list.Element
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	m         map[K]*list.Element
+	hits      uint64
+	misses    uint64
+	stale     uint64
+	evictions uint64
 }
 
 type cacheEntry[K comparable, V any] struct {
@@ -79,6 +81,7 @@ func (c *Cache[K, V]) Put(k K, v V) {
 		if oldest != nil {
 			c.ll.Remove(oldest)
 			delete(c.m, oldest.Value.(*cacheEntry[K, V]).key)
+			c.evictions++
 		}
 	}
 	c.m[k] = c.ll.PushFront(&cacheEntry[K, V]{key: k, val: v})
@@ -107,12 +110,57 @@ func (c *Cache[K, V]) Len() int {
 	return c.ll.Len()
 }
 
-// Stats returns cumulative hit and miss counts (test and ops visibility).
-func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+// MarkStale records one stale-on-arrival hit: the caller found an entry via
+// Get but its own validation (generation stamp, key payload equality)
+// rejected it, forcing a recompute. The cache cannot detect this itself —
+// validation is the caller's domain knowledge — so callers report it here to
+// keep all cache accounting in one place.
+func (c *Cache[K, V]) MarkStale() {
 	if c == nil {
-		return 0, 0
+		return
+	}
+	c.mu.Lock()
+	c.stale++
+	c.mu.Unlock()
+}
+
+// CacheStats is a point-in-time snapshot of one cache's accounting.
+//
+// Stale counts Get hits whose entries the caller subsequently rejected as
+// generation-invalidated (see MarkStale); those lookups are also included in
+// Hits, so effective hits = Hits - Stale.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Stale     uint64 `json:"stale_on_arrival"`
+	Evictions uint64 `json:"evictions"`
+	Len       int    `json:"len"`
+	Capacity  int    `json:"capacity"`
+}
+
+// HitRate returns effective hits (excluding stale-on-arrival) over total
+// lookups, or 0 when no lookups have happened — never NaN.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits-s.Stale) / float64(total)
+}
+
+// Stats returns the cumulative cache accounting (test and ops visibility).
+func (c *Cache[K, V]) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Stale:     c.stale,
+		Evictions: c.evictions,
+		Len:       c.ll.Len(),
+		Capacity:  c.capacity,
+	}
 }

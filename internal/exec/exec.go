@@ -27,6 +27,7 @@ import (
 	"runtime"
 
 	"repro/internal/cancel"
+	"repro/internal/obs"
 )
 
 // Resolve maps a workers knob onto an actual worker count for n jobs:
@@ -58,9 +59,17 @@ func ForEach(ctx context.Context, n, workers int, site string, fn func(chk *canc
 	if n <= 0 {
 		return nil
 	}
+	m := obs.ExecFrom(ctx)
 	workers = Resolve(workers, n)
 	if workers == 1 {
 		chk := cancel.FromContext(ctx)
+		if m != nil {
+			m.InlineRuns.Inc()
+			m.Jobs.Add(uint64(n))
+			// Checkpoint counting must survive early error returns.
+			before := chk.Visits()
+			defer func() { m.Checkpoints.Add(chk.Visits() - before) }()
+		}
 		for i := 0; i < n; i++ {
 			if err := chk.Point(site); err != nil {
 				return err
@@ -72,6 +81,16 @@ func ForEach(ctx context.Context, n, workers int, site string, fn func(chk *canc
 		return nil
 	}
 
+	// enq holds per-job enqueue timestamps when metrics are on. The sender
+	// writes enq[i] before jobs <- i and the worker reads it after receiving
+	// i, so the channel gives the happens-before edge.
+	var enq []int64
+	if m != nil {
+		m.Fanouts.Inc()
+		m.Jobs.Add(uint64(n))
+		m.WorkersSpawned.Add(uint64(workers))
+		enq = make([]int64, n)
+	}
 	var pool pool
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -81,15 +100,29 @@ func ForEach(ctx context.Context, n, workers int, site string, fn func(chk *canc
 			// One checker per goroutine: Checker has no atomics on its hot
 			// path and must not be shared.
 			chk := cancel.FromContext(ctx)
+			if m != nil {
+				before := chk.Visits()
+				defer func() { m.Checkpoints.Add(chk.Visits() - before) }()
+			}
 			for i := range jobs {
 				if pool.stopped() {
 					continue // drain remaining jobs without working
 				}
+				if m == nil {
+					pool.run(chk, i, site, fn)
+					continue
+				}
+				start := obs.Now()
+				m.QueueWait.Observe(obs.SecondsSince(enq[i]))
 				pool.run(chk, i, site, fn)
+				m.JobDuration.ObserveSince(start)
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		if m != nil {
+			enq[i] = obs.Now()
+		}
 		jobs <- i
 	}
 	close(jobs)

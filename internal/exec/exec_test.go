@@ -170,18 +170,45 @@ func TestCacheBasicsAndLRU(t *testing.T) {
 	if v, _ := c.Get(1); v != "a2" {
 		t.Fatalf("update lost: %q", v)
 	}
-	hits, misses := c.Stats()
-	if hits == 0 || misses == 0 {
-		t.Fatalf("stats = %d/%d, want both nonzero", hits, misses)
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("stats = %+v, want nonzero hits and misses", st)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (Put(3) evicted 2)", st.Evictions)
+	}
+	if st.Len != 2 || st.Capacity != 2 {
+		t.Fatalf("len/cap = %d/%d, want 2/2", st.Len, st.Capacity)
+	}
+	if hr := st.HitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hit rate = %v, want in (0,1)", hr)
+	}
+	c.MarkStale()
+	if s2 := c.Stats(); s2.Stale != 1 {
+		t.Fatalf("stale = %d, want 1", s2.Stale)
 	}
 	c.Purge()
 	if c.Len() != 0 {
 		t.Fatalf("Len after purge = %d", c.Len())
 	}
-	if h2, m2 := c.Stats(); h2 != hits || m2 != misses+1 {
-		// the Get(1) above after update was a hit; counters survive Purge
-		t.Logf("stats after purge: %d/%d", h2, m2)
+	if s3 := c.Stats(); s3.Hits != st.Hits || s3.Misses != st.Misses {
+		// counters survive Purge
+		t.Fatalf("stats after purge: %+v, want hits/misses preserved from %+v", s3, st)
 	}
+}
+
+func TestCacheStatsZeroLookups(t *testing.T) {
+	// The hit rate must be 0, not NaN, before any lookup — on the nil cache
+	// and on a fresh one alike.
+	var nilCache *Cache[int, int]
+	if hr := nilCache.Stats().HitRate(); hr != 0 {
+		t.Fatalf("nil cache hit rate = %v, want 0", hr)
+	}
+	fresh := NewCache[int, int](4)
+	if hr := fresh.Stats().HitRate(); hr != 0 {
+		t.Fatalf("fresh cache hit rate = %v, want 0", hr)
+	}
+	nilCache.MarkStale() // must not panic
 }
 
 func TestCacheNilIsAlwaysMiss(t *testing.T) {

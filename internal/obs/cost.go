@@ -1,0 +1,163 @@
+package obs
+
+import "sync/atomic"
+
+// Process-global cost counters: the paper's efficiency metrics (§VII measures
+// R-tree node accesses, dominance tests and per-phase runtimes; node accesses
+// live on each tree, the rest here). They are always on — the algorithm
+// layers batch counts locally and flush one atomic add per operation, so the
+// sequential golden path pays a handful of uncontended atomics per query —
+// and process-global by design: a registry reads them through CounterFunc,
+// and per-query attribution is done by snapshot deltas (Cost before/after),
+// which is exact for single-threaded measurement and an aggregate under
+// concurrency. Multiple DBs in one process share them.
+var (
+	costDominanceTests  atomic.Uint64
+	costDSLComputations atomic.Uint64
+	costWindowQueries   atomic.Uint64
+	costSafeRegionVerts atomic.Uint64
+	costCandidateEvals  atomic.Uint64
+	costCacheStaleOnArr atomic.Uint64
+	costDegradations    atomic.Uint64
+	costCancellations   atomic.Uint64
+)
+
+// AddDominanceTests records n point-point dominance evaluations (DynDominates
+// and transformed-space Dominates calls on concrete points; point-rectangle
+// prune tests are deliberately excluded so the count matches the paper's
+// "dominance tests" and a brute-force oracle can reproduce it).
+func AddDominanceTests(n int) {
+	if n > 0 {
+		costDominanceTests.Add(uint64(n))
+	}
+}
+
+// AddDSLComputations records n full dynamic-skyline computations (cache hits
+// do not count — the gap between window queries issued and DSLs computed is
+// the cache's earning).
+func AddDSLComputations(n int) {
+	if n > 0 {
+		costDSLComputations.Add(uint64(n))
+	}
+}
+
+// AddWindowQueries records n window queries (full, existence or frontier).
+func AddWindowQueries(n int) {
+	if n > 0 {
+		costWindowQueries.Add(uint64(n))
+	}
+}
+
+// AddSafeRegionVertices records n safe-region rectangle corners enumerated
+// (Algorithm 4's candidate q* source).
+func AddSafeRegionVertices(n int) {
+	if n > 0 {
+		costSafeRegionVerts.Add(uint64(n))
+	}
+}
+
+// AddCandidateEvaluations records n candidate evaluations (each case-C2
+// corner evaluation runs a full MWP).
+func AddCandidateEvaluations(n int) {
+	if n > 0 {
+		costCandidateEvals.Add(uint64(n))
+	}
+}
+
+// AddCacheStale records n stale-on-arrival cache hits (entry found but
+// generation-invalidated, so it was recomputed).
+func AddCacheStale(n int) {
+	if n > 0 {
+		costCacheStaleOnArr.Add(uint64(n))
+	}
+}
+
+// AddDegradations records n degradation events (a ladder rung failed and a
+// cheaper rung was attempted).
+func AddDegradations(n int) {
+	if n > 0 {
+		costDegradations.Add(uint64(n))
+	}
+}
+
+// AddCancellations records n queries aborted by deadline or cancellation.
+func AddCancellations(n int) {
+	if n > 0 {
+		costCancellations.Add(uint64(n))
+	}
+}
+
+// CostSnapshot is a point-in-time copy of the process-global cost counters.
+// Node accesses are per-tree (rtree.Tree.Accesses) and are merged in by the
+// repro layer's snapshot.
+type CostSnapshot struct {
+	DominanceTests       uint64 `json:"dominance_tests"`
+	DSLComputations      uint64 `json:"dsl_computations"`
+	WindowQueries        uint64 `json:"window_queries"`
+	SafeRegionVertices   uint64 `json:"saferegion_vertices"`
+	CandidateEvaluations uint64 `json:"candidate_evaluations"`
+	CacheStale           uint64 `json:"cache_stale_on_arrival"`
+	Degradations         uint64 `json:"degradations"`
+	Cancellations        uint64 `json:"cancellations"`
+}
+
+// Cost reads the current global cost counters.
+func Cost() CostSnapshot {
+	return CostSnapshot{
+		DominanceTests:       costDominanceTests.Load(),
+		DSLComputations:      costDSLComputations.Load(),
+		WindowQueries:        costWindowQueries.Load(),
+		SafeRegionVertices:   costSafeRegionVerts.Load(),
+		CandidateEvaluations: costCandidateEvals.Load(),
+		CacheStale:           costCacheStaleOnArr.Load(),
+		Degradations:         costDegradations.Load(),
+		Cancellations:        costCancellations.Load(),
+	}
+}
+
+// Sub returns the per-field difference s − o (the delta of one measured
+// query or workload, with o the snapshot taken before it).
+func (s CostSnapshot) Sub(o CostSnapshot) CostSnapshot {
+	return CostSnapshot{
+		DominanceTests:       s.DominanceTests - o.DominanceTests,
+		DSLComputations:      s.DSLComputations - o.DSLComputations,
+		WindowQueries:        s.WindowQueries - o.WindowQueries,
+		SafeRegionVertices:   s.SafeRegionVertices - o.SafeRegionVertices,
+		CandidateEvaluations: s.CandidateEvaluations - o.CandidateEvaluations,
+		CacheStale:           s.CacheStale - o.CacheStale,
+		Degradations:         s.Degradations - o.Degradations,
+		Cancellations:        s.Cancellations - o.Cancellations,
+	}
+}
+
+// RegisterCost exposes the global cost counters on a registry as read-through
+// counters.
+func RegisterCost(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("dominance_tests_total",
+		"point-point dominance evaluations (the paper's dominance-test cost metric)",
+		costDominanceTests.Load)
+	r.CounterFunc("dsl_computations_total",
+		"full dynamic-skyline computations (cache hits excluded)",
+		costDSLComputations.Load)
+	r.CounterFunc("window_queries_total",
+		"window queries issued (full, existence and frontier)",
+		costWindowQueries.Load)
+	r.CounterFunc("saferegion_vertices_total",
+		"safe-region rectangle corners enumerated by Algorithm 4",
+		costSafeRegionVerts.Load)
+	r.CounterFunc("candidate_evaluations_total",
+		"candidate evaluations (case-C2 corners, each a full MWP)",
+		costCandidateEvals.Load)
+	r.CounterFunc("cache_stale_on_arrival_total",
+		"cache hits invalidated by a racing mutation (generation mismatch)",
+		costCacheStaleOnArr.Load)
+	r.CounterFunc("degradation_events_total",
+		"ladder degradations (a rung failed, a cheaper rung was attempted)",
+		costDegradations.Load)
+	r.CounterFunc("query_cancellations_total",
+		"queries aborted by deadline or cancellation",
+		costCancellations.Load)
+}

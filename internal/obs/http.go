@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-wide expvar publication: expvar.Publish
+// panics on duplicate names, and a process may build several debug muxes
+// (tests do). The first registry published wins; later muxes still serve
+// their own /metrics and /metrics.json.
+var expvarOnce sync.Once
+
+// DebugMux builds the debug listener's mux: Prometheus text on /metrics,
+// the JSON rendering on /metrics.json, the standard expvar page on
+// /debug/vars (with the registry published as "repro_metrics"), and the full
+// net/http/pprof suite under /debug/pprof/. cmd/whynot serves it on
+// -metrics-addr; anything else that wants a debug port can mount it too.
+func DebugMux(r *Registry) *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("repro_metrics", expvar.Func(func() any { return r.JSONValue() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics.json", r.JSONHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

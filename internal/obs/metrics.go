@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil Counter is
+// valid: Inc/Add are no-ops and Value is zero, so call sites need no "is
+// observability enabled" branches.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (callers batch loop counts and flush once per operation).
+func (c *Counter) Add(n uint64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 value (set-to-current semantics). Nil is valid.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a bounded-bucket histogram with lock-free observation: one
+// atomic add into the bucket, one into the total count, one CAS loop into the
+// sum. Bounds are upper bucket edges (cumulative "le" semantics on render);
+// observations beyond the last bound land in an overflow bucket. Nil is valid.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, last = overflow
+	total   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// Unsorted input is sorted defensively; empty bounds yield a single overflow
+// bucket (count/sum still work, quantiles degrade to zero).
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// DurationBuckets returns the default latency bounds in seconds: 1µs to 10s
+// on a 1-2.5-5 grid, a good fit for everything from a single window query to
+// a worst-case exact safe region.
+func DurationBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (~22) and the loop is branch-
+	// predictable; a binary search buys nothing at this size.
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		newBits := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, newBits) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds since a Now timestamp.
+func (h *Histogram) ObserveSince(start int64) {
+	if h == nil {
+		return
+	}
+	h.Observe(SecondsSince(start))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket containing the target rank, the standard
+// histogram_quantile estimate. The overflow bucket reports the last bound
+// (the estimate saturates there); an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.total.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i, b := range h.bounds {
+		n := h.counts[i].Load()
+		if float64(cum+n) >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if n == 0 {
+				return b
+			}
+			frac := (target - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(b-lo)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time read of a histogram
+// for JSON rendering (buckets are read sequentially; a concurrent observation
+// may straddle the read, which is acceptable for monitoring output).
+type HistogramSnapshot struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+	P99     float64   `json:"p99"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"`
+}
+
+// Snapshot captures count, sum, the three headline quantiles and raw buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		P50:    h.Quantile(0.50),
+		P95:    h.Quantile(0.95),
+		P99:    h.Quantile(0.99),
+		Bounds: h.bounds,
+	}
+	s.Buckets = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// LabeledCounter is a family of counters keyed by one label value (e.g.
+// degradation events by reason, rung attempts by rung). Label values are
+// expected to be low-cardinality; each new value allocates one Counter under
+// a mutex, after which increments are lock-free via With. Nil is valid.
+type LabeledCounter struct {
+	label string
+	mu    sync.Mutex
+	m     map[string]*Counter
+}
+
+// NewLabeledCounter builds a counter family with the given label name.
+func NewLabeledCounter(label string) *LabeledCounter {
+	return &LabeledCounter{label: label, m: make(map[string]*Counter)}
+}
+
+// With returns the counter for a label value, creating it on first use.
+// On a nil family it returns nil (whose methods are no-ops).
+func (l *LabeledCounter) With(value string) *Counter {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c, ok := l.m[value]
+	if !ok {
+		c = &Counter{}
+		l.m[value] = c
+	}
+	return c
+}
+
+// Values returns a copy of the current per-label counts.
+func (l *LabeledCounter) Values() map[string]uint64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.m))
+	for k, c := range l.m {
+		out[k] = c.Value()
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// metricKind discriminates the registry entry variants.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindLabeled
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindLabeled, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+type metric struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+	labeled    *LabeledCounter
+	counterFn  func() uint64
+	gaugeFn    func() float64
+}
+
+// Registry holds named metrics and renders them as Prometheus text exposition
+// format or JSON. Registration happens at setup time under a mutex; reads of
+// the registered metrics themselves are lock-free. A nil Registry is valid:
+// every factory returns a nil metric (whose operations are no-ops) and every
+// render produces empty output, so a DB without observability costs nothing.
+type Registry struct {
+	mu     sync.Mutex
+	order  []*metric
+	byName map[string]*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// register adds m under its name, returning the existing entry when the name
+// is already taken by the same kind (idempotent re-registration) and
+// panicking on a kind clash — names are chosen at development time, so a
+// clash is a programming error worth failing loudly on.
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byName[m.name]; ok {
+		if old.kind != m.kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", m.name, m.kind, old.kind))
+		}
+		return old
+	}
+	r.byName[m.name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(&metric{name: name, help: help, kind: kindCounter, counter: &Counter{}}).counter
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(&metric{name: name, help: help, kind: kindGauge, gauge: &Gauge{}}).gauge
+}
+
+// Histogram registers (or returns the existing) histogram under name with the
+// given bucket upper bounds (nil = DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DurationBuckets()
+	}
+	return r.register(&metric{name: name, help: help, kind: kindHistogram, hist: NewHistogram(bounds)}).hist
+}
+
+// LabeledCounter registers (or returns the existing) counter family under
+// name, keyed by the given label.
+func (r *Registry) LabeledCounter(name, help, label string) *LabeledCounter {
+	if r == nil {
+		return nil
+	}
+	return r.register(&metric{name: name, help: help, kind: kindLabeled, labeled: NewLabeledCounter(label)}).labeled
+}
+
+// CounterFunc registers a read-through counter whose value comes from fn at
+// render time — the bridge for counters that live elsewhere (the R-tree's
+// node-access atomics, cache hit counts, the process-global cost counters).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{name: name, help: help, kind: kindCounterFunc, counterFn: fn})
+}
+
+// GaugeFunc registers a read-through gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{name: name, help: help, kind: kindGaugeFunc, gaugeFn: fn})
+}
+
+// snapshot copies the metric list so rendering runs without the lock.
+func (r *Registry) snapshot() []*metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metric(nil), r.order...)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WritePrometheus renders every metric in Prometheus text exposition format
+// (version 0.0.4), the format `-metrics-addr` serves on /metrics.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshot() {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind.promType()); err != nil {
+			return err
+		}
+		var err error
+		switch m.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case kindCounterFunc:
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.counterFn())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.gauge.Value()))
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.gaugeFn()))
+		case kindLabeled:
+			vals := m.labeled.Values()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if _, err = fmt.Fprintf(w, "%s{%s=%q} %d\n", m.name, m.labeled.label, k, vals[k]); err != nil {
+					return err
+				}
+			}
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			var cum uint64
+			for i, b := range s.Bounds {
+				cum += s.Buckets[i]
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, s.Count); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(s.Sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", m.name, s.Count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONValue returns every metric as a name → value map: counters and gauges
+// as numbers, labeled counters as maps, histograms as snapshots (count, sum,
+// p50/p95/p99, buckets).
+func (r *Registry) JSONValue() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.snapshot() {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = m.counter.Value()
+		case kindCounterFunc:
+			out[m.name] = m.counterFn()
+		case kindGauge:
+			out[m.name] = m.gauge.Value()
+		case kindGaugeFunc:
+			out[m.name] = m.gaugeFn()
+		case kindLabeled:
+			out[m.name] = m.labeled.Values()
+		case kindHistogram:
+			out[m.name] = m.hist.Snapshot()
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the JSONValue map, indented, sorted by name (the Go JSON
+// encoder sorts map keys).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.JSONValue())
+}
+
+// Handler serves the Prometheus text rendering (Content-Type text/plain with
+// the exposition-format version parameter).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the JSON rendering.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}

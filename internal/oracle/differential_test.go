@@ -137,7 +137,7 @@ func TestDynamicSkylineCachedAgreesWithOracle(t *testing.T) {
 					got, oracle.DynamicSkyline(f.products, c.Point, oracle.NoExclude))
 			}
 		}
-		if hits, _ := f.db.DSLCacheStats(); hits == 0 {
+		if f.db.DSLCacheStats().Hits == 0 {
 			t.Fatal("second pass did not hit the DSL cache")
 		}
 	})
@@ -242,7 +242,7 @@ func TestSafeRegionMembershipAgreesWithOracle(t *testing.T) {
 				}
 			}
 		}
-		if hits, _ := cachedEng.AntiDDRCacheStats(); hits == 0 {
+		if cachedEng.AntiDDRCacheStats().Hits == 0 {
 			t.Fatal("repeated construction did not hit the anti-DDR cache")
 		}
 	})

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/exec"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 	"repro/internal/skyline"
 )
@@ -82,8 +83,9 @@ func (db *DB) EnableDSLCache(capacity int) {
 	db.dsl = exec.NewCache[int, dslEntry](capacity)
 }
 
-// DSLCacheStats returns cumulative hit/miss counters of the DSL cache.
-func (db *DB) DSLCacheStats() (hits, misses uint64) {
+// DSLCacheStats returns the cumulative accounting of the DSL cache
+// (hits, misses, stale-on-arrival hits, evictions, occupancy).
+func (db *DB) DSLCacheStats() exec.CacheStats {
 	return db.dsl.Stats()
 }
 
@@ -179,15 +181,21 @@ func (db *DB) WindowQuery(c, q geom.Point, excludeID int) []Item {
 
 // WindowQueryChecked is WindowQuery with cooperative cancellation.
 func (db *DB) WindowQueryChecked(chk *cancel.Checker, c, q geom.Point, excludeID int) ([]Item, error) {
+	obs.AddWindowQueries(1)
 	db.treeMu.RLock()
 	defer db.treeMu.RUnlock()
 	var out []Item
+	dt := 0 // batched: one atomic flush per query, not per item
 	err := db.tree.SearchChecked(chk, geom.WindowRect(c, q), func(it Item) bool {
-		if it.ID != excludeID && geom.DynDominates(c, it.Point, q) {
-			out = append(out, it)
+		if it.ID != excludeID {
+			dt++
+			if geom.DynDominates(c, it.Point, q) {
+				out = append(out, it)
+			}
 		}
 		return true
 	})
+	obs.AddDominanceTests(dt)
 	if err != nil {
 		return nil, err
 	}
@@ -203,11 +211,19 @@ func (db *DB) WindowExists(c, q geom.Point, excludeID int) bool {
 
 // WindowExistsChecked is WindowExists with cooperative cancellation.
 func (db *DB) WindowExistsChecked(chk *cancel.Checker, c, q geom.Point, excludeID int) (bool, error) {
+	obs.AddWindowQueries(1)
 	db.treeMu.RLock()
 	defer db.treeMu.RUnlock()
-	return db.tree.ExistsChecked(chk, geom.WindowRect(c, q), func(it Item) bool {
-		return it.ID != excludeID && geom.DynDominates(c, it.Point, q)
+	dt := 0
+	found, err := db.tree.ExistsChecked(chk, geom.WindowRect(c, q), func(it Item) bool {
+		if it.ID == excludeID {
+			return false
+		}
+		dt++
+		return geom.DynDominates(c, it.Point, q)
 	})
+	obs.AddDominanceTests(dt)
+	return found, err
 }
 
 // WindowFrontier returns the members of window_query(c, q) minimal under
@@ -226,6 +242,8 @@ func (db *DB) WindowFrontier(c, q, centre geom.Point, excludeID int) []Item {
 // node-visit granularity; a cancelled traversal returns the context's error
 // and no partial frontier.
 func (db *DB) WindowFrontierChecked(chk *cancel.Checker, c, q, centre geom.Point, excludeID int) ([]Item, error) {
+	obs.AddWindowQueries(1)
+	dt := 0 // point-point tests only; the prune's box tests are not counted
 	window := geom.WindowRect(c, q)
 	type candidate struct {
 		it Item
@@ -282,12 +300,16 @@ func (db *DB) WindowFrontierChecked(chk *cancel.Checker, c, q, centre geom.Point
 		func(r geom.Rect) float64 { return boxTransformSum(r, centre) },
 		prune,
 		func(it Item) bool {
-			if it.ID == excludeID || !window.Contains(it.Point) ||
-				!geom.DynDominates(c, it.Point, q) {
+			if it.ID == excludeID || !window.Contains(it.Point) {
 				return true // not a member of Λ
+			}
+			dt++
+			if !geom.DynDominates(c, it.Point, q) {
+				return true
 			}
 			tr := it.Point.Transform(centre)
 			for i := range cands {
+				dt++
 				if cands[i].tr.Dominates(tr) {
 					return true
 				}
@@ -298,6 +320,7 @@ func (db *DB) WindowFrontierChecked(chk *cancel.Checker, c, q, centre geom.Point
 	)
 	db.treeMu.RUnlock()
 	if err != nil {
+		obs.AddDominanceTests(dt)
 		return nil, err
 	}
 	// Exactify: out-of-order arrivals can leave dominated members behind.
@@ -305,15 +328,19 @@ func (db *DB) WindowFrontierChecked(chk *cancel.Checker, c, q, centre geom.Point
 	for a := range cands {
 		dominated := false
 		for b := range cands {
-			if a != b && cands[b].tr.Dominates(cands[a].tr) {
-				dominated = true
-				break
+			if a != b {
+				dt++
+				if cands[b].tr.Dominates(cands[a].tr) {
+					dominated = true
+					break
+				}
 			}
 		}
 		if !dominated {
 			out = append(out, cands[a].it)
 		}
 	}
+	obs.AddDominanceTests(dt)
 	return out, nil
 }
 
@@ -388,15 +415,20 @@ func (db *DB) ReverseSkylineFilteredChecked(chk *cancel.Checker, customers []Ite
 	}
 	gsp := skyline.GlobalSkyline(db.Items(), q)
 	var out []Item
+	dt := 0
+	defer func() { obs.AddDominanceTests(dt) }()
 	for _, c := range customers {
 		if err := chk.Point(cancel.SiteCustomer); err != nil {
 			return nil, err
 		}
 		pruned := false
 		for _, p := range gsp {
-			if p.ID != c.ID && skyline.GlobalDominates(q, p.Point, c.Point) {
-				pruned = true
-				break
+			if p.ID != c.ID {
+				dt++
+				if skyline.GlobalDominates(q, p.Point, c.Point) {
+					pruned = true
+					break
+				}
 			}
 		}
 		if pruned {
@@ -479,6 +511,7 @@ func (db *DB) DynamicSkyline(c geom.Point) []Item {
 
 // DynamicSkylineChecked is DynamicSkyline with cooperative cancellation.
 func (db *DB) DynamicSkylineChecked(chk *cancel.Checker, c geom.Point) ([]Item, error) {
+	obs.AddDSLComputations(1)
 	db.treeMu.RLock()
 	defer db.treeMu.RUnlock()
 	return skyline.DynamicBBSChecked(chk, db.tree, c)
@@ -498,6 +531,7 @@ func (db *DB) DynamicSkylineExcludingChecked(chk *cancel.Checker, c geom.Point, 
 	if excludeID == NoExclude {
 		return db.DynamicSkylineChecked(chk, c)
 	}
+	obs.AddDSLComputations(1)
 	db.treeMu.RLock()
 	defer db.treeMu.RUnlock()
 	return skyline.DynamicBBSExcludingChecked(chk, db.tree, c, excludeID)
@@ -513,8 +547,13 @@ func (db *DB) DynamicSkylineOfChecked(chk *cancel.Checker, c Item, excludeID int
 		return db.DynamicSkylineExcludingChecked(chk, c.Point, excludeID)
 	}
 	gen := db.gen.Load()
-	if e, ok := db.dsl.Get(c.ID); ok && e.gen == gen && e.exclude == excludeID && e.point.Equal(c.Point) {
-		return e.items, nil
+	if e, ok := db.dsl.Get(c.ID); ok {
+		if e.gen == gen && e.exclude == excludeID && e.point.Equal(c.Point) {
+			return e.items, nil
+		}
+		// Found but generation- or key-invalidated: a stale-on-arrival hit.
+		db.dsl.MarkStale()
+		obs.AddCacheStale(1)
 	}
 	out, err := db.DynamicSkylineExcludingChecked(chk, c.Point, excludeID)
 	if err != nil {
@@ -562,11 +601,17 @@ func (db *DB) ReverseSkylineFilteredParallel(ctx context.Context, customers []It
 	in := make([]bool, len(customers))
 	err := exec.ForEach(ctx, len(customers), workers, cancel.SiteCustomer, func(chk *cancel.Checker, i int) error {
 		c := customers[i]
+		dt := 0 // batched per job: workers share the global counter
 		for _, p := range gsp {
-			if p.ID != c.ID && skyline.GlobalDominates(q, p.Point, c.Point) {
-				return nil // pruned: cannot be a reverse-skyline member
+			if p.ID != c.ID {
+				dt++
+				if skyline.GlobalDominates(q, p.Point, c.Point) {
+					obs.AddDominanceTests(dt)
+					return nil // pruned: cannot be a reverse-skyline member
+				}
 			}
 		}
+		obs.AddDominanceTests(dt)
 		member, err := db.IsReverseSkylineChecked(chk, c, q)
 		in[i] = member
 		return err

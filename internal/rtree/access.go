@@ -10,5 +10,13 @@ package rtree
 // Accesses returns the number of nodes visited since the last reset.
 func (t *Tree) Accesses() int { return int(t.accesses.Load()) }
 
-// ResetAccesses zeroes the node-access counter.
-func (t *Tree) ResetAccesses() { t.accesses.Store(0) }
+// LeafScans returns how many of the visited nodes were leaves — the fraction
+// of the I/O that read data pages rather than directory pages. A traversal
+// with a high leaf share is doing little pruning.
+func (t *Tree) LeafScans() int { return int(t.leafScans.Load()) }
+
+// ResetAccesses zeroes the node-access and leaf-scan counters.
+func (t *Tree) ResetAccesses() {
+	t.accesses.Store(0)
+	t.leafScans.Store(0)
+}

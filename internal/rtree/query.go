@@ -32,6 +32,9 @@ func (t *Tree) search(n *node, query geom.Rect, fn func(Item) bool, chk *cancel.
 		return false
 	}
 	t.accesses.Add(1)
+	if n.leaf {
+		t.leafScans.Add(1)
+	}
 	for _, e := range n.entries {
 		if !query.Intersects(e.rect) {
 			continue
@@ -180,6 +183,9 @@ func (t *Tree) bestFirst(
 		e := heap.Pop(h).(pqEntry)
 		if e.node != nil {
 			t.accesses.Add(1)
+			if e.node.leaf {
+				t.leafScans.Add(1)
+			}
 		}
 		if e.leaf {
 			if prune != nil && prune(geom.PointRect(e.item.Point)) {
@@ -259,6 +265,7 @@ func (t *Tree) guidedSearch(
 	}
 	t.accesses.Add(1)
 	if n.leaf {
+		t.leafScans.Add(1)
 		for _, e := range n.entries {
 			if !query.Intersects(e.rect) {
 				continue

@@ -104,11 +104,12 @@ func (n *node) mbr() geom.Rect {
 // Tree is an R*-tree over point items. It is not safe for concurrent
 // mutation; concurrent read-only queries are safe.
 type Tree struct {
-	cfg      Config
-	root     *node
-	size     int
-	height   int
-	accesses atomic.Int64
+	cfg       Config
+	root      *node
+	size      int
+	height    int
+	accesses  atomic.Int64
+	leafScans atomic.Int64
 }
 
 // New returns an empty tree for dims-dimensional points.

@@ -3,6 +3,7 @@ package skyline
 import (
 	"repro/internal/cancel"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 )
 
@@ -90,6 +91,7 @@ func GlobalSkylineBBSChecked(chk *cancel.Checker, t *rtree.Tree, q geom.Point) (
 	}
 
 	var out []Item
+	dt := 0
 	err := t.BestFirstChecked(
 		chk,
 		func(p geom.Point) float64 { return coordSum(p.Transform(q)) },
@@ -99,8 +101,11 @@ func GlobalSkylineBBSChecked(chk *cancel.Checker, t *rtree.Tree, q geom.Point) (
 			tr := it.Point.Transform(q)
 			g := canonOf(it.Point)
 			for _, s := range sky {
-				if compatible(s, g) && s.tr.Dominates(tr) {
-					return true
+				if compatible(s, g) {
+					dt++
+					if s.tr.Dominates(tr) {
+						return true
+					}
 				}
 			}
 			sky = append(sky, skyPoint{tr: tr, canon: g})
@@ -108,6 +113,7 @@ func GlobalSkylineBBSChecked(chk *cancel.Checker, t *rtree.Tree, q geom.Point) (
 			return true
 		},
 	)
+	obs.AddDominanceTests(dt)
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cancel"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rtree"
 )
 
@@ -29,17 +30,23 @@ func Of(items []Item) []Item { return SFS(items) }
 // tests and benchmarks.
 func BNL(items []Item) []Item {
 	var window []Item
+	dt := 0 // batched dominance-test count, one flush per call
 	for _, cand := range items {
 		dominated := false
 		keep := window[:0]
 		for _, w := range window {
-			switch {
-			case dominated:
+			if dominated {
 				keep = append(keep, w)
-			case w.Point.Dominates(cand.Point):
+				continue
+			}
+			dt++
+			if w.Point.Dominates(cand.Point) {
 				dominated = true
 				keep = append(keep, w)
-			case !cand.Point.Dominates(w.Point):
+				continue
+			}
+			dt++
+			if !cand.Point.Dominates(w.Point) {
 				keep = append(keep, w)
 			}
 		}
@@ -48,6 +55,7 @@ func BNL(items []Item) []Item {
 			window = append(window, cand)
 		}
 	}
+	obs.AddDominanceTests(dt)
 	return window
 }
 
@@ -60,9 +68,11 @@ func SFS(items []Item) []Item {
 		return coordSum(sorted[i].Point) < coordSum(sorted[j].Point)
 	})
 	var sky []Item
+	dt := 0
 	for _, cand := range sorted {
 		dominated := false
 		for _, s := range sky {
+			dt++
 			if s.Point.Dominates(cand.Point) {
 				dominated = true
 				break
@@ -72,6 +82,7 @@ func SFS(items []Item) []Item {
 			sky = append(sky, cand)
 		}
 	}
+	obs.AddDominanceTests(dt)
 	return sky
 }
 
@@ -110,9 +121,11 @@ func DC(items []Item) []Item {
 	skyLo := DC(lo)
 	skyHi := DC(hi)
 	out := append([]Item(nil), skyLo...)
+	dt := 0
 	for _, h := range skyHi {
 		dominated := false
 		for _, l := range skyLo {
+			dt++
 			if l.Point.Dominates(h.Point) {
 				dominated = true
 				break
@@ -122,6 +135,7 @@ func DC(items []Item) []Item {
 			out = append(out, h)
 		}
 	}
+	obs.AddDominanceTests(dt)
 	return out
 }
 
@@ -131,6 +145,7 @@ func DC(items []Item) []Item {
 // points.
 func BBS(t *rtree.Tree) []Item {
 	var sky []Item
+	dt := 0 // point-point only; the rect prune below is not a dominance test
 	dominatedRect := func(r geom.Rect) bool {
 		for _, s := range sky {
 			if s.Point.WeaklyDominates(r.Lo) && !r.Contains(s.Point) {
@@ -145,6 +160,7 @@ func BBS(t *rtree.Tree) []Item {
 		dominatedRect,
 		func(it Item, _ float64) bool {
 			for _, s := range sky {
+				dt++
 				if s.Point.Dominates(it.Point) {
 					return true
 				}
@@ -153,6 +169,7 @@ func BBS(t *rtree.Tree) []Item {
 			return true
 		},
 	)
+	obs.AddDominanceTests(dt)
 	return sky
 }
 
@@ -172,9 +189,11 @@ func Dynamic(items []Item, c geom.Point) []Item {
 	}
 	sort.SliceStable(ts, func(i, j int) bool { return coordSum(ts[i].tr) < coordSum(ts[j].tr) })
 	var sky []ti
+	dt := 0
 	for _, cand := range ts {
 		dominated := false
 		for _, s := range sky {
+			dt++
 			if s.tr.Dominates(cand.tr) {
 				dominated = true
 				break
@@ -184,6 +203,7 @@ func Dynamic(items []Item, c geom.Point) []Item {
 			sky = append(sky, cand)
 		}
 	}
+	obs.AddDominanceTests(dt)
 	out := make([]Item, len(sky))
 	for i, s := range sky {
 		out[i] = s.orig
@@ -236,6 +256,7 @@ func DynamicBBSExcludingChecked(chk *cancel.Checker, t *rtree.Tree, c geom.Point
 		return false
 	}
 	var out []Item
+	dt := 0
 	err := t.BestFirstChecked(
 		chk,
 		func(p geom.Point) float64 { return coordSum(p.Transform(c)) },
@@ -247,6 +268,7 @@ func DynamicBBSExcludingChecked(chk *cancel.Checker, t *rtree.Tree, c geom.Point
 			}
 			tr := it.Point.Transform(c)
 			for _, s := range sky {
+				dt++
 				if s.tr.Dominates(tr) {
 					return true
 				}
@@ -256,6 +278,7 @@ func DynamicBBSExcludingChecked(chk *cancel.Checker, t *rtree.Tree, c geom.Point
 			return true
 		},
 	)
+	obs.AddDominanceTests(dt)
 	if err != nil {
 		return nil, err
 	}
@@ -336,6 +359,7 @@ func GlobalSkyline(items []Item, q geom.Point) []Item {
 		}
 	}
 	survives := make([]bool, len(items))
+	dt := 0
 	for g := 0; g < groups; g++ {
 		ms := byGroup[g]
 		if len(ms) == 0 {
@@ -347,6 +371,7 @@ func GlobalSkyline(items []Item, q geom.Point) []Item {
 			tr := geom.Point(backing[int(idx)*d : (int(idx)+1)*d])
 			dominated := false
 			for _, s := range sky {
+				dt++
 				if s.Dominates(tr) {
 					dominated = true
 					break
@@ -366,6 +391,7 @@ func GlobalSkyline(items []Item, q geom.Point) []Item {
 			out = append(out, items[idx])
 		}
 	}
+	obs.AddDominanceTests(dt)
 	return out
 }
 

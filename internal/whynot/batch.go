@@ -6,6 +6,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/exec"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/region"
 )
 
@@ -24,17 +25,20 @@ func (e *Engine) MWQBatchCtx(ctx context.Context, cts []Item, q geom.Point, rsl 
 	if err != nil {
 		return nil, err
 	}
+	tr := obs.TraceFrom(ctx)
+	endSR := tr.StartSpan("saferegion.exact")
 	sr, err := e.safeRegion(chk, q, rsl)
+	endSR()
 	if err != nil {
 		return nil, err
 	}
-	return e.mwqBatchWithRegion(chk, cts, q, sr, opt)
+	return e.mwqBatchWithRegion(chk, tr, cts, q, sr, opt)
 }
 
 // MWQBatchWithRegion runs Algorithm 4 for every customer against a shared
 // precomputed safe region.
 func (e *Engine) MWQBatchWithRegion(cts []Item, q geom.Point, sr region.Set, opt Options) []MWQResult {
-	out, _ := e.mwqBatchWithRegion(nil, cts, q, sr, opt)
+	out, _ := e.mwqBatchWithRegion(nil, nil, cts, q, sr, opt)
 	return out
 }
 
@@ -46,16 +50,16 @@ func (e *Engine) MWQBatchWithRegionCtx(ctx context.Context, cts []Item, q geom.P
 	if err != nil {
 		return nil, err
 	}
-	return e.mwqBatchWithRegion(chk, cts, q, sr, opt)
+	return e.mwqBatchWithRegion(chk, obs.TraceFrom(ctx), cts, q, sr, opt)
 }
 
-func (e *Engine) mwqBatchWithRegion(chk *cancel.Checker, cts []Item, q geom.Point, sr region.Set, opt Options) ([]MWQResult, error) {
+func (e *Engine) mwqBatchWithRegion(chk *cancel.Checker, tr *obs.Trace, cts []Item, q geom.Point, sr region.Set, opt Options) ([]MWQResult, error) {
 	out := make([]MWQResult, len(cts))
 	for i, ct := range cts {
 		if err := chk.Point(cancel.SiteBatchItem); err != nil {
 			return nil, err
 		}
-		res, err := e.mwq(chk, ct, q, sr, opt)
+		res, err := e.mwq(chk, tr, ct, q, sr, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -88,8 +92,11 @@ func (e *Engine) MWQBatchParallelCtx(ctx context.Context, cts []Item, q geom.Poi
 
 func (e *Engine) mwqBatchParallel(ctx context.Context, cts []Item, q geom.Point, sr region.Set, opt Options, workers int) ([]MWQResult, error) {
 	out := make([]MWQResult, len(cts))
+	// The trace is shared across workers: span/event recording is lock-free
+	// and safe for concurrent writers.
+	tr := obs.TraceFrom(ctx)
 	err := exec.ForEach(ctx, len(cts), workers, cancel.SiteBatchItem, func(chk *cancel.Checker, i int) error {
-		res, err := e.mwq(chk, cts[i], q, sr, opt)
+		res, err := e.mwq(chk, tr, cts[i], q, sr, opt)
 		if err != nil {
 			return err
 		}

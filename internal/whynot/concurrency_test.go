@@ -105,8 +105,8 @@ func TestConcurrentSafeRegionDuringMutation(t *testing.T) {
 	if !region.Equivalent(got, fresh) {
 		t.Fatal("post-quiescence: cached safe region differs from fresh construction")
 	}
-	hits, misses := e.AntiDDRCacheStats()
-	if hits+misses == 0 {
+	st := e.AntiDDRCacheStats()
+	if st.Hits+st.Misses == 0 {
 		t.Fatal("anti-DDR cache was never exercised")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cancel"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/region"
 )
 
@@ -42,6 +43,7 @@ func (e *Engine) MQPCtx(ctx context.Context, ct Item, q geom.Point, opt Options)
 	if err != nil {
 		return MQPResult{}, err
 	}
+	defer obs.TraceFrom(ctx).StartSpan("mqp")()
 	return e.mqp(chk, ct, q, opt)
 }
 
@@ -106,6 +108,7 @@ func (e *Engine) mqp(chk *cancel.Checker, ct Item, q geom.Point, opt Options) (M
 		p := geom.UnTransform(ct.Point, m, q)
 		cands = append(cands, Candidate{Point: p, Cost: e.costQ(q, p, opt)})
 	}
+	obs.AddCandidateEvaluations(len(cands))
 	sortCandidates(cands)
 	return MQPResult{Frontier: frontier, Candidates: dedupCandidates(cands)}, nil
 }

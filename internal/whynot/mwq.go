@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cancel"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/region"
 )
 
@@ -59,7 +60,7 @@ type MWQResult struct {
 // ApproxSafeRegion; the paper reuses one safe region across many why-not
 // questions on the same query).
 func (e *Engine) MWQ(ct Item, q geom.Point, sr region.Set, opt Options) MWQResult {
-	res, _ := e.mwq(nil, ct, q, sr, opt)
+	res, _ := e.mwq(nil, nil, ct, q, sr, opt)
 	return res
 }
 
@@ -71,15 +72,17 @@ func (e *Engine) MWQCtx(ctx context.Context, ct Item, q geom.Point, sr region.Se
 	if err != nil {
 		return MWQResult{}, err
 	}
-	return e.mwq(chk, ct, q, sr, opt)
+	return e.mwq(chk, obs.TraceFrom(ctx), ct, q, sr, opt)
 }
 
-func (e *Engine) mwq(chk *cancel.Checker, ct Item, q geom.Point, sr region.Set, opt Options) (MWQResult, error) {
+func (e *Engine) mwq(chk *cancel.Checker, tr *obs.Trace, ct Item, q geom.Point, sr region.Set, opt Options) (MWQResult, error) {
+	defer tr.StartSpan("mwq")()
 	member, err := e.DB.WindowExistsChecked(chk, ct.Point, q, e.exclude(ct))
 	if err != nil {
 		return MWQResult{}, err
 	}
 	if !member {
+		tr.Event("mwq.case", "already a reverse-skyline member")
 		return MWQResult{
 			AlreadyMember: true,
 			SafeRegion:    sr,
@@ -100,11 +103,13 @@ func (e *Engine) mwq(chk *cancel.Checker, ct Item, q geom.Point, sr region.Set, 
 	if !overlap.IsEmpty() {
 		// Case C1 (steps 1–6): move q to the nearest point of each overlap
 		// rectangle; the why-not point stays put and the cost is zero.
+		tr.Eventf("mwq.case", "C1 overlap: %d rects", len(overlap))
 		cands := make([]Candidate, 0, len(overlap))
 		for _, r := range overlap {
 			p := r.NearestPoint(q)
 			cands = append(cands, Candidate{Point: p, Cost: e.costQ(q, p, opt)})
 		}
+		obs.AddCandidateEvaluations(len(cands))
 		sortCandidates(cands)
 		cands = dedupCandidates(cands)
 		return MWQResult{
@@ -130,6 +135,8 @@ func (e *Engine) mwq(chk *cancel.Checker, ct Item, q geom.Point, sr region.Set, 
 	// staying put is trivially safe and guarantees the paper's
 	// cost(MWQ) ≤ cost(MWP) property even when every corner is worse.
 	corners := append(positiveRects(sr).Corners(), q.Clone())
+	tr.Eventf("mwq.case", "C2 disjoint: %d safe-region corners", len(corners))
+	obs.AddSafeRegionVertices(len(corners))
 	type scored struct {
 		pt geom.Point
 		tr geom.Point
@@ -141,10 +148,15 @@ func (e *Engine) mwq(chk *cancel.Checker, ct Item, q geom.Point, sr region.Set, 
 	// Keep corners whose transformed image is not dominated (Algorithm 4
 	// steps 11–13).
 	var qCands []scored
+	dt := 0
 	for a, sa := range ts {
 		dominated := false
 		for b, sb := range ts {
-			if a != b && sb.tr.Dominates(sa.tr) {
+			if a == b {
+				continue
+			}
+			dt++
+			if sb.tr.Dominates(sa.tr) {
 				dominated = true
 				break
 			}
@@ -156,17 +168,21 @@ func (e *Engine) mwq(chk *cancel.Checker, ct Item, q geom.Point, sr region.Set, 
 			qCands = append(qCands, sa)
 		}
 	}
+	obs.AddDominanceTests(dt)
 
+	endCorners := tr.StartSpan("mwq.corners")
 	bestCost := math.Inf(1)
 	var bestQ geom.Point
 	var bestCt []Candidate
 	var qEvaluated []Candidate
 	for _, qc := range qCands {
 		if err := chk.Point(cancel.SiteMWQCorner); err != nil {
+			endCorners()
 			return MWQResult{}, err
 		}
 		res, err := e.mwp(chk, ct, qc.pt, opt)
 		if err != nil {
+			endCorners()
 			return MWQResult{}, err
 		}
 		cost := res.Best().Cost
@@ -177,6 +193,8 @@ func (e *Engine) mwq(chk *cancel.Checker, ct Item, q geom.Point, sr region.Set, 
 			bestCt = res.Candidates
 		}
 	}
+	endCorners()
+	obs.AddCandidateEvaluations(len(qEvaluated))
 	sort.SliceStable(qEvaluated, func(a, b int) bool { return qEvaluated[a].Cost < qEvaluated[b].Cost })
 	return MWQResult{
 		Case:         CaseDisjoint,
@@ -216,11 +234,14 @@ func (e *Engine) MWQExactCtx(ctx context.Context, ct Item, q geom.Point, rsl []I
 	if err != nil {
 		return MWQResult{}, err
 	}
+	tr := obs.TraceFrom(ctx)
+	endSR := tr.StartSpan("saferegion.exact")
 	sr, err := e.safeRegion(chk, q, rsl)
+	endSR()
 	if err != nil {
 		return MWQResult{}, err
 	}
-	return e.mwq(chk, ct, q, sr, opt)
+	return e.mwq(chk, tr, ct, q, sr, opt)
 }
 
 // MWQExactParallelCtx is MWQExactCtx with the safe-region construction fanned
@@ -247,9 +268,12 @@ func (e *Engine) MWQApproxCtx(ctx context.Context, ct Item, q geom.Point, rsl []
 	if err != nil {
 		return MWQResult{}, err
 	}
+	tr := obs.TraceFrom(ctx)
+	endSR := tr.StartSpan("saferegion.approx")
 	sr, err := e.approxSafeRegion(chk, q, rsl, store)
+	endSR()
 	if err != nil {
 		return MWQResult{}, err
 	}
-	return e.mwq(chk, ct, q, sr, opt)
+	return e.mwq(chk, tr, ct, q, sr, opt)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/exec"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/region"
 	"repro/internal/rskyline"
 	"repro/internal/skyline"
@@ -32,6 +33,7 @@ func (e *Engine) SafeRegionCtx(ctx context.Context, q geom.Point, rsl []Item) (r
 	if err != nil {
 		return nil, err
 	}
+	defer obs.TraceFrom(ctx).StartSpan("saferegion.exact")()
 	return e.safeRegion(chk, q, rsl)
 }
 
@@ -85,6 +87,7 @@ func (e *Engine) SafeRegionParallel(ctx context.Context, q geom.Point, rsl []Ite
 	if err != nil {
 		return nil, err
 	}
+	defer obs.TraceFrom(ctx).StartSpan("saferegion.parallel")()
 	universe, ok := e.DB.Universe()
 	if !ok {
 		return region.Set{geom.PointRect(q)}, nil
@@ -128,8 +131,14 @@ func (e *Engine) antiDDRCached(chk *cancel.Checker, c Item, universe geom.Rect, 
 		return e.antiDDRCompute(chk, c, universe, poll)
 	}
 	gen := e.DB.Generation()
-	if ent, ok := e.addr.Get(c.ID); ok && ent.gen == gen && ent.point.Equal(c.Point) {
-		return ent.set, nil
+	if ent, ok := e.addr.Get(c.ID); ok {
+		if ent.gen == gen && ent.point.Equal(c.Point) {
+			return ent.set, nil
+		}
+		// The entry was found but fails validation: a hit that cannot be
+		// served. Reclassify it so hit rates stay honest.
+		e.addr.MarkStale()
+		obs.AddCacheStale(1)
 	}
 	set, err := e.antiDDRCompute(chk, c, universe, poll)
 	if err != nil {
@@ -259,6 +268,7 @@ func (e *Engine) ApproxSafeRegionCtx(ctx context.Context, q geom.Point, rsl []It
 	if err != nil {
 		return nil, err
 	}
+	defer obs.TraceFrom(ctx).StartSpan("saferegion.approx")()
 	return e.approxSafeRegion(chk, q, rsl, store)
 }
 

@@ -32,6 +32,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/exec"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/region"
 	"repro/internal/rskyline"
 	"repro/internal/rtree"
@@ -95,9 +96,9 @@ func (e *Engine) EnableAntiDDRCache(capacity int) {
 	e.addr = exec.NewCache[int, addrEntry](capacity)
 }
 
-// AntiDDRCacheStats reports cumulative hit/miss counts of the anti-DDR cache
-// (zeros when caching is disabled).
-func (e *Engine) AntiDDRCacheStats() (hits, misses uint64) {
+// AntiDDRCacheStats reports the cumulative accounting of the anti-DDR cache
+// (all-zero when caching is disabled).
+func (e *Engine) AntiDDRCacheStats() exec.CacheStats {
 	return e.addr.Stats()
 }
 
@@ -153,6 +154,7 @@ func (e *Engine) ExplainCtx(ctx context.Context, ct Item, q geom.Point) ([]Item,
 	if err != nil {
 		return nil, err
 	}
+	defer obs.TraceFrom(ctx).StartSpan("explain")()
 	return e.DB.WindowQueryChecked(chk, ct.Point, q, e.exclude(ct))
 }
 
@@ -202,6 +204,7 @@ func (e *Engine) MWPCtx(ctx context.Context, ct Item, q geom.Point, opt Options)
 	if err != nil {
 		return MWPResult{}, err
 	}
+	defer obs.TraceFrom(ctx).StartSpan("mwp")()
 	return e.mwp(chk, ct, q, opt)
 }
 
@@ -292,6 +295,7 @@ func (e *Engine) mwp(chk *cancel.Checker, ct Item, q geom.Point, opt Options) (M
 		p := flip(m, dir)
 		cands = append(cands, Candidate{Point: p, Cost: e.costC(ct.Point, p, opt)})
 	}
+	obs.AddCandidateEvaluations(len(cands))
 	sortCandidates(cands)
 	return MWPResult{Frontier: frontier, Candidates: dedupCandidates(cands)}, nil
 }

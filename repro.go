@@ -43,7 +43,9 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/region"
 	"repro/internal/rskyline"
 	"repro/internal/rtree"
@@ -88,6 +90,18 @@ type Dataset = dataset.Dataset
 // NewPoint builds a Point from coordinates.
 func NewPoint(coords ...float64) Point { return geom.NewPoint(coords...) }
 
+// QueryTrace records the timed phases (spans) and annotated instants
+// (events) of one query: which ladder rungs ran, how long the safe-region
+// construction took, why a degradation happened. Obtain one with StartTrace,
+// run the query with the returned context, then read Spans/Events/Format.
+type QueryTrace = obs.Trace
+
+// CacheStatsDetail is the accounting snapshot of one memoisation cache.
+type CacheStatsDetail = exec.CacheStats
+
+// ExecMetrics is the worker-pool instrumentation handle carried by contexts.
+type ExecMetrics = obs.ExecMetrics
+
 // DB is a product database indexed by an R*-tree, answering reverse-skyline
 // queries and why-not questions over it.
 type DB struct {
@@ -95,6 +109,12 @@ type DB struct {
 	// workers is the configured parallelism: 0 means GOMAXPROCS, 1 means
 	// fully sequential execution (the default).
 	workers int
+	// reg and pool are non-nil only when DBOptions.Observability is set; every
+	// obs type is nil-safe, so the disabled state needs no branches below.
+	reg      *obs.Registry
+	pool     *obs.ExecMetrics
+	queries  *obs.LabeledCounter
+	queryDur *obs.Histogram
 }
 
 // DBOptions tunes execution of a DB beyond the paper's single-threaded
@@ -111,6 +131,13 @@ type DBOptions struct {
 	// skylines and anti-dominance regions (entries each). 0 disables
 	// caching. Cached entries are invalidated by Insert and Delete.
 	CacheSize int
+	// Observability turns on the metrics registry and per-query tracing for
+	// this DB: Metrics() serves Prometheus/JSON renderings of the paper's
+	// cost counters (node accesses, dominance tests, ...), worker-pool
+	// utilisation flows into every parallel query, and StartTrace records
+	// per-query phase spans. Disabled (the default), every instrumentation
+	// hook is a nil no-op on the query path.
+	Observability bool
 }
 
 // NewDB bulk-loads products into an R*-tree (the paper's 1536-byte page
@@ -136,7 +163,122 @@ func NewDBWithOptions(dims int, products []Item, opts DBOptions) *DB {
 	case workers == 0:
 		workers = 1 // zero value: the paper's sequential reference behaviour
 	}
-	return &DB{engine: engine, workers: workers}
+	db := &DB{engine: engine, workers: workers}
+	if opts.Observability {
+		db.initObservability(rdb)
+	}
+	return db
+}
+
+// initObservability builds the registry and registers every read-through
+// counter: the process-global cost counters, this DB's R-tree I/O counters,
+// the cache accounting, the worker-pool metrics and the per-query ladder.
+func (db *DB) initObservability(rdb *rskyline.DB) {
+	r := obs.NewRegistry()
+	obs.RegisterCost(r)
+	tree := rdb.Tree() // the tree pointer is stable across Insert/Delete
+	r.CounterFunc("rtree_node_accesses_total",
+		"R-tree nodes visited (the paper's I/O cost metric)",
+		func() uint64 { return uint64(tree.Accesses()) })
+	r.CounterFunc("rtree_leaf_scans_total",
+		"R-tree leaf nodes among the visited (data-page reads)",
+		func() uint64 { return uint64(tree.LeafScans()) })
+	for _, c := range []struct {
+		prefix string
+		stats  func() exec.CacheStats
+	}{
+		{"dsl_cache", rdb.DSLCacheStats},
+		{"antiddr_cache", db.engine.AntiDDRCacheStats},
+	} {
+		stats := c.stats
+		r.CounterFunc(c.prefix+"_hits_total", "cache hits (including stale-on-arrival)",
+			func() uint64 { return stats().Hits })
+		r.CounterFunc(c.prefix+"_misses_total", "cache misses",
+			func() uint64 { return stats().Misses })
+		r.CounterFunc(c.prefix+"_stale_total", "stale-on-arrival hits (generation-invalidated)",
+			func() uint64 { return stats().Stale })
+		r.CounterFunc(c.prefix+"_evictions_total", "LRU evictions",
+			func() uint64 { return stats().Evictions })
+		r.GaugeFunc(c.prefix+"_entries", "current cache occupancy",
+			func() float64 { return float64(stats().Len) })
+	}
+	db.reg = r
+	db.pool = obs.NewExecMetrics(r)
+	db.queries = r.LabeledCounter("queries_total", "queries served, by operation", "op")
+	db.queryDur = r.Histogram("query_duration_seconds", "end-to-end query latency", nil)
+}
+
+// Metrics returns this DB's metrics registry (nil unless the DB was built
+// with DBOptions.Observability). Serve it with obs endpoints via its Handler,
+// or render it directly with WritePrometheus / WriteJSON.
+func (db *DB) Metrics() *obs.Registry { return db.reg }
+
+// PoolMetrics returns the worker-pool instrumentation handle (nil when
+// observability is off). Attach it to foreign contexts with
+// WithExecMetrics when driving the engine directly.
+func (db *DB) PoolMetrics() *ExecMetrics { return db.pool }
+
+// WithExecMetrics attaches worker-pool instrumentation to a context.
+func WithExecMetrics(ctx context.Context, m *ExecMetrics) context.Context {
+	return obs.WithExecMetrics(ctx, m)
+}
+
+// StartTrace begins a per-query trace named op and returns a derived context
+// carrying it: pass that context to any XxxContext method and the engine
+// layers record their phase spans and events into the trace. When
+// observability is disabled both returns are pass-throughs (nil trace: every
+// trace method is a no-op), so call sites need no branches.
+func (db *DB) StartTrace(ctx context.Context, op string) (context.Context, *QueryTrace) {
+	if db.reg == nil {
+		return ctx, nil
+	}
+	t := obs.NewTrace(op)
+	return obs.WithTrace(ctx, t), t
+}
+
+// TraceFromContext returns the trace carried by ctx, or nil.
+func TraceFromContext(ctx context.Context) *QueryTrace { return obs.TraceFrom(ctx) }
+
+// obsCtx instruments a context entering this DB: worker-pool metrics ride it
+// into every exec.ForEach fan-out below. The per-op counter and latency
+// histogram are recorded by the returned finish func (nil-safe when off).
+func (db *DB) obsCtx(ctx context.Context, op string) (context.Context, func()) {
+	if db.reg == nil {
+		return ctx, func() {}
+	}
+	db.queries.With(op).Inc()
+	start := obs.Now()
+	return obs.WithExecMetrics(ctx, db.pool), func() { db.queryDur.ObserveSince(start) }
+}
+
+// Cost is a point-in-time snapshot of the paper's cost metrics: the
+// process-global algorithm counters plus this DB's R-tree I/O counters.
+// Subtract two snapshots to attribute cost to one query or workload.
+type Cost struct {
+	obs.CostSnapshot
+	NodeAccesses uint64 `json:"node_accesses"`
+	LeafScans    uint64 `json:"leaf_scans"`
+}
+
+// Cost reads the current cost counters. Available regardless of the
+// Observability option — the counters are always on (their overhead is a few
+// batched atomic adds per query).
+func (db *DB) Cost() Cost {
+	tree := db.engine.DB.Tree()
+	return Cost{
+		CostSnapshot: obs.Cost(),
+		NodeAccesses: uint64(tree.Accesses()),
+		LeafScans:    uint64(tree.LeafScans()),
+	}
+}
+
+// Sub returns the per-field difference c − o.
+func (c Cost) Sub(o Cost) Cost {
+	return Cost{
+		CostSnapshot: c.CostSnapshot.Sub(o.CostSnapshot),
+		NodeAccesses: c.NodeAccesses - o.NodeAccesses,
+		LeafScans:    c.LeafScans - o.LeafScans,
+	}
 }
 
 // Workers returns the resolved parallelism in the internal convention:
@@ -177,8 +319,10 @@ func (db *DB) DynamicSkyline(c Point) []Item {
 // skyline contains q (Definition 3). With Parallelism configured the
 // per-customer verification runs on the worker pool; results are identical.
 func (db *DB) ReverseSkyline(customers []Item, q Point) []Item {
+	ctx, done := db.obsCtx(context.Background(), "rsl")
+	defer done()
 	if db.workers != 1 {
-		out, _ := db.engine.DB.ReverseSkylineFilteredParallel(context.Background(), customers, q, db.workers)
+		out, _ := db.engine.DB.ReverseSkylineFilteredParallel(ctx, customers, q, db.workers)
 		return out
 	}
 	return db.engine.DB.ReverseSkylineFiltered(customers, q)
@@ -220,8 +364,10 @@ func (db *DB) MQPTotalCost(q, qStar Point, rsl []Item, sr Region, opt Options) f
 // With Parallelism configured the per-customer anti-dominance regions are
 // built on the worker pool; results are identical.
 func (db *DB) SafeRegion(q Point, rsl []Item) Region {
+	ctx, done := db.obsCtx(context.Background(), "saferegion")
+	defer done()
 	if db.workers != 1 {
-		sr, _ := db.engine.SafeRegionParallel(context.Background(), q, rsl, db.workers)
+		sr, _ := db.engine.SafeRegionParallel(ctx, q, rsl, db.workers)
 		return sr
 	}
 	return db.engine.SafeRegion(q, rsl)
@@ -243,8 +389,10 @@ func (db *DB) MWQ(ct Item, q Point, sr Region, opt Options) MWQResult {
 // Parallelism configured the safe-region construction runs on the worker
 // pool; results are identical.
 func (db *DB) MWQExact(ct Item, q Point, rsl []Item, opt Options) MWQResult {
+	ctx, done := db.obsCtx(context.Background(), "mwq")
+	defer done()
 	if db.workers != 1 {
-		res, _ := db.engine.MWQExactParallelCtx(context.Background(), ct, q, rsl, opt, db.workers)
+		res, _ := db.engine.MWQExactParallelCtx(ctx, ct, q, rsl, opt, db.workers)
 		return res
 	}
 	return db.engine.MWQExact(ct, q, rsl, opt)
@@ -255,8 +403,10 @@ func (db *DB) MWQExact(ct Item, q Point, rsl []Item, opt Options) MWQResult {
 // align positionally with cts. With Parallelism configured both the
 // safe-region construction and the per-question loop run on the worker pool.
 func (db *DB) MWQBatch(cts []Item, q Point, rsl []Item, opt Options) []MWQResult {
+	ctx, done := db.obsCtx(context.Background(), "mwq-batch")
+	defer done()
 	if db.workers != 1 {
-		sr, err := db.engine.SafeRegionParallel(context.Background(), q, rsl, db.workers)
+		sr, err := db.engine.SafeRegionParallel(ctx, q, rsl, db.workers)
 		if err != nil {
 			return nil
 		}
@@ -317,8 +467,10 @@ func LoadApproxStore(r io.Reader) (*ApproxStore, error) {
 // pipeline of Dellis & Seeger. With Parallelism configured the per-candidate
 // verification runs on the worker pool; results are identical.
 func (db *DB) ReverseSkylineBBRS(q Point) []Item {
+	ctx, done := db.obsCtx(context.Background(), "rsl-bbrs")
+	defer done()
 	if db.workers != 1 {
-		out, _ := db.engine.DB.ReverseSkylineBBRSParallel(context.Background(), q, db.workers)
+		out, _ := db.engine.DB.ReverseSkylineBBRSParallel(ctx, q, db.workers)
 		return out
 	}
 	return db.engine.DB.ReverseSkylineBBRS(q)
@@ -346,12 +498,20 @@ func (db *DB) ValidateQueryMove(ct Item, cand Point, eps float64) bool {
 // normalisers, direct window queries).
 func (db *DB) Engine() *whynot.Engine { return db.engine }
 
-// CacheStats reports cumulative hit/miss counts of the dynamic-skyline and
-// anti-dominance-region caches (all zeros when CacheSize is 0).
-func (db *DB) CacheStats() (dslHits, dslMisses, addrHits, addrMisses uint64) {
-	dslHits, dslMisses = db.engine.DB.DSLCacheStats()
-	addrHits, addrMisses = db.engine.AntiDDRCacheStats()
-	return
+// CacheStats is the accounting of both memoisation caches.
+type CacheStats struct {
+	DSL     CacheStatsDetail `json:"dsl"`
+	AntiDDR CacheStatsDetail `json:"anti_ddr"`
+}
+
+// CacheStats reports hits, misses, stale-on-arrival hits, evictions and
+// occupancy of the dynamic-skyline and anti-dominance-region caches (all
+// zeros when CacheSize is 0).
+func (db *DB) CacheStats() CacheStats {
+	return CacheStats{
+		DSL:     db.engine.DB.DSLCacheStats(),
+		AntiDDR: db.engine.AntiDDRCacheStats(),
+	}
 }
 
 // --- Context-aware API -----------------------------------------------------
@@ -389,6 +549,8 @@ func begin(ctx context.Context, op string) (*cancel.Checker, error) {
 // DynamicSkylineContext is DynamicSkyline with deadline/cancellation support.
 func (db *DB) DynamicSkylineContext(ctx context.Context, c Point) ([]Item, error) {
 	const op = "dynamic skyline"
+	ctx, done := db.obsCtx(ctx, "dsl")
+	defer done()
 	chk, err := begin(ctx, op)
 	if err != nil {
 		return nil, err
@@ -400,6 +562,8 @@ func (db *DB) DynamicSkylineContext(ctx context.Context, c Point) ([]Item, error
 // ReverseSkylineContext is ReverseSkyline with deadline/cancellation support.
 func (db *DB) ReverseSkylineContext(ctx context.Context, customers []Item, q Point) ([]Item, error) {
 	const op = "reverse skyline"
+	ctx, done := db.obsCtx(ctx, "rsl")
+	defer done()
 	chk, err := begin(ctx, op)
 	if err != nil {
 		return nil, err
@@ -428,6 +592,8 @@ func (db *DB) IsReverseSkylineContext(ctx context.Context, c Item, q Point) (boo
 // support.
 func (db *DB) ReverseSkylineBBRSContext(ctx context.Context, q Point) ([]Item, error) {
 	const op = "reverse skyline (BBRS)"
+	ctx, done := db.obsCtx(ctx, "rsl-bbrs")
+	defer done()
 	chk, err := begin(ctx, op)
 	if err != nil {
 		return nil, err
@@ -442,18 +608,24 @@ func (db *DB) ReverseSkylineBBRSContext(ctx context.Context, q Point) ([]Item, e
 
 // ExplainContext is Explain with deadline/cancellation support.
 func (db *DB) ExplainContext(ctx context.Context, ct Item, q Point) ([]Item, error) {
+	ctx, done := db.obsCtx(ctx, "explain")
+	defer done()
 	out, err := db.engine.ExplainCtx(ctx, ct, q)
 	return out, wrapCtxErr("explain", err)
 }
 
 // MWPContext is MWP with deadline/cancellation support.
 func (db *DB) MWPContext(ctx context.Context, ct Item, q Point, opt Options) (MWPResult, error) {
+	ctx, done := db.obsCtx(ctx, "mwp")
+	defer done()
 	res, err := db.engine.MWPCtx(ctx, ct, q, opt)
 	return res, wrapCtxErr("MWP", err)
 }
 
 // MQPContext is MQP with deadline/cancellation support.
 func (db *DB) MQPContext(ctx context.Context, ct Item, q Point, opt Options) (MQPResult, error) {
+	ctx, done := db.obsCtx(ctx, "mqp")
+	defer done()
 	res, err := db.engine.MQPCtx(ctx, ct, q, opt)
 	return res, wrapCtxErr("MQP", err)
 }
@@ -468,6 +640,8 @@ func (db *DB) MQPTotalCostContext(ctx context.Context, q, qStar Point, rsl []Ite
 // exact construction is the step that grows exponentially with |RSL(q)| in
 // the worst case, so this is the method that most needs a deadline.
 func (db *DB) SafeRegionContext(ctx context.Context, q Point, rsl []Item) (Region, error) {
+	ctx, done := db.obsCtx(ctx, "saferegion")
+	defer done()
 	if db.workers != 1 {
 		sr, err := db.engine.SafeRegionParallel(ctx, q, rsl, db.workers)
 		return sr, wrapCtxErr("safe region", err)
@@ -479,6 +653,8 @@ func (db *DB) SafeRegionContext(ctx context.Context, q Point, rsl []Item) (Regio
 // ApproxSafeRegionContext assembles the approximate safe region from a
 // precomputed store with deadline/cancellation support.
 func (db *DB) ApproxSafeRegionContext(ctx context.Context, q Point, rsl []Item, store *ApproxStore) (Region, error) {
+	ctx, done := db.obsCtx(ctx, "approx-saferegion")
+	defer done()
 	sr, err := db.engine.ApproxSafeRegionCtx(ctx, q, rsl, store)
 	return sr, wrapCtxErr("approximate safe region", err)
 }
@@ -492,12 +668,16 @@ func (db *DB) AntiDominanceRegionContext(ctx context.Context, c Item) (Region, e
 
 // MWQContext is MWQ with deadline/cancellation support.
 func (db *DB) MWQContext(ctx context.Context, ct Item, q Point, sr Region, opt Options) (MWQResult, error) {
+	ctx, done := db.obsCtx(ctx, "mwq")
+	defer done()
 	res, err := db.engine.MWQCtx(ctx, ct, q, sr, opt)
 	return res, wrapCtxErr("MWQ", err)
 }
 
 // MWQExactContext is MWQExact with deadline/cancellation support.
 func (db *DB) MWQExactContext(ctx context.Context, ct Item, q Point, rsl []Item, opt Options) (MWQResult, error) {
+	ctx, done := db.obsCtx(ctx, "mwq")
+	defer done()
 	if db.workers != 1 {
 		res, err := db.engine.MWQExactParallelCtx(ctx, ct, q, rsl, opt, db.workers)
 		return res, wrapCtxErr("exact MWQ", err)
@@ -508,12 +688,16 @@ func (db *DB) MWQExactContext(ctx context.Context, ct Item, q Point, rsl []Item,
 
 // MWQApproxContext is MWQApprox with deadline/cancellation support.
 func (db *DB) MWQApproxContext(ctx context.Context, ct Item, q Point, rsl []Item, store *ApproxStore, opt Options) (MWQResult, error) {
+	ctx, done := db.obsCtx(ctx, "approx-mwq")
+	defer done()
 	res, err := db.engine.MWQApproxCtx(ctx, ct, q, rsl, store, opt)
 	return res, wrapCtxErr("approximate MWQ", err)
 }
 
 // MWQBatchContext is MWQBatch with deadline/cancellation support.
 func (db *DB) MWQBatchContext(ctx context.Context, cts []Item, q Point, rsl []Item, opt Options) ([]MWQResult, error) {
+	ctx, done := db.obsCtx(ctx, "mwq-batch")
+	defer done()
 	out, err := db.engine.MWQBatchCtx(ctx, cts, q, rsl, opt)
 	return out, wrapCtxErr("MWQ batch", err)
 }
@@ -521,6 +705,8 @@ func (db *DB) MWQBatchContext(ctx context.Context, cts []Item, q Point, rsl []It
 // MWQBatchParallelContext is MWQBatchParallel with deadline/cancellation
 // support; a panic in any worker is re-raised on the calling goroutine.
 func (db *DB) MWQBatchParallelContext(ctx context.Context, cts []Item, q Point, sr Region, opt Options, workers int) ([]MWQResult, error) {
+	ctx, done := db.obsCtx(ctx, "mwq-batch")
+	defer done()
 	out, err := db.engine.MWQBatchParallelCtx(ctx, cts, q, sr, opt, workers)
 	return out, wrapCtxErr("parallel MWQ batch", err)
 }
@@ -534,6 +720,8 @@ func (db *DB) LostCustomersContext(ctx context.Context, qStar Point, rsl []Item)
 // BuildApproxStoreContext is BuildApproxStore with deadline/cancellation
 // support.
 func (db *DB) BuildApproxStoreContext(ctx context.Context, customers []Item, k int) (*ApproxStore, error) {
+	ctx, done := db.obsCtx(ctx, "buildstore")
+	defer done()
 	store, err := db.engine.BuildApproxStoreCtx(ctx, customers, k, 0)
 	return store, wrapCtxErr("approx store build", err)
 }
@@ -541,6 +729,8 @@ func (db *DB) BuildApproxStoreContext(ctx context.Context, customers []Item, k i
 // BuildApproxStoreParallelContext is BuildApproxStoreParallel with
 // deadline/cancellation support.
 func (db *DB) BuildApproxStoreParallelContext(ctx context.Context, customers []Item, k, workers int) (*ApproxStore, error) {
+	ctx, done := db.obsCtx(ctx, "buildstore")
+	defer done()
 	store, err := db.engine.BuildApproxStoreParallelCtx(ctx, customers, k, 0, workers)
 	return store, wrapCtxErr("parallel approx store build", err)
 }

@@ -44,11 +44,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Targeted race gate for the executor substrate and the differential oracle
-# suite — the packages whose whole point is concurrency correctness. Redundant
-# with `race` but kept separate so the critical slice has its own fast signal.
+# Targeted race gate for the executor substrate, the differential oracle
+# suite, and the serving layer (admission control, circuit breakers, hot-swap
+# snapshots, chaos harness) — the packages whose whole point is concurrency
+# correctness. Redundant with `race` but kept separate so the critical slice
+# has its own fast signal.
 race-core:
-	$(GO) test -race ./internal/exec/... ./internal/oracle/...
+	$(GO) test -race ./internal/exec/... ./internal/oracle/... ./internal/server/...
 
 # Benchmark smoke: the parallel/cache-aware configuration against the
 # sequential reference on CarDB-50K, recorded as BENCH_parallel.json.
@@ -61,6 +63,7 @@ fuzz-smoke:
 	$(GO) test ./internal/dataset -run FuzzReadCSV -fuzz FuzzReadCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/whynot -run FuzzLoadApproxStore -fuzz FuzzLoadApproxStore -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/whynot -run FuzzMWPMQP -fuzz FuzzMWPMQP -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run FuzzDecodeRequests -fuzz FuzzDecodeRequests -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

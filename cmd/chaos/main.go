@@ -1,0 +1,99 @@
+// Command chaos runs the chaos/soak harness of internal/server/chaostest
+// against a freshly booted in-process server: a mixed query workload with
+// client aborts and concurrent dataset hot-swaps while deterministic faults
+// (exact-rung panics, checkpoint stalls) are injected for the first phase of
+// the run, then a recovery phase during which the circuit breaker must
+// re-close.
+//
+// The schema-versioned run summary is printed and appended to the output
+// JSON (an array of runs; default BENCH_chaos.json). A run that breaks a
+// service-level invariant — lost responses, injected panics surfacing as
+// 500s, sheds without Retry-After, a breaker that never re-closes — exits
+// non-zero.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/server/chaostest"
+)
+
+func main() {
+	var (
+		faultFor  = flag.Duration("fault", 15*time.Second, "length of the injected-fault window")
+		coolFor   = flag.Duration("cool", 15*time.Second, "recovery phase after faults stop")
+		clients   = flag.Int("clients", 8, "concurrent workload goroutines")
+		reloaders = flag.Int("reloaders", 2, "concurrent dataset-reload goroutines")
+		datasetN  = flag.Int("n", 300, "synthetic dataset size")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		out       = flag.String("out", "BENCH_chaos.json", "summary JSON path (appended)")
+	)
+	flag.Parse()
+
+	sum, err := chaostest.Run(context.Background(), chaostest.Options{
+		FaultFor:  *faultFor,
+		CoolFor:   *coolFor,
+		Clients:   *clients,
+		Reloaders: *reloaders,
+		DatasetN:  *datasetN,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(sum)
+	if err := appendRecord(*out, sum); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos: append summary:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("summary appended to %s\n", *out)
+
+	if v := sum.Violations(); len(v) > 0 {
+		for _, msg := range v {
+			fmt.Fprintln(os.Stderr, "chaos: invariant broken:", msg)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("all service-level invariants held")
+}
+
+// appendRecord appends one summary to the output file, which is an array of
+// schema-versioned run records (the repo's BENCH_*.json convention).
+func appendRecord(path string, sum *chaostest.Summary) error {
+	var records []json.RawMessage
+	if buf, err := os.ReadFile(path); err == nil {
+		if len(buf) > 0 {
+			if err := json.Unmarshal(buf, &records); err != nil {
+				return fmt.Errorf("existing %s is not a valid record array: %w", path, err)
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	rec, err := json.MarshalIndent(sum, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	records = append(records, rec)
+	out := []byte("[\n")
+	for i, r := range records {
+		out = append(out, "  "...)
+		out = append(out, r...)
+		if i < len(records)-1 {
+			out = append(out, ',')
+		}
+		out = append(out, '\n')
+	}
+	out = append(out, "]\n"...)
+	return os.WriteFile(path, out, 0o644)
+}

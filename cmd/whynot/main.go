@@ -52,14 +52,24 @@ import (
 	"repro/internal/obs"
 )
 
+// Exit codes (documented in -h): 0 success, 1 internal failure, 2 usage
+// error, 3 deadline exceeded or degraded answer — scripts distinguish "the
+// answer is best-effort or late" from "the tool broke".
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		var uerr *usageError
-		if errors.As(err, &uerr) {
-			fmt.Fprintln(os.Stderr, "error:", uerr.msg)
-			usage(os.Stderr)
-			os.Exit(2)
-		}
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
+	}
+	var uerr *usageError
+	switch {
+	case errors.As(err, &uerr):
+		fmt.Fprintln(os.Stderr, "error:", uerr.msg)
+		usage(os.Stderr)
+		os.Exit(2)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, errDegradedAnswer):
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(3)
+	default:
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -70,6 +80,11 @@ func main() {
 type usageError struct{ msg string }
 
 func (e *usageError) Error() string { return e.msg }
+
+// errDegradedAnswer marks a run whose answer was served, but by a cheaper
+// rung than exact (exit code 3): the output is valid best-effort, and
+// callers who need optimality can tell without parsing stdout.
+var errDegradedAnswer = errors.New("degraded answer")
 
 func usagef(format string, args ...any) error {
 	return &usageError{msg: fmt.Sprintf(format, args...)}
@@ -194,6 +209,9 @@ func run(args []string, out io.Writer) error {
 	sp := &statsPrinter{db: db, enabled: *stats}
 	sp.mark()
 
+	// deferred carries a non-fatal outcome (degraded answer → exit 3) that
+	// must not short-circuit the stats/trace epilogue below.
+	var deferred error
 	switch cmd {
 	case "rsl":
 		rsl, err := db.ReverseSkylineContext(ctx, items, q)
@@ -324,6 +342,7 @@ func run(args []string, out io.Writer) error {
 		}
 		if ans.Degraded {
 			fmt.Fprintf(out, "(degraded answer from the %s rung)\n", ans.Rung)
+			deferred = fmt.Errorf("%w: served by the %s rung", errDegradedAnswer, ans.Rung)
 		}
 		res := ans.Result
 		switch res.Case {
@@ -357,9 +376,11 @@ func run(args []string, out io.Writer) error {
 		tr.Format(out)
 	}
 	if *metricsAddr != "" {
-		return serveMetrics(out, *metricsAddr, db.Metrics())
+		if err := serveMetrics(out, *metricsAddr, db.Metrics()); err != nil {
+			return err
+		}
 	}
-	return nil
+	return deferred
 }
 
 // statsPrinter prints the delta of the paper's cost counters between the
@@ -529,5 +550,12 @@ observability flags:
   -stats            print the paper's cost counters (node accesses, dominance tests, ...)
   -trace            print the per-query span/event trace
   -metrics-addr a   serve /metrics (Prometheus), /metrics.json, /debug/vars and
-                    /debug/pprof on address a, then wait for SIGINT/SIGTERM`)
+                    /debug/pprof on address a, then wait for SIGINT/SIGTERM
+
+exit codes:
+  0  success (exact answer)
+  1  internal failure (bad dataset, I/O error, query failure)
+  2  usage error (this help is printed)
+  3  deadline exceeded, or the answer was served degraded by a cheaper
+     rung than exact (the output is valid best-effort)`)
 }

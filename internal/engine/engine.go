@@ -88,6 +88,29 @@ func (r Rung) String() string {
 	return fmt.Sprintf("rung(%d)", int(r))
 }
 
+// ErrRungSkipped is the cause recorded when a RungGate vetoes a rung without
+// running it. It participates in the normal degradation flow: a skipped rung
+// falls through to the next one exactly like a failed rung, and a ladder whose
+// every rung was vetoed returns an error for which
+// errors.Is(err, ErrRungSkipped) holds.
+var ErrRungSkipped = errors.New("rung skipped by gate")
+
+// RungGate lets a policy object (typically a circuit breaker, see
+// internal/server) veto ladder rungs before they run and observe the outcome
+// of the rungs that do run. Implementations must be safe for concurrent use:
+// one gate is shared by every in-flight query of a service.
+type RungGate interface {
+	// Allow reports whether the rung may execute now. Returning false skips
+	// the rung: the ladder records a degradation with reason "skipped" and
+	// falls through to the next rung.
+	Allow(r Rung) bool
+	// Record observes the outcome of a rung that executed (err == nil means
+	// success). It is not called for vetoed rungs, nor when the caller's own
+	// context was already dead by the end of the rung — a caller that gave up
+	// says nothing about the rung's health.
+	Record(r Rung, err error)
+}
+
 // Metrics aggregates the Runner's operational counters. All fields are
 // nil-safe: a nil *Metrics (the default) makes every recording a no-op, so
 // instrumentation costs nothing when disabled.
@@ -152,6 +175,8 @@ func degradeReason(err error) string {
 	switch {
 	case errors.As(err, &qe) && qe.Panic != nil:
 		return "panic"
+	case errors.Is(err, ErrRungSkipped):
+		return "skipped"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "deadline"
 	case errors.Is(err, context.Canceled):
@@ -185,6 +210,12 @@ type Config struct {
 	// Metrics, when non-nil, receives per-rung attempt/failure/duration and
 	// degradation recordings.
 	Metrics *Metrics
+	// Gate, when non-nil, is consulted before each ladder rung (Allow) and
+	// after each executed rung (Record). A vetoed rung is skipped as if it had
+	// failed with ErrRungSkipped, which lets a circuit breaker stop hammering
+	// a rung the engine keeps failing while the cheaper rungs continue to
+	// serve.
+	Gate RungGate
 }
 
 // Runner executes queries under Config's deadline, recovery, and degradation
@@ -221,7 +252,7 @@ func (r *Runner) MWQ(ctx context.Context, ct whynot.Item, q geom.Point, rsl []wh
 	var errs []error
 
 	var res whynot.MWQResult
-	err := r.runRung(ctx, "exact MWQ", "exact", func(rctx context.Context) error {
+	err := r.gatedRung(ctx, RungExact, "exact MWQ", func(rctx context.Context) error {
 		var e error
 		if r.Cfg.Workers > 1 {
 			res, e = r.Engine.MWQExactParallelCtx(rctx, ct, q, rsl, r.Cfg.Options, r.Cfg.Workers)
@@ -241,7 +272,7 @@ func (r *Runner) MWQ(ctx context.Context, ct whynot.Item, q geom.Point, rsl []wh
 	r.degraded(tr, "exact", err)
 
 	if r.Cfg.Store != nil {
-		err = r.runRung(ctx, "approximate MWQ", "approx", func(rctx context.Context) error {
+		err = r.gatedRung(ctx, RungApprox, "approximate MWQ", func(rctx context.Context) error {
 			var e error
 			res, e = r.Engine.MWQApproxCtx(rctx, ct, q, rsl, r.Cfg.Store, r.Cfg.Options)
 			return e
@@ -257,7 +288,7 @@ func (r *Runner) MWQ(ctx context.Context, ct whynot.Item, q geom.Point, rsl []wh
 	}
 
 	var mres whynot.MWPResult
-	err = r.runRung(ctx, "MWP fallback", "mwp", func(rctx context.Context) error {
+	err = r.gatedRung(ctx, RungMWP, "MWP fallback", func(rctx context.Context) error {
 		var e error
 		mres, e = r.Engine.MWPCtx(rctx, ct, q, r.Cfg.Options)
 		return e
@@ -285,6 +316,26 @@ func (r *Runner) degraded(tr *obs.Trace, rung string, err error) {
 func (r *Runner) ladderExhausted(ctx context.Context, err error) error {
 	if ctx.Err() != nil {
 		obs.AddCancellations(1)
+	}
+	return err
+}
+
+// gatedRung is runRung behind the Config.Gate policy: a vetoed rung returns
+// ErrRungSkipped without executing (the ladder treats it like any other rung
+// failure), and executed rungs report their outcome back to the gate unless
+// the caller's context died underneath them.
+func (r *Runner) gatedRung(ctx context.Context, rung Rung, op string, fn func(context.Context) error) error {
+	g := r.Cfg.Gate
+	if g == nil {
+		return r.runRung(ctx, op, rung.String(), fn)
+	}
+	if !g.Allow(rung) {
+		obs.TraceFrom(ctx).Eventf("gate", "%s rung vetoed", rung)
+		return &QueryError{Op: op, Err: ErrRungSkipped}
+	}
+	err := r.runRung(ctx, op, rung.String(), fn)
+	if err == nil || ctx.Err() == nil {
+		g.Record(rung, err)
 	}
 	return err
 }

@@ -10,6 +10,7 @@ package faultinject
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -86,3 +87,30 @@ func (inj *Injector) Visits(site string) uint64 {
 	defer inj.mu.Unlock()
 	return inj.visits[site]
 }
+
+// Switch gates a hook behind an atomic on/off flag, so long-running harnesses
+// (soak tests, the chaos driver) can open and close a fault window on a live
+// system without re-plumbing contexts. It implements cancel.Hook itself;
+// disabled, a visit is one atomic load.
+type Switch struct {
+	enabled atomic.Bool
+	inner   interface{ Visit(site string, n uint64) }
+}
+
+// NewSwitch wraps inner (typically an *Injector); the switch starts disabled.
+func NewSwitch(inner interface{ Visit(site string, n uint64) }) *Switch {
+	return &Switch{inner: inner}
+}
+
+// Visit forwards to the wrapped hook only while the switch is enabled.
+func (s *Switch) Visit(site string, n uint64) {
+	if s.enabled.Load() {
+		s.inner.Visit(site, n)
+	}
+}
+
+// Set opens (true) or closes (false) the fault window.
+func (s *Switch) Set(on bool) { s.enabled.Store(on) }
+
+// Enabled reports whether faults currently pass through.
+func (s *Switch) Enabled() bool { return s.enabled.Load() }

@@ -248,3 +248,47 @@ func (l *LabeledCounter) Values() map[string]uint64 {
 	}
 	return out
 }
+
+// LabeledGauge is a family of gauges keyed by one label value (e.g. circuit
+// breaker state by rung, queue depth by priority class). Same cardinality and
+// concurrency contract as LabeledCounter. Nil is valid.
+type LabeledGauge struct {
+	label string
+	mu    sync.Mutex
+	m     map[string]*Gauge
+}
+
+// NewLabeledGauge builds a gauge family with the given label name.
+func NewLabeledGauge(label string) *LabeledGauge {
+	return &LabeledGauge{label: label, m: make(map[string]*Gauge)}
+}
+
+// With returns the gauge for a label value, creating it on first use.
+// On a nil family it returns nil (whose methods are no-ops).
+func (l *LabeledGauge) With(value string) *Gauge {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	g, ok := l.m[value]
+	if !ok {
+		g = &Gauge{}
+		l.m[value] = g
+	}
+	return g
+}
+
+// Values returns a copy of the current per-label gauge values.
+func (l *LabeledGauge) Values() map[string]float64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]float64, len(l.m))
+	for k, g := range l.m {
+		out[k] = g.Value()
+	}
+	return out
+}

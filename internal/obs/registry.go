@@ -18,6 +18,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindLabeled
+	kindLabeledGauge
 	kindCounterFunc
 	kindGaugeFunc
 )
@@ -34,14 +35,15 @@ func (k metricKind) promType() string {
 }
 
 type metric struct {
-	name, help string
-	kind       metricKind
-	counter    *Counter
-	gauge      *Gauge
-	hist       *Histogram
-	labeled    *LabeledCounter
-	counterFn  func() uint64
-	gaugeFn    func() float64
+	name, help   string
+	kind         metricKind
+	counter      *Counter
+	gauge        *Gauge
+	hist         *Histogram
+	labeled      *LabeledCounter
+	labeledGauge *LabeledGauge
+	counterFn    func() uint64
+	gaugeFn      func() float64
 }
 
 // Registry holds named metrics and renders them as Prometheus text exposition
@@ -115,6 +117,15 @@ func (r *Registry) LabeledCounter(name, help, label string) *LabeledCounter {
 	return r.register(&metric{name: name, help: help, kind: kindLabeled, labeled: NewLabeledCounter(label)}).labeled
 }
 
+// LabeledGauge registers (or returns the existing) gauge family under name,
+// keyed by the given label.
+func (r *Registry) LabeledGauge(name, help, label string) *LabeledGauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(&metric{name: name, help: help, kind: kindLabeledGauge, labeledGauge: NewLabeledGauge(label)}).labeledGauge
+}
+
 // CounterFunc registers a read-through counter whose value comes from fn at
 // render time — the bridge for counters that live elsewhere (the R-tree's
 // node-access atomics, cache hit counts, the process-global cost counters).
@@ -179,6 +190,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					return err
 				}
 			}
+		case kindLabeledGauge:
+			vals := m.labeledGauge.Values()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if _, err = fmt.Fprintf(w, "%s{%s=%q} %s\n", m.name, m.labeledGauge.label, k, formatFloat(vals[k])); err != nil {
+					return err
+				}
+			}
 		case kindHistogram:
 			s := m.hist.Snapshot()
 			var cum uint64
@@ -220,6 +243,8 @@ func (r *Registry) JSONValue() map[string]any {
 			out[m.name] = m.gaugeFn()
 		case kindLabeled:
 			out[m.name] = m.labeled.Values()
+		case kindLabeledGauge:
+			out[m.name] = m.labeledGauge.Values()
 		case kindHistogram:
 			out[m.name] = m.hist.Snapshot()
 		}

@@ -93,6 +93,14 @@ func (db *DB) DSLCacheStats() exec.CacheStats {
 // Delete, and any derived structure computed at an older generation is stale.
 func (db *DB) Generation() uint64 { return db.gen.Load() }
 
+// Invalidate bumps the mutation generation and drops every memoised structure
+// exactly as a mutation would, without touching the index. Hot-swap paths use
+// it to retire a DB being replaced: any generation-stamped cache entry still
+// aliased elsewhere (a reader that grabbed the old snapshot mid-swap) is
+// rejected as stale-on-arrival from this point on, and the purge releases the
+// memoised memory immediately.
+func (db *DB) Invalidate() { db.mutated() }
+
 // Tree exposes the underlying product index. The returned tree is not
 // synchronised: do not mutate the DB while traversing it directly.
 func (db *DB) Tree() *rtree.Tree { return db.tree }

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// AdmissionConfig tunes the token-based admission controller. Zero fields get
+// the documented defaults.
+type AdmissionConfig struct {
+	// MaxConcurrent is the number of execution tokens: queries running the
+	// engine at once. Default: 2×GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds the wait queue of admitted-but-waiting requests; a
+	// request arriving to a full queue is shed immediately. Default: 8×
+	// MaxConcurrent.
+	MaxQueue int
+	// InitialEstimate seeds the service-time EWMA used for deadline-aware
+	// shedding before any request has completed. Default: 25ms.
+	InitialEstimate time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8 * c.MaxConcurrent
+	}
+	if c.InitialEstimate <= 0 {
+		c.InitialEstimate = 25 * time.Millisecond
+	}
+	return c
+}
+
+// Shed reasons, used as metric labels and in shed responses.
+const (
+	ShedQueueFull = "queue_full"
+	ShedDeadline  = "deadline"
+	ShedCanceled  = "canceled"
+	ShedDraining  = "draining"
+)
+
+// ErrShed reports a load-shedding decision: the request was refused without
+// running any query work. RetryAfter is the controller's estimate of when
+// capacity will be available — HTTP handlers surface it as a Retry-After
+// header on the 429.
+type ErrShed struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ErrShed) Error() string {
+	return fmt.Sprintf("request shed (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// RetryAfterSeconds renders RetryAfter for the HTTP header: whole seconds,
+// rounded up, at least 1.
+func (e *ErrShed) RetryAfterSeconds() int {
+	s := int((e.RetryAfter + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Admission is a token-based admission controller with a bounded wait queue
+// and deadline-aware load shedding.
+//
+// Up to MaxConcurrent requests hold execution tokens at once; up to MaxQueue
+// more wait for one. A request is shed — refused before any query work — when
+// the queue is full, when the estimated queue wait already exceeds the
+// request's own deadline (admitting it would burn a token on an answer the
+// client will never see), or when its context dies while queued. The wait
+// estimate is queue position × an EWMA of observed service times / token
+// count, which also prices the Retry-After hint handed back to shed clients.
+type Admission struct {
+	cfg    AdmissionConfig
+	tokens chan struct{}
+	queued atomic.Int64
+	// ewmaNanos is the exponential moving average of observed token-holding
+	// times (α = 1/8, integer arithmetic).
+	ewmaNanos atomic.Int64
+
+	m *Metrics
+}
+
+// NewAdmission builds an admission controller. m may be nil (no metrics).
+func NewAdmission(cfg AdmissionConfig, m *Metrics) *Admission {
+	cfg = cfg.withDefaults()
+	a := &Admission{cfg: cfg, tokens: make(chan struct{}, cfg.MaxConcurrent), m: m}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		a.tokens <- struct{}{}
+	}
+	a.ewmaNanos.Store(int64(cfg.InitialEstimate))
+	return a
+}
+
+// QueueDepth returns the number of requests currently waiting for a token.
+func (a *Admission) QueueDepth() int { return int(a.queued.Load()) }
+
+// InFlight returns the number of requests currently holding a token.
+func (a *Admission) InFlight() int { return a.cfg.MaxConcurrent - len(a.tokens) }
+
+// EstimatedWait is the controller's current estimate of how long a newly
+// queued request would wait for a token.
+func (a *Admission) EstimatedWait() time.Duration {
+	return a.waitEstimate(a.queued.Load() + 1)
+}
+
+// ServiceEstimate is the current EWMA of token-holding times.
+func (a *Admission) ServiceEstimate() time.Duration {
+	return time.Duration(a.ewmaNanos.Load())
+}
+
+func (a *Admission) waitEstimate(position int64) time.Duration {
+	perToken := a.ewmaNanos.Load()
+	return time.Duration(position * perToken / int64(a.cfg.MaxConcurrent))
+}
+
+func (a *Admission) observeService(d time.Duration) {
+	// ewma += (sample - ewma) / 8. A stale read under contention only makes
+	// one update slightly off; the average still converges.
+	old := a.ewmaNanos.Load()
+	a.ewmaNanos.Store(old + (int64(d)-old)/8)
+}
+
+// Acquire admits one request: it returns a release closure once the request
+// holds an execution token, or an *ErrShed when the request was refused. The
+// closure must be called exactly once, when the request's query work is done;
+// the observed holding time feeds the wait estimator.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	grant := func() func() {
+		start := obs.Now()
+		var released atomic.Bool
+		return func() {
+			if released.Swap(true) {
+				return
+			}
+			a.observeService(obs.Since(start))
+			a.tokens <- struct{}{}
+		}
+	}
+
+	// Fast path: a token is free, no queueing at all.
+	select {
+	case <-a.tokens:
+		return grant(), nil
+	default:
+	}
+
+	// Bounded queue: refuse immediately rather than building an unbounded
+	// backlog of doomed waiters.
+	pos := a.queued.Add(1)
+	defer a.queued.Add(-1)
+	if pos > int64(a.cfg.MaxQueue) {
+		return nil, a.shed(ShedQueueFull, a.waitEstimate(pos))
+	}
+
+	// Deadline-aware shedding: if the estimated wait alone would consume the
+	// request's whole budget, shedding now is strictly better for everyone —
+	// this client gets an honest Retry-After instead of a guaranteed timeout,
+	// and the token goes to a request that can still make its deadline.
+	est := a.waitEstimate(pos)
+	if dl, ok := ctx.Deadline(); ok && est > time.Until(dl) {
+		return nil, a.shed(ShedDeadline, est)
+	}
+
+	waitStart := obs.Now()
+	select {
+	case <-a.tokens:
+		if a.m != nil {
+			a.m.QueueWait.ObserveSince(waitStart)
+		}
+		return grant(), nil
+	case <-ctx.Done():
+		reason := ShedCanceled
+		if ctx.Err() == context.DeadlineExceeded {
+			reason = ShedDeadline
+		}
+		return nil, a.shed(reason, a.waitEstimate(a.queued.Load()))
+	}
+}
+
+func (a *Admission) shed(reason string, retryAfter time.Duration) *ErrShed {
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	if a.m != nil {
+		a.m.Sheds.With(reason).Inc()
+	}
+	return &ErrShed{Reason: reason, RetryAfter: retryAfter}
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionFastPath: with free tokens, Acquire returns immediately and
+// release returns the token.
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 2, MaxQueue: 2}, nil)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire 1: %v", err)
+	}
+	if got := a.InFlight(); got != 1 {
+		t.Fatalf("inflight = %d, want 1", got)
+	}
+	r1()
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+	// Double release must be harmless (the handler's defer may race a
+	// late-written closure in refactored code).
+	r1()
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("inflight after double release = %d, want 0", got)
+	}
+}
+
+// TestAdmissionQueueFullShed: with all tokens held and the queue full, the
+// next arrival is shed as queue_full with a positive Retry-After.
+func TestAdmissionQueueFullShed(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1}, nil)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("token holder: %v", err)
+	}
+	defer release()
+
+	// One waiter occupies the whole queue.
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	defer cancelWaiter()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	queued := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(queued)
+		r, err := a.Acquire(waiterCtx)
+		if err == nil {
+			r()
+		}
+	}()
+	<-queued
+	waitFor(t, time.Second, func() bool { return a.QueueDepth() == 1 })
+
+	_, err = a.Acquire(context.Background())
+	var shed *ErrShed
+	if !errors.As(err, &shed) {
+		t.Fatalf("expected ErrShed, got %v", err)
+	}
+	if shed.Reason != ShedQueueFull {
+		t.Fatalf("reason = %q, want %q", shed.Reason, ShedQueueFull)
+	}
+	if shed.RetryAfterSeconds() < 1 {
+		t.Fatalf("RetryAfterSeconds = %d, want >= 1", shed.RetryAfterSeconds())
+	}
+	cancelWaiter()
+	wg.Wait()
+}
+
+// TestAdmissionDeadlineShed: a request whose deadline is already smaller than
+// the estimated queue wait is refused without queueing.
+func TestAdmissionDeadlineShed(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{
+		MaxConcurrent:   1,
+		MaxQueue:        16,
+		InitialEstimate: time.Second, // every queued slot is "worth" 1s
+	}, nil)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("token holder: %v", err)
+	}
+	defer release()
+
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancelCtx()
+	_, err = a.Acquire(ctx)
+	var shed *ErrShed
+	if !errors.As(err, &shed) {
+		t.Fatalf("expected ErrShed, got %v", err)
+	}
+	if shed.Reason != ShedDeadline {
+		t.Fatalf("reason = %q, want %q", shed.Reason, ShedDeadline)
+	}
+}
+
+// TestAdmissionQueuedThenServed: a queued request gets the token when the
+// holder releases it.
+func TestAdmissionQueuedThenServed(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4}, nil)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("token holder: %v", err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err == nil {
+			defer r()
+		}
+		got <- err
+	}()
+	waitFor(t, time.Second, func() bool { return a.QueueDepth() == 1 })
+	release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued request never got the token")
+	}
+}
+
+// TestAdmissionCanceledWhileQueued: a context cancelled mid-queue sheds as
+// canceled, a deadline as deadline.
+func TestAdmissionCanceledWhileQueued(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4}, nil)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("token holder: %v", err)
+	}
+	defer release()
+
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		got <- err
+	}()
+	waitFor(t, time.Second, func() bool { return a.QueueDepth() == 1 })
+	cancelCtx()
+	err = <-got
+	var shed *ErrShed
+	if !errors.As(err, &shed) || shed.Reason != ShedCanceled {
+		t.Fatalf("expected canceled shed, got %v", err)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// BreakerState is the classic three-state circuit breaker automaton.
+type BreakerState int32
+
+const (
+	// StateClosed: requests flow, outcomes are tallied.
+	StateClosed BreakerState = iota
+	// StateHalfOpen: the probe window is open — a limited number of trial
+	// requests run; success closes the breaker, failure re-opens it.
+	StateHalfOpen
+	// StateOpen: requests are vetoed without running until the open period
+	// elapses.
+	StateOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes one circuit breaker. Zero fields get the documented
+// defaults.
+type BreakerConfig struct {
+	// Window is the size of the sliding outcome window used for the
+	// failure-rate trip condition. Default: 32.
+	Window int
+	// MinSamples is the minimum number of outcomes in the window before the
+	// failure-rate condition can trip (prevents one early failure from
+	// reading as a 100% failure rate). Default: 8.
+	MinSamples int
+	// FailureRate trips the breaker when the windowed failure fraction
+	// reaches it. Default: 0.5.
+	FailureRate float64
+	// ConsecutiveFailures trips the breaker regardless of rate when this many
+	// failures arrive back-to-back. Default: 5.
+	ConsecutiveFailures int
+	// OpenFor is how long a tripped breaker vetoes requests before letting a
+	// probe through (the probe window). Default: 2s.
+	OpenFor time.Duration
+	// HalfOpenSuccesses is how many consecutive probe successes re-close the
+	// breaker. Default: 2.
+	HalfOpenSuccesses int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.FailureRate <= 0 {
+		c.FailureRate = 0.5
+	}
+	if c.ConsecutiveFailures <= 0 {
+		c.ConsecutiveFailures = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.HalfOpenSuccesses <= 0 {
+		c.HalfOpenSuccesses = 2
+	}
+	return c
+}
+
+// Breaker is one circuit breaker: closed → open on failure-rate or
+// consecutive-failure tripping, open → half-open after OpenFor, half-open →
+// closed after HalfOpenSuccesses probe successes (or straight back to open on
+// a probe failure). Time comes from obs.Now, so tests can drive the automaton
+// with a mock clock. Safe for concurrent use.
+type Breaker struct {
+	cfg  BreakerConfig
+	name string
+	// onTransition, when non-nil, observes every state change (metrics hook).
+	// Called with the breaker's lock held — must not call back in.
+	onTransition func(name string, from, to BreakerState)
+
+	mu    sync.Mutex
+	state BreakerState
+	// ring is the sliding outcome window (true = failure).
+	ring      []bool
+	ringIdx   int
+	ringFill  int
+	ringFails int
+	consec    int
+	openedAt  int64 // obs.Now at the transition to open
+	probing   int   // probes currently in flight (half-open)
+	probeSucc int
+	trips     uint64 // transitions into open
+	recloses  uint64 // transitions half-open → closed
+}
+
+// NewBreaker builds a breaker named name (label for metrics/status).
+func NewBreaker(name string, cfg BreakerConfig, onTransition func(name string, from, to BreakerState)) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, name: name, onTransition: onTransition, ring: make([]bool, cfg.Window)}
+}
+
+// Allow reports whether a request may proceed through this breaker now. An
+// open breaker whose OpenFor period has elapsed transitions to half-open and
+// admits the caller as its probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if obs.Now()-b.openedAt < int64(b.cfg.OpenFor) {
+			return false
+		}
+		b.transition(StateHalfOpen)
+		b.probing = 1
+		b.probeSucc = 0
+		return true
+	default: // StateHalfOpen
+		// One probe at a time: a burst hitting a half-open breaker must not
+		// re-stampede the failing rung.
+		if b.probing > 0 {
+			return false
+		}
+		b.probing = 1
+		return true
+	}
+}
+
+// Record observes the outcome of a request that was allowed through.
+func (b *Breaker) Record(err error) {
+	failed := err != nil
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		b.push(failed)
+		if failed {
+			b.consec++
+		} else {
+			b.consec = 0
+		}
+		if b.consec >= b.cfg.ConsecutiveFailures ||
+			(b.ringFill >= b.cfg.MinSamples &&
+				float64(b.ringFails) >= b.cfg.FailureRate*float64(b.ringFill)) {
+			b.trip()
+		}
+	case StateHalfOpen:
+		if b.probing > 0 {
+			b.probing--
+		}
+		if failed {
+			b.trip()
+			return
+		}
+		b.probeSucc++
+		if b.probeSucc >= b.cfg.HalfOpenSuccesses {
+			b.recloses++
+			b.transition(StateClosed)
+			b.resetWindow()
+		}
+	case StateOpen:
+		// A request admitted before the trip finished afterwards; its outcome
+		// says nothing the trip didn't already.
+	}
+}
+
+// trip moves to open and starts the open period. Caller holds the lock.
+func (b *Breaker) trip() {
+	b.trips++
+	b.transition(StateOpen)
+	b.openedAt = obs.Now()
+	b.probing = 0
+	b.probeSucc = 0
+	b.resetWindow()
+}
+
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(b.name, from, to)
+	}
+}
+
+func (b *Breaker) push(failed bool) {
+	if b.ringFill == len(b.ring) {
+		if b.ring[b.ringIdx] {
+			b.ringFails--
+		}
+	} else {
+		b.ringFill++
+	}
+	b.ring[b.ringIdx] = failed
+	if failed {
+		b.ringFails++
+	}
+	b.ringIdx = (b.ringIdx + 1) % len(b.ring)
+}
+
+func (b *Breaker) resetWindow() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.ringIdx, b.ringFill, b.ringFails, b.consec = 0, 0, 0, 0
+}
+
+// State returns the current automaton state (open may read as open even when
+// the next Allow would flip it to half-open; the flip happens on demand).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerStatus is a point-in-time snapshot for the status endpoint.
+type BreakerStatus struct {
+	State          string  `json:"state"`
+	Trips          uint64  `json:"trips"`
+	Recloses       uint64  `json:"recloses"`
+	WindowFailRate float64 `json:"window_fail_rate"`
+}
+
+// Status snapshots the breaker.
+func (b *Breaker) Status() BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rate := 0.0
+	if b.ringFill > 0 {
+		rate = float64(b.ringFails) / float64(b.ringFill)
+	}
+	return BreakerStatus{
+		State:          b.state.String(),
+		Trips:          b.trips,
+		Recloses:       b.recloses,
+		WindowFailRate: rate,
+	}
+}
+
+// BreakerSet is the per-rung breaker bank wired into the engine's degradation
+// ladder as its RungGate. The exact and approximate rungs each get their own
+// breaker — a rung the engine keeps failing is skipped for the open period
+// and the ladder falls straight through to the next one. The MWP rung is
+// deliberately exempt: it is the terminal floor of the ladder, and vetoing it
+// would turn a degraded answer into no answer at all.
+type BreakerSet struct {
+	exact  *Breaker
+	approx *Breaker
+	m      *Metrics
+}
+
+// NewBreakerSet builds the per-rung breakers. m may be nil.
+func NewBreakerSet(cfg BreakerConfig, m *Metrics) *BreakerSet {
+	onTransition := func(name string, from, to BreakerState) {
+		if m == nil {
+			return
+		}
+		m.BreakerState.With(name).Set(float64(to))
+		m.BreakerTransitions.With(name + ":" + from.String() + "->" + to.String()).Inc()
+	}
+	s := &BreakerSet{
+		exact:  NewBreaker("exact", cfg, onTransition),
+		approx: NewBreaker("approx", cfg, onTransition),
+		m:      m,
+	}
+	if m != nil {
+		m.BreakerState.With("exact").Set(float64(StateClosed))
+		m.BreakerState.With("approx").Set(float64(StateClosed))
+	}
+	return s
+}
+
+func (s *BreakerSet) breaker(r engine.Rung) *Breaker {
+	switch r {
+	case engine.RungExact:
+		return s.exact
+	case engine.RungApprox:
+		return s.approx
+	}
+	return nil
+}
+
+// Allow implements engine.RungGate.
+func (s *BreakerSet) Allow(r engine.Rung) bool {
+	b := s.breaker(r)
+	if b == nil {
+		return true
+	}
+	allowed := b.Allow()
+	if !allowed && s.m != nil {
+		s.m.BreakerVetoes.With(r.String()).Inc()
+	}
+	return allowed
+}
+
+// Record implements engine.RungGate.
+func (s *BreakerSet) Record(r engine.Rung, err error) {
+	if b := s.breaker(r); b != nil {
+		b.Record(err)
+	}
+}
+
+// Status snapshots every breaker by rung name.
+func (s *BreakerSet) Status() map[string]BreakerStatus {
+	return map[string]BreakerStatus{
+		"exact":  s.exact.Status(),
+		"approx": s.approx.Status(),
+	}
+}

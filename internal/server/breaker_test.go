@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+// mockClock drives obs.Now deterministically for the breaker's open-period
+// timing.
+func mockClock(t *testing.T) *int64 {
+	t.Helper()
+	now := new(int64)
+	restore := obs.SetClockForTest(func() int64 { return *now })
+	t.Cleanup(restore)
+	return now
+}
+
+// TestBreakerConsecutiveTrip: N consecutive failures open the breaker; the
+// open breaker vetoes until the open period elapses, then half-open probes
+// re-close it.
+func TestBreakerConsecutiveTrip(t *testing.T) {
+	now := mockClock(t)
+	b := NewBreaker("exact", BreakerConfig{
+		ConsecutiveFailures: 3,
+		OpenFor:             time.Second,
+		HalfOpenSuccesses:   2,
+		// Window conditions sized to not interfere with the consecutive rule.
+		Window: 64, MinSamples: 64,
+	}, nil)
+
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker vetoed request %d", i)
+		}
+		b.Record(errBoom)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 3 consecutive failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before the open period elapsed")
+	}
+
+	// Open period elapses: exactly one probe gets through.
+	*now += int64(time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker did not half-open after the open period")
+	}
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+
+	// Two successful probes close it.
+	b.Record(nil)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the second probe")
+	}
+	b.Record(nil)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after probe successes = %v, want closed", got)
+	}
+	st := b.Status()
+	if st.Trips != 1 || st.Recloses != 1 {
+		t.Fatalf("trips/recloses = %d/%d, want 1/1", st.Trips, st.Recloses)
+	}
+}
+
+// TestBreakerFailureRateTrip: interleaved failures below the consecutive
+// threshold still trip once the windowed failure rate crosses the bar.
+func TestBreakerFailureRateTrip(t *testing.T) {
+	mockClock(t)
+	b := NewBreaker("exact", BreakerConfig{
+		Window:              8,
+		MinSamples:          8,
+		FailureRate:         0.5,
+		ConsecutiveFailures: 100, // out of reach
+		OpenFor:             time.Second,
+	}, nil)
+	// Alternate success/failure: rate stays at 50%, trips exactly when the
+	// window has MinSamples outcomes.
+	outcomes := []error{nil, errBoom, nil, errBoom, nil, errBoom, nil, errBoom}
+	for i, out := range outcomes {
+		if !b.Allow() {
+			t.Fatalf("vetoed at outcome %d before the window filled", i)
+		}
+		b.Record(out)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 50%% failures over a full window = %v, want open", got)
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: a failed probe sends the breaker
+// straight back to open with a fresh open period.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	now := mockClock(t)
+	b := NewBreaker("exact", BreakerConfig{
+		ConsecutiveFailures: 1,
+		OpenFor:             time.Second,
+		Window:              8, MinSamples: 8,
+	}, nil)
+	b.Allow()
+	b.Record(errBoom) // trip
+	*now += int64(time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after open period")
+	}
+	b.Record(errBoom) // failed probe
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// The open period restarted: half a period in, still vetoed.
+	*now += int64(time.Second / 2)
+	if b.Allow() {
+		t.Fatal("breaker half-opened before the restarted open period elapsed")
+	}
+}
+
+// TestBreakerSetGatesRungs: the set implements engine.RungGate — exact and
+// approx are gated independently, MWP is always allowed.
+func TestBreakerSetGatesRungs(t *testing.T) {
+	mockClock(t)
+	s := NewBreakerSet(BreakerConfig{ConsecutiveFailures: 2, OpenFor: time.Second, Window: 8, MinSamples: 8}, nil)
+	var _ engine.RungGate = s
+
+	for i := 0; i < 2; i++ {
+		if !s.Allow(engine.RungExact) {
+			t.Fatalf("exact vetoed at %d", i)
+		}
+		s.Record(engine.RungExact, errBoom)
+	}
+	if s.Allow(engine.RungExact) {
+		t.Fatal("exact breaker should be open")
+	}
+	if !s.Allow(engine.RungApprox) {
+		t.Fatal("approx breaker tripped by exact failures")
+	}
+	// MWP is the ladder floor: never vetoed, and failures recorded against it
+	// are ignored.
+	for i := 0; i < 10; i++ {
+		if !s.Allow(engine.RungMWP) {
+			t.Fatal("MWP rung vetoed")
+		}
+		s.Record(engine.RungMWP, errBoom)
+	}
+	if st := s.Status()["exact"]; st.State != "open" {
+		t.Fatalf("status[exact] = %+v, want open", st)
+	}
+}
+
+// TestRunnerWithBreaker: end-to-end through the engine — a gate that vetoes
+// the exact rung degrades the answer to MWP with reason "skipped".
+func TestRunnerWithBreaker(t *testing.T) {
+	mockClock(t)
+	db, items := testDB(t, 64)
+	set := NewBreakerSet(BreakerConfig{ConsecutiveFailures: 1, OpenFor: time.Hour, Window: 8, MinSamples: 8}, nil)
+	// Trip the exact breaker by hand.
+	set.exact.Allow()
+	set.exact.Record(errBoom)
+
+	runner := engine.NewRunner(db.Engine(), engine.Config{Degrade: true, Gate: set})
+	q, ct, rsl := testQuery(t, db, items)
+	ans, err := runner.MWQ(context.Background(), ct, q, rsl)
+	if err != nil {
+		t.Fatalf("MWQ with open exact breaker: %v", err)
+	}
+	if !ans.Degraded || ans.Rung != engine.RungMWP {
+		t.Fatalf("answer = rung %v degraded=%v, want degraded MWP", ans.Rung, ans.Degraded)
+	}
+}

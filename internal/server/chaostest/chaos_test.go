@@ -1,0 +1,43 @@
+package chaostest
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestChaosSmoke runs the full chaos harness at test scale: ~1s of injected
+// exact-rung panics and stalls plus concurrent hot-swaps under a mixed
+// workload with client aborts, then ~1s of recovery. Every service-level
+// invariant in Summary.Violations must hold.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke is ~2s; skipped in -short")
+	}
+	sum, err := Run(context.Background(), Options{
+		FaultFor: 1200 * time.Millisecond,
+		CoolFor:  1200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	t.Logf("chaos: %d requests, by_status=%v, sheds=%d, cancels=%d, reloads=%d (busy %d), degraded=%d, trips=%d, recloses=%d, p99=%.1fms",
+		sum.Requests, sum.ByStatus, sum.Sheds, sum.Cancels, sum.Reloads, sum.ReloadBusy,
+		sum.DegradedAnswers, sum.BreakerTrips, sum.BreakerRecloses, sum.P99MS)
+
+	if sum.Requests < 50 {
+		t.Fatalf("workload barely ran: %d requests", sum.Requests)
+	}
+	if sum.InjectedExactHits == 0 {
+		t.Fatal("the fault injector never fired — the chaos run tested nothing")
+	}
+	if sum.DegradedAnswers == 0 {
+		t.Fatal("no degraded answers: injected exact-rung faults were never absorbed by the ladder")
+	}
+	if sum.Reloads == 0 {
+		t.Fatal("no successful hot-swaps during the run")
+	}
+	for _, v := range sum.Violations() {
+		t.Errorf("invariant broken: %s", v)
+	}
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequests throws arbitrary bytes at all three HTTP request
+// decoders. The decoders are the server's first line of defence, so the
+// contract is strict: never panic, and never accept a request that carries a
+// non-finite coordinate, an out-of-bounds dimensionality, or an absurd
+// generation/sampling parameter — those must be rejected before a byte of
+// query work happens.
+func FuzzDecodeRequests(f *testing.F) {
+	f.Add(`{"q":[1,2],"customer_id":3}`)
+	f.Add(`{"q":[1,2],"customer_id":3,"timeout_ms":100,"trace":true}`)
+	f.Add(`{"q":[]}`)
+	f.Add(`{"q":[NaN]}`)
+	f.Add(`{"q":[1e999]}`)
+	f.Add(`{"q":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17]}`)
+	f.Add(`{"q":[1,2]}{"q":[3,4]}`) // trailing data
+	f.Add(`{"q":[1,2],"unknown_field":1}`)
+	f.Add(`{"path":"/tmp/x.csv"}`)
+	f.Add(`{"generate":{"kind":"UN","n":100,"dims":2,"seed":7}}`)
+	f.Add(`{"generate":{"kind":"UN","n":-1,"dims":2}}`)
+	f.Add(`{"generate":{"kind":"UN","n":100,"dims":2},"path":"x"}`) // both sources
+	f.Add(`{"generate":{"kind":"UN","n":3000000,"dims":2}}`)
+	f.Add(`{"path":"x","k":100000}`)
+	f.Add(`{"q":[1,2],"timeout_ms":-5}`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`[1,2,3]`)
+	f.Add(strings.Repeat(`{"q":[`, 100))
+
+	f.Fuzz(func(t *testing.T, in string) {
+		if req, err := DecodeWhyNotRequest(strings.NewReader(in)); err == nil {
+			checkPoint(t, "whynot", req.Q)
+			if req.TimeoutMS < 0 || req.TimeoutMS > MaxTimeoutMS {
+				t.Fatalf("whynot accepted timeout_ms=%d", req.TimeoutMS)
+			}
+		}
+		if req, err := DecodeRSkylineRequest(strings.NewReader(in)); err == nil {
+			checkPoint(t, "rskyline", req.Q)
+		}
+		if req, err := DecodeReloadRequest(strings.NewReader(in)); err == nil {
+			if (req.Path != "") == (req.Generate != nil) {
+				t.Fatalf("reload accepted with path=%q and generate=%v (want exactly one source)", req.Path, req.Generate)
+			}
+			if g := req.Generate; g != nil {
+				if g.N <= 0 || g.N > MaxGenerateN || g.Dims <= 0 || g.Dims > MaxDims {
+					t.Fatalf("reload accepted generate n=%d dims=%d", g.N, g.Dims)
+				}
+			}
+			if req.K < 0 || req.K > MaxK {
+				t.Fatalf("reload accepted k=%d", req.K)
+			}
+		}
+	})
+}
+
+func checkPoint(t *testing.T, ep string, q []float64) {
+	t.Helper()
+	if len(q) == 0 || len(q) > MaxDims {
+		t.Fatalf("%s accepted a point with %d dims", ep, len(q))
+	}
+	for _, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s accepted non-finite coordinate %v", ep, v)
+		}
+	}
+}

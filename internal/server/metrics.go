@@ -1,0 +1,85 @@
+package server
+
+import "repro/internal/obs"
+
+// Metrics is the serving layer's instrumentation bundle, registered under
+// server_* names in one obs.Registry alongside the engine's ladder metrics
+// and the process cost counters, so one /metrics scrape tells the whole
+// story: offered load, shed load, breaker posture, queue pressure, drain
+// state.
+type Metrics struct {
+	Reg *obs.Registry
+
+	// Requests counts accepted HTTP requests by endpoint.
+	Requests *obs.LabeledCounter
+	// Responses counts terminal responses by status code.
+	Responses *obs.LabeledCounter
+	// RequestDur observes end-to-end request latency (admission wait
+	// included) for the query endpoints.
+	RequestDur *obs.Histogram
+	// Sheds counts load-shedding decisions by reason.
+	Sheds *obs.LabeledCounter
+	// QueueWait observes the time admitted requests spent queued for a token.
+	QueueWait *obs.Histogram
+	// BreakerState gauges each rung's breaker state (0 closed, 1 half-open,
+	// 2 open).
+	BreakerState *obs.LabeledGauge
+	// BreakerTransitions counts state changes by "rung:from->to".
+	BreakerTransitions *obs.LabeledCounter
+	// BreakerVetoes counts rung executions skipped by an open breaker.
+	BreakerVetoes *obs.LabeledCounter
+	// Panics counts handler panics caught by the isolation middleware
+	// (engine panics never reach it — the ladder absorbs those).
+	Panics *obs.Counter
+	// Reloads counts completed dataset hot-swaps.
+	Reloads *obs.Counter
+	// SnapshotSeq gauges the sequence number of the serving snapshot.
+	SnapshotSeq *obs.Gauge
+	// Draining gauges drain state (0 serving, 1 draining).
+	Draining *obs.Gauge
+}
+
+// NewMetrics registers the server metric family in reg and wires the
+// admission gauges (queue depth, in-flight, estimated wait) as read-through
+// gauges over adm.
+func NewMetrics(reg *obs.Registry, adm func() *Admission) *Metrics {
+	m := &Metrics{
+		Reg: reg,
+		Requests: reg.LabeledCounter("server_requests_total",
+			"HTTP requests accepted for processing, by endpoint.", "endpoint"),
+		Responses: reg.LabeledCounter("server_responses_total",
+			"Terminal HTTP responses, by status code.", "code"),
+		RequestDur: reg.Histogram("server_request_duration_seconds",
+			"End-to-end query request latency including admission wait.", nil),
+		Sheds: reg.LabeledCounter("server_shed_total",
+			"Requests refused by admission control, by reason.", "reason"),
+		QueueWait: reg.Histogram("server_queue_wait_seconds",
+			"Time admitted requests spent waiting for an execution token.", nil),
+		BreakerState: reg.LabeledGauge("server_breaker_state",
+			"Circuit breaker state by rung (0 closed, 1 half-open, 2 open).", "rung"),
+		BreakerTransitions: reg.LabeledCounter("server_breaker_transitions_total",
+			"Circuit breaker state transitions, by rung:from->to.", "transition"),
+		BreakerVetoes: reg.LabeledCounter("server_breaker_vetoes_total",
+			"Ladder rung executions skipped by an open breaker, by rung.", "rung"),
+		Panics: reg.Counter("server_handler_panics_total",
+			"Handler panics caught by the isolation middleware."),
+		Reloads: reg.Counter("server_reloads_total",
+			"Completed zero-downtime dataset hot-swaps."),
+		SnapshotSeq: reg.Gauge("server_snapshot_seq",
+			"Sequence number of the snapshot currently serving."),
+		Draining: reg.Gauge("server_draining",
+			"1 while the server is draining (readyz not-ready), else 0."),
+	}
+	if adm != nil {
+		reg.GaugeFunc("server_queue_depth",
+			"Requests currently queued for an execution token.",
+			func() float64 { return float64(adm().QueueDepth()) })
+		reg.GaugeFunc("server_inflight",
+			"Requests currently holding an execution token.",
+			func() float64 { return float64(adm().InFlight()) })
+		reg.GaugeFunc("server_queue_wait_estimate_seconds",
+			"Admission controller's current wait estimate for a new arrival.",
+			func() float64 { return adm().EstimatedWait().Seconds() })
+	}
+	return m
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+// DatasetSpec names a dataset source for the initial load and for hot-swap
+// reloads: a CSV path or a synthetic-generation spec, optionally with an
+// approximate store precomputed on top.
+type DatasetSpec struct {
+	// Path is a CSV file (id,dim0,dim1,...); empty means Generate.
+	Path string
+	// Generate builds a synthetic dataset when Path is empty.
+	Generate *GenerateSpec
+	// BuildStore precomputes the approximate safe-region store over all
+	// customers, enabling the ladder's approx rung for this snapshot.
+	BuildStore bool
+	// K is the approximate-store sampling constant (default 10).
+	K int
+}
+
+// Snapshot is one fully built, immutable serving state: the indexed DB, the
+// item list it was built from, an ID lookup, and optionally the approximate
+// store. Snapshots are swapped behind an atomic pointer; a request loads the
+// pointer once and sees one consistent dataset for its whole lifetime, no
+// matter how many reloads land mid-flight.
+type Snapshot struct {
+	DB    *repro.DB
+	Items []repro.Item
+	Store *repro.ApproxStore
+	// Name describes the dataset source (path or generator spec).
+	Name string
+	// Seq is the monotone swap sequence number (1 = boot snapshot).
+	Seq uint64
+
+	byID map[int]repro.Item
+}
+
+// Customer looks a dataset item up by ID.
+func (s *Snapshot) Customer(id int) (repro.Item, bool) {
+	it, ok := s.byID[id]
+	return it, ok
+}
+
+// buildSnapshot constructs a complete immutable snapshot: load or generate
+// the items, bulk-load the index, and (optionally) precompute the approximate
+// store. All the expensive work happens here, before the swap — the swap
+// itself is one atomic pointer store.
+func buildSnapshot(ctx context.Context, spec DatasetSpec, opts repro.DBOptions, seq uint64) (*Snapshot, error) {
+	var (
+		items []repro.Item
+		name  string
+	)
+	switch {
+	case spec.Path != "":
+		f, err := os.Open(spec.Path)
+		if err != nil {
+			return nil, err
+		}
+		d, err := dataset.ReadCSV(spec.Path, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		items = d.Items
+		name = spec.Path
+	case spec.Generate != nil:
+		g := spec.Generate
+		var err error
+		items, err = repro.GenerateDataset(g.Kind, g.N, g.Dims, g.Seed)
+		if err != nil {
+			return nil, err
+		}
+		name = fmt.Sprintf("%s(n=%d,dims=%d,seed=%d)", g.Kind, g.N, g.Dims, g.Seed)
+	default:
+		return nil, fmt.Errorf("server: dataset spec has neither path nor generator")
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("server: dataset %s is empty", name)
+	}
+
+	db := repro.NewDBWithOptions(items[0].Point.Dims(), items, opts)
+	snap := &Snapshot{
+		DB:    db,
+		Items: items,
+		Name:  name,
+		Seq:   seq,
+		byID:  make(map[int]repro.Item, len(items)),
+	}
+	for _, it := range items {
+		snap.byID[it.ID] = it
+	}
+	if spec.BuildStore {
+		k := spec.K
+		if k <= 0 {
+			k = 10
+		}
+		store, err := db.BuildApproxStoreParallelContext(ctx, items, k, db.Workers())
+		if err != nil {
+			return nil, fmt.Errorf("server: approximate store build: %w", err)
+		}
+		snap.Store = store
+	}
+	return snap, nil
+}

@@ -303,6 +303,19 @@ func (db *DB) Delete(it Item) bool {
 	return ok
 }
 
+// InvalidateCaches retires every memoised structure of this DB without
+// touching the index: the mutation generation is bumped (so generation-stamped
+// cache entries held anywhere — including by in-flight queries that grabbed
+// this DB before the call — are rejected as stale-on-arrival from now on) and
+// the per-customer caches are purged to release their memory. Hot-swap
+// serving layers call it on the outgoing snapshot after an atomic dataset
+// swap; queries already running against the old snapshot stay correct, they
+// just stop reusing its caches.
+func (db *DB) InvalidateCaches() {
+	db.engine.DB.Invalidate()
+	db.engine.InvalidateCaches()
+}
+
 // Len returns the number of products.
 func (db *DB) Len() int { return db.engine.DB.Len() }
 

@@ -10,9 +10,9 @@ GO ?= go
 # detection on fresh mutations of the seed corpus, not deep exploration.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet vet-obs test race race-core bench-smoke fuzz-smoke bench
+.PHONY: check build vet vet-obs vet-wal test race race-core bench-smoke fuzz-smoke crash-smoke bench
 
-check: vet-obs build test race race-core bench-smoke fuzz-smoke
+check: vet-obs vet-wal build test race race-core bench-smoke fuzz-smoke crash-smoke
 	@echo "tier-1 gate: OK"
 
 build:
@@ -38,6 +38,19 @@ vet-obs: vet
 	fi
 	@echo "vet-obs: OK"
 
+# Durability lint on top of go vet: inside internal/wal every (*os.File)
+# Sync and Close must have its error checked — an unchecked fsync error is
+# an acknowledged-but-lost write, the exact bug the WAL exists to prevent.
+# Discarding with `_ =` is also banned there; wrap in the named helpers or
+# join the error instead.
+vet-wal: vet
+	@bad=$$(grep -nE '^[[:space:]]*(defer[[:space:]]+)?[A-Za-z_][A-Za-z0-9_.]*\.(Sync|Close)\(\)[[:space:]]*$$|_[[:space:]]*=[[:space:]]*[A-Za-z_][A-Za-z0-9_.]*\.(Sync|Close)\(\)' internal/wal/*.go | grep -v _test.go || true); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-wal: unchecked (*os.File).Sync/Close under internal/wal:"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "vet-wal: OK"
+
 test:
 	$(GO) test ./...
 
@@ -50,7 +63,7 @@ race:
 # correctness. Redundant with `race` but kept separate so the critical slice
 # has its own fast signal.
 race-core:
-	$(GO) test -race ./internal/exec/... ./internal/oracle/... ./internal/server/...
+	$(GO) test -race ./internal/exec/... ./internal/oracle/... ./internal/server/... ./internal/wal/...
 
 # Benchmark smoke: the parallel/cache-aware configuration against the
 # sequential reference on CarDB-50K, recorded as BENCH_parallel.json.
@@ -64,6 +77,12 @@ fuzz-smoke:
 	$(GO) test ./internal/whynot -run FuzzLoadApproxStore -fuzz FuzzLoadApproxStore -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/whynot -run FuzzMWPMQP -fuzz FuzzMWPMQP -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run FuzzDecodeRequests -fuzz FuzzDecodeRequests -fuzztime $(FUZZTIME)
+
+# Crash smoke: the WAL kill-injection soak at short length — every log
+# write/fsync/rotate/snapshot boundary killed twice, recovery verified
+# against the oracle replay. Appends to BENCH_crash.json.
+crash-smoke:
+	$(GO) run ./cmd/crash -mutations 60 -visits 2 -out BENCH_crash.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

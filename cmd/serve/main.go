@@ -9,7 +9,9 @@
 //	GET  /v1/healthz       — liveness
 //	GET  /v1/readyz        — readiness (flips not-ready while draining)
 //	POST /v1/admin/reload  — atomically hot-swap the serving dataset
-//	GET  /v1/admin/status  — admission/breaker/snapshot introspection
+//	POST /v1/admin/insert  — add one item (WAL-committed when -wal-dir is set)
+//	POST /v1/admin/delete  — remove one item (WAL-committed when -wal-dir is set)
+//	GET  /v1/admin/status  — admission/breaker/snapshot/WAL introspection
 //	GET  /metrics          — Prometheus text format (also /metrics.json)
 package main
 
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -52,6 +55,10 @@ func run(args []string, out *os.File) error {
 		reqTO      = fs.Duration("request-timeout", 10*time.Second, "end-to-end request deadline cap")
 		drainTO    = fs.Duration("drain-timeout", 20*time.Second, "graceful-drain budget on SIGTERM before in-flight queries are cancelled")
 		breakerFor = fs.Duration("breaker-open", 2*time.Second, "circuit-breaker open period before probing")
+		walDir     = fs.String("wal-dir", "", "durability directory for the WAL and snapshots; empty serves memory-only")
+		fsync      = fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
+		fsyncEvery = fs.Duration("fsync-interval", 50*time.Millisecond, "max unsynced window under -fsync=interval")
+		walSegment = fs.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +81,18 @@ func run(args []string, out *os.File) error {
 			K:          *storeK,
 		}
 	}
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		cfg.Durability = &wal.Options{
+			Dir:          *walDir,
+			Policy:       policy,
+			Interval:     *fsyncEvery,
+			SegmentBytes: *walSegment,
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -87,8 +106,12 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	snap := s.Snapshot()
-	fmt.Fprintf(out, "serving %s (%d items, %d dims, store=%v) on http://%s\n",
-		snap.Name, len(snap.Items), snap.DB.Dims(), snap.Store != nil, ln.Addr())
+	durability := "memory-only"
+	if *walDir != "" {
+		durability = fmt.Sprintf("wal=%s fsync=%s", *walDir, *fsync)
+	}
+	fmt.Fprintf(out, "serving %s (%d items, %d dims, store=%v, %s) on http://%s\n",
+		snap.Name, len(snap.Items), snap.DB.Dims(), snap.Store != nil, durability, ln.Addr())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- s.Serve(ln) }()

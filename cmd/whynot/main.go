@@ -23,6 +23,11 @@
 //	# score every why-not customer in a file of IDs against one query:
 //	whynot -data cardb.csv -q 8500,55000 -c 17 -c2 42 batch
 //
+//	# durable mutations: log to a WAL directory, recover on the next run:
+//	whynot -data cardb.csv -wal-dir wal -q 9000,40000 -c 9001 insert
+//	whynot -data cardb.csv -wal-dir wal -c 9001 delete
+//	whynot -data cardb.csv -wal-dir wal -q 8500,55000 -checkpoint rsl
+//
 // Without -data, the paper's 8-point running example (Fig. 1a, price in K$,
 // mileage in Kmi) is used, so `whynot -q 8.5,55 -c 1 mwp` reproduces §IV.
 //
@@ -93,12 +98,17 @@ func usagef(format string, args ...any) error {
 // needsCustomer lists the commands that cannot run without -c.
 var needsCustomer = map[string]bool{
 	"explain": true, "mwp": true, "mqp": true, "mwq": true, "approxmwq": true,
+	"insert": true, "delete": true,
 }
 
 var knownCommands = map[string]bool{
 	"rsl": true, "saferegion": true, "explain": true, "mwp": true, "mqp": true,
 	"mwq": true, "buildstore": true, "approxmwq": true, "batch": true,
+	"insert": true, "delete": true,
 }
+
+// needsWAL lists the commands that mutate and therefore require -wal-dir.
+var needsWAL = map[string]bool{"insert": true, "delete": true}
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("whynot", flag.ContinueOnError)
@@ -118,6 +128,9 @@ func run(args []string, out io.Writer) error {
 	stats := fs.Bool("stats", false, "print the paper's cost counters (node accesses, dominance tests, ...) after the answer")
 	traceFlag := fs.Bool("trace", false, "print the per-query span/event trace after the answer")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address and wait for SIGINT/SIGTERM")
+	walDir := fs.String("wal-dir", "", "durability directory: recover -data plus logged mutations, and enable insert/delete")
+	fsyncPolicy := fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
+	checkpoint := fs.Bool("checkpoint", false, "write a durability snapshot and compact the WAL before exit (requires -wal-dir)")
 	if err := fs.Parse(args); err != nil {
 		return usagef("%v", err)
 	}
@@ -130,12 +143,21 @@ func run(args []string, out io.Writer) error {
 		return usagef("missing command")
 	case !knownCommands[cmd]:
 		return usagef("unknown command %q", cmd)
-	case *qSpec == "":
+	case *qSpec == "" && cmd != "delete":
+		// delete needs only the ID: the stored position is the point.
 		return usagef("missing -q")
+	case needsWAL[cmd] && *walDir == "":
+		return usagef("%s mutates the dataset and needs -wal-dir", cmd)
+	case *checkpoint && *walDir == "":
+		return usagef("-checkpoint needs -wal-dir")
 	}
-	q, err := parsePoint(*qSpec)
-	if err != nil {
-		return usagef("bad -q: %v", err)
+	var q repro.Point
+	if *qSpec != "" {
+		var err error
+		q, err = parsePoint(*qSpec)
+		if err != nil {
+			return usagef("bad -q: %v", err)
+		}
 	}
 	if needsCustomer[cmd] && *cid < 0 {
 		return usagef("%s needs -c <customerID>", cmd)
@@ -173,19 +195,49 @@ func run(args []string, out io.Writer) error {
 	if len(items) == 0 {
 		return fmt.Errorf("dataset is empty")
 	}
-	if items[0].Point.Dims() != q.Dims() {
-		return fmt.Errorf("query has %d dims, dataset has %d", q.Dims(), items[0].Point.Dims())
+	dims := items[0].Point.Dims()
+	if q != nil && dims != q.Dims() {
+		return fmt.Errorf("query has %d dims, dataset has %d", q.Dims(), dims)
 	}
 	par := *workers
 	if par <= 0 {
 		par = -1 // repro convention: negative = GOMAXPROCS
 	}
 	observe := *stats || *traceFlag || *metricsAddr != ""
-	db := repro.NewDBWithOptions(q.Dims(), items, repro.DBOptions{
+	dbOpts := repro.DBOptions{
 		Parallelism:   par,
 		CacheSize:     *cacheSize,
 		Observability: observe,
-	})
+	}
+	var db *repro.DB
+	if *walDir != "" {
+		policy, err := repro.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		dbOpts.Durability = &repro.DurabilityOptions{Dir: *walDir, Policy: policy}
+		var rec repro.WALRecovery
+		db, rec, err = repro.OpenDurable(dims, items, dbOpts)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := db.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "warning: closing WAL:", cerr)
+			}
+		}()
+		// Queries must see the recovered state, not the base CSV.
+		items = db.DurableItems()
+		if len(items) == 0 {
+			return fmt.Errorf("recovered dataset is empty")
+		}
+		if rec.HaveSnapshot || len(rec.Tail) > 0 {
+			fmt.Fprintf(out, "recovered %d items (snapshot seq %d, %d replayed records) from %s\n",
+				len(items), rec.SnapshotSeq, len(rec.Tail), *walDir)
+		}
+	} else {
+		db = repro.NewDBWithOptions(dims, items, dbOpts)
+	}
 
 	// baseCtx carries the per-query trace (no deadline: the mwq ladder
 	// budgets each rung itself); ctx adds the -timeout bound for every
@@ -213,6 +265,22 @@ func run(args []string, out io.Writer) error {
 	// must not short-circuit the stats/trace epilogue below.
 	var deferred error
 	switch cmd {
+	case "insert":
+		seq, err := db.InsertDurable(repro.Item{ID: *cid, Point: q})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "inserted customer %d at %v (wal seq %d)\n", *cid, q, seq)
+	case "delete":
+		stored, ok := find(items, *cid)
+		if !ok {
+			return fmt.Errorf("customer %d not found", *cid)
+		}
+		seq, err := db.DeleteDurable(stored)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "deleted customer %d at %v (wal seq %d)\n", stored.ID, stored.Point, seq)
 	case "rsl":
 		rsl, err := db.ReverseSkylineContext(ctx, items, q)
 		if err != nil {
@@ -369,6 +437,12 @@ func run(args []string, out io.Writer) error {
 		if err := runWhyNot(ctx, out, db, items, ct, q, cmd, sp); err != nil {
 			return err
 		}
+	}
+	if *checkpoint {
+		if err := db.Checkpoint(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "checkpoint written; superseded wal segments compacted")
 	}
 	sp.print(out)
 	if *traceFlag && tr != nil {
@@ -537,6 +611,14 @@ commands:
   buildstore  precompute the approximate store (§VI.B.1), optionally -save-store
   approxmwq   answer with the approximate store (-store file)
   batch       answer for several customers (-c, -c2) sharing one safe region
+  insert      durably add customer -c at point -q (requires -wal-dir)
+  delete      durably remove customer -c (requires -wal-dir; -q not needed)
+
+durability flags:
+  -wal-dir d    recover -data plus all mutations logged in d; insert/delete
+                commit to the WAL there before touching the index
+  -fsync p      WAL fsync policy: always (default), interval, never
+  -checkpoint   write a snapshot and compact the WAL before exit
 
 robustness flags:
   -timeout d  bound each query by a deadline (e.g. -timeout 100ms)

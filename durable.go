@@ -1,0 +1,203 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/wal"
+)
+
+// DurabilityOptions configures the write-ahead log of a durable DB: the log
+// directory, fsync policy, segment size, snapshot retention and optional
+// crash-injection hook. See internal/wal.Options for field semantics.
+type DurabilityOptions = wal.Options
+
+// WALRecovery describes what OpenDurable reconstructed: snapshot used, tail
+// replayed, torn-tail repairs, duration.
+type WALRecovery = wal.Recovery
+
+// WALStats is a point-in-time description of a live log.
+type WALStats = wal.Stats
+
+// WALMetrics is the WAL observability surface; build one with NewWALMetrics
+// and pass it via DurabilityOptions.Metrics.
+type WALMetrics = wal.Metrics
+
+// NewWALMetrics registers the WAL metric set (fsync latency, append/byte
+// counters, recovery duration) on a registry. A nil registry yields all-nil
+// metrics, which every call site tolerates.
+var NewWALMetrics = wal.NewMetrics
+
+// SyncPolicy decides when an acknowledged mutation is fsynced.
+type SyncPolicy = wal.SyncPolicy
+
+// Fsync policies, re-exported for flag parsing and configuration.
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncInterval = wal.SyncInterval
+	SyncNever    = wal.SyncNever
+)
+
+// ParseSyncPolicy maps the CLI spellings ("always", "interval", "never") onto
+// policies.
+var ParseSyncPolicy = wal.ParseSyncPolicy
+
+// ErrNotDurable is returned by the durable mutation API on a DB that was not
+// opened with OpenDurable.
+var ErrNotDurable = errors.New("repro: DB has no write-ahead log (open it with OpenDurable)")
+
+// DuplicateIDError rejects an InsertDurable whose ID is already present.
+type DuplicateIDError struct{ ID int }
+
+func (e *DuplicateIDError) Error() string {
+	return fmt.Sprintf("repro: insert: id %d already present", e.ID)
+}
+
+// NotFoundError rejects a DeleteDurable of an absent item (unknown ID, or a
+// position that does not match the stored record).
+type NotFoundError struct{ ID int }
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("repro: delete: id %d not present at that position", e.ID)
+}
+
+// OpenDurable opens (or creates) a durable DB: the WAL directory named by
+// opts.Durability is recovered — newest valid snapshot, or the given base
+// item set when none exists, plus the replayed log tail — and the resulting
+// item set is bulk-loaded. Mutations go through InsertDurable/DeleteDurable,
+// which commit to the WAL before touching the index; Checkpoint persists a
+// snapshot and compacts the log; Close flushes and releases it.
+//
+// The base set defines the dataset lineage: recovery refuses (with a
+// corruption error) a log whose records do not replay cleanly over it.
+func OpenDurable(dims int, base []Item, opts DBOptions) (*DB, WALRecovery, error) {
+	if opts.Durability == nil {
+		return nil, WALRecovery{}, errors.New("repro: OpenDurable requires DBOptions.Durability")
+	}
+	l, rec, err := wal.Open(*opts.Durability)
+	if err != nil {
+		return nil, rec, err
+	}
+	start := base
+	if rec.HaveSnapshot {
+		start = rec.Items
+	}
+	items, err := wal.ApplyTail(start, rec.Tail)
+	if err != nil {
+		if cerr := l.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, rec, err
+	}
+	db := NewDBWithOptions(dims, items, opts)
+	db.wal = l
+	db.recovery = rec
+	db.items = make(map[int]Item, len(items))
+	for _, it := range items {
+		db.items[it.ID] = it
+	}
+	return db, rec, nil
+}
+
+// InsertDurable commits an insert to the WAL and then applies it to the index,
+// returning the record's log sequence number. A nil error under the "always"
+// fsync policy means the mutation is durable. Duplicate IDs are rejected
+// before anything is logged.
+func (db *DB) InsertDurable(it Item) (uint64, error) {
+	if db.wal == nil {
+		return 0, ErrNotDurable
+	}
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	if _, dup := db.items[it.ID]; dup {
+		return 0, &DuplicateIDError{ID: it.ID}
+	}
+	seq, err := db.wal.Append(wal.OpInsert, it)
+	if err != nil {
+		return 0, err
+	}
+	db.engine.DB.Insert(it)
+	db.engine.InvalidateCaches()
+	db.items[it.ID] = it
+	return seq, nil
+}
+
+// DeleteDurable commits a delete to the WAL and then applies it to the index,
+// returning the record's log sequence number. The item must be present with
+// that exact ID and position; an absent item is rejected before anything is
+// logged.
+func (db *DB) DeleteDurable(it Item) (uint64, error) {
+	if db.wal == nil {
+		return 0, ErrNotDurable
+	}
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	stored, ok := db.items[it.ID]
+	if !ok || !stored.Point.Equal(it.Point) {
+		return 0, &NotFoundError{ID: it.ID}
+	}
+	seq, err := db.wal.Append(wal.OpDelete, it)
+	if err != nil {
+		return 0, err
+	}
+	db.engine.DB.Delete(it)
+	db.engine.InvalidateCaches()
+	delete(db.items, it.ID)
+	return seq, nil
+}
+
+// Checkpoint persists a snapshot of the current item set and compacts the
+// log: recovery after this point starts from the snapshot instead of
+// replaying history, and superseded segments are deleted.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return ErrNotDurable
+	}
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	return db.wal.Checkpoint(db.durableItemsLocked(), db.wal.LastSeq())
+}
+
+// Close flushes and closes the WAL. The DB remains queryable (the index is
+// untouched) but every further durable mutation fails. A no-op without a WAL.
+func (db *DB) Close() error {
+	if db.wal == nil {
+		return nil
+	}
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	return db.wal.Close()
+}
+
+// WALRecovery returns what OpenDurable reconstructed (zero value on an
+// in-memory DB).
+func (db *DB) WALRecovery() WALRecovery { return db.recovery }
+
+// WALStats returns current log statistics (zero value on an in-memory DB).
+func (db *DB) WALStats() WALStats {
+	if db.wal == nil {
+		return WALStats{}
+	}
+	return db.wal.Stats()
+}
+
+// DurableItems returns the current item set of a durable DB, sorted by ID —
+// the exact set a Checkpoint would persist. Nil on an in-memory DB.
+func (db *DB) DurableItems() []Item {
+	if db.wal == nil {
+		return nil
+	}
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	return db.durableItemsLocked()
+}
+
+func (db *DB) durableItemsLocked() []Item {
+	out := make([]Item, 0, len(db.items))
+	for _, it := range db.items {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

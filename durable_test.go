@@ -1,0 +1,119 @@
+package repro
+
+import (
+	"errors"
+	"testing"
+)
+
+func durableOpts(dir string) DBOptions {
+	return DBOptions{Durability: &DurabilityOptions{Dir: dir, Policy: SyncNever}}
+}
+
+func TestOpenDurableSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	base := []Item{
+		{ID: 0, Point: NewPoint(1, 1)},
+		{ID: 1, Point: NewPoint(2, 2)},
+	}
+	db, rec, err := OpenDurable(2, base, durableOpts(dir))
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	if rec.LastSeq != 0 || db.Len() != 2 {
+		t.Fatalf("fresh open: LastSeq=%d Len=%d, want 0/2", rec.LastSeq, db.Len())
+	}
+	if _, err := db.InsertDurable(Item{ID: 2, Point: NewPoint(3, 3)}); err != nil {
+		t.Fatalf("InsertDurable: %v", err)
+	}
+	if _, err := db.DeleteDurable(base[0]); err != nil {
+		t.Fatalf("DeleteDurable: %v", err)
+	}
+	if _, err := db.InsertDurable(Item{ID: 1, Point: NewPoint(9, 9)}); err == nil {
+		t.Fatal("duplicate InsertDurable accepted")
+	} else if dup := new(DuplicateIDError); !errors.As(err, &dup) {
+		t.Fatalf("duplicate insert error = %T, want *DuplicateIDError", err)
+	}
+	if _, err := db.DeleteDurable(Item{ID: 7, Point: NewPoint(0, 0)}); err == nil {
+		t.Fatal("absent DeleteDurable accepted")
+	}
+	q := db.ReverseSkylineBBRS(NewPoint(2.5, 2.5))
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	db2, rec2, err := OpenDurable(2, base, durableOpts(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if rec2.LastSeq != 2 {
+		t.Fatalf("recovered LastSeq = %d, want 2", rec2.LastSeq)
+	}
+	items := db2.DurableItems()
+	if len(items) != 2 || items[0].ID != 1 || items[1].ID != 2 {
+		t.Fatalf("recovered items = %v, want IDs 1 and 2", items)
+	}
+	q2 := db2.ReverseSkylineBBRS(NewPoint(2.5, 2.5))
+	if len(q) != len(q2) {
+		t.Fatalf("query answer changed across restart: %v vs %v", q, q2)
+	}
+	for i := range q {
+		if q[i].ID != q2[i].ID || !q[i].Point.Equal(q2[i].Point) {
+			t.Fatalf("query answer changed across restart: %v vs %v", q, q2)
+		}
+	}
+}
+
+func TestCheckpointShortensRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, _, err := OpenDurable(2, nil, durableOpts(dir))
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := db.InsertDurable(Item{ID: i, Point: NewPoint(float64(i), float64(i))}); err != nil {
+			t.Fatalf("InsertDurable: %v", err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	db2, rec, err := OpenDurable(2, nil, durableOpts(dir))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if !rec.HaveSnapshot || rec.SnapshotSeq != 10 || len(rec.Tail) != 0 {
+		t.Fatalf("recovery = %+v, want snapshot at 10 with empty tail", rec)
+	}
+	if db2.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", db2.Len())
+	}
+}
+
+func TestDurableGuards(t *testing.T) {
+	mem := NewDB(2, []Item{{ID: 1, Point: NewPoint(1, 1)}})
+	if _, err := mem.InsertDurable(Item{ID: 2, Point: NewPoint(2, 2)}); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("InsertDurable on in-memory DB = %v, want ErrNotDurable", err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatalf("Close on in-memory DB = %v, want nil", err)
+	}
+
+	db, _, err := OpenDurable(2, nil, durableOpts(t.TempDir()))
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	defer db.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("plain Insert on durable DB did not panic")
+			}
+		}()
+		db.Insert(Item{ID: 1, Point: NewPoint(1, 1)})
+	}()
+}

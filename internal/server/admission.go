@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -86,6 +87,9 @@ type Admission struct {
 	// ewmaNanos is the exponential moving average of observed token-holding
 	// times (α = 1/8, integer arithmetic).
 	ewmaNanos atomic.Int64
+	// jitter samples [0, 1) for Retry-After spreading; swapped for a
+	// deterministic source in tests.
+	jitter func() float64
 
 	m *Metrics
 }
@@ -93,7 +97,7 @@ type Admission struct {
 // NewAdmission builds an admission controller. m may be nil (no metrics).
 func NewAdmission(cfg AdmissionConfig, m *Metrics) *Admission {
 	cfg = cfg.withDefaults()
-	a := &Admission{cfg: cfg, tokens: make(chan struct{}, cfg.MaxConcurrent), m: m}
+	a := &Admission{cfg: cfg, tokens: make(chan struct{}, cfg.MaxConcurrent), m: m, jitter: rand.Float64}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		a.tokens <- struct{}{}
 	}
@@ -188,9 +192,15 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
 }
 
 func (a *Admission) shed(reason string, retryAfter time.Duration) *ErrShed {
+	// Round the wait estimate up to the 1-second floor first — a truncated
+	// sub-second estimate must never surface as "Retry-After: 0", which tells
+	// the client to hammer immediately — then spread it with up to +50%
+	// jitter: a shed burst answered with identical Retry-After values comes
+	// back as a synchronized retry storm exactly one period later.
 	if retryAfter < time.Second {
 		retryAfter = time.Second
 	}
+	retryAfter += time.Duration(a.jitter() * float64(retryAfter) / 2)
 	if a.m != nil {
 		a.m.Sheds.With(reason).Inc()
 	}

@@ -152,6 +152,50 @@ func TestAdmissionCanceledWhileQueued(t *testing.T) {
 	}
 }
 
+// TestShedRetryAfterRoundingAndJitter: a sub-second wait estimate must never
+// surface as Retry-After 0, and the jitter must spread a shed burst across
+// the [base, 1.5×base] window instead of answering every client identically.
+func TestShedRetryAfterRoundingAndJitter(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1}, nil)
+
+	a.jitter = func() float64 { return 0 }
+	shed := a.shed(ShedQueueFull, 10*time.Millisecond)
+	if shed.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter with zero jitter = %v, want exactly 1s (floor)", shed.RetryAfter)
+	}
+	if shed.RetryAfterSeconds() != 1 {
+		t.Fatalf("RetryAfterSeconds = %d, want 1", shed.RetryAfterSeconds())
+	}
+
+	a.jitter = func() float64 { return 0.999 }
+	shed = a.shed(ShedQueueFull, 4*time.Second)
+	if shed.RetryAfter < 4*time.Second || shed.RetryAfter >= 6*time.Second {
+		t.Fatalf("RetryAfter with max jitter = %v, want in [4s, 6s)", shed.RetryAfter)
+	}
+	if got := shed.RetryAfterSeconds(); got < 4 || got > 6 {
+		t.Fatalf("RetryAfterSeconds = %d, want in [4, 6]", got)
+	}
+
+	// Distinct jitter samples must yield distinct hints — that is the whole
+	// point of the spread.
+	a.jitter = func() float64 { return 0.2 }
+	lo := a.shed(ShedQueueFull, 10*time.Second).RetryAfter
+	a.jitter = func() float64 { return 0.8 }
+	hi := a.shed(ShedQueueFull, 10*time.Second).RetryAfter
+	if lo >= hi {
+		t.Fatalf("jitter not spreading: %v vs %v", lo, hi)
+	}
+
+	// The production source must stay within the documented window too.
+	a = NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1}, nil)
+	for i := 0; i < 100; i++ {
+		got := a.shed(ShedQueueFull, 2*time.Second).RetryAfter
+		if got < 2*time.Second || got >= 3*time.Second {
+			t.Fatalf("RetryAfter = %v, want in [2s, 3s)", got)
+		}
+	}
+}
+
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)

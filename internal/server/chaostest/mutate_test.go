@@ -1,0 +1,278 @@
+package chaostest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Disjoint ID ranges let every response betray which dataset generation it
+// was answered from: the boot dataset, a reloaded one, or a mutation insert.
+const (
+	mutGenSize   = 80
+	mutGenBase   = 10_000 // generation g occupies [g*mutGenBase+1, g*mutGenBase+mutGenSize]
+	mutInsertID  = 900_000
+	mutGenCount  = 3
+	mutRaceFor   = 600 * time.Millisecond
+	mutMutators  = 4
+	mutReloaders = 2
+	mutReaders   = 2
+)
+
+// writeGenCSV writes one generation's dataset: IDs in its private range,
+// deterministic points.
+func writeGenCSV(t *testing.T, dir string, gen int) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(gen) * 1299721))
+	var sb strings.Builder
+	for i := 1; i <= mutGenSize; i++ {
+		fmt.Fprintf(&sb, "%d,%g,%g\n", gen*mutGenBase+i, rng.Float64()*1000, rng.Float64()*1000)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("gen%d.csv", gen))
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// genOf classifies an item ID into its dataset generation; mutation inserts
+// report -1 (they legitimately mix with any generation).
+func genOf(id int) int {
+	if id >= mutInsertID {
+		return -1
+	}
+	return id / mutGenBase
+}
+
+type mutAck struct {
+	op      string // "insert" | "delete"
+	id      int
+	snapSeq uint64
+}
+
+// TestMutationsRacingReload hammers insert/delete mutations, dataset
+// hot-swaps, and reverse-skyline reads concurrently, then checks the swap
+// contract:
+//
+//   - every response is answered from exactly one snapshot: a reverse
+//     skyline never mixes items of two dataset generations (a generation
+//     cache serving pre-swap entries would),
+//   - snapshot sequence numbers observed by each mutator strictly increase,
+//     and no two acknowledged publishes share a sequence number,
+//   - no acknowledged mutation is lost: every mutation acked after the final
+//     reload's publish is reflected in the final snapshot (earlier acks are
+//     superseded by the swap, by design).
+func TestMutationsRacingReload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation race soak is ~1s; skipped in -short")
+	}
+	dir := t.TempDir()
+	var genPaths []string
+	for g := 1; g <= mutGenCount; g++ {
+		genPaths = append(genPaths, writeGenCSV(t, dir, g))
+	}
+
+	srv, err := server.New(context.Background(), server.Config{
+		Dataset:        server.DatasetSpec{Path: genPaths[0]},
+		RungTimeout:    2 * time.Second,
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	handler := srv.Handler()
+	post := func(path, body string) (int, map[string]any) {
+		req := httptest.NewRequest("POST", path, strings.NewReader(body))
+		w := httptest.NewRecorder()
+		handler.ServeHTTP(w, req)
+		var out map[string]any
+		if b := w.Body.Bytes(); len(b) > 0 && strings.Contains(w.Header().Get("Content-Type"), "json") {
+			_ = json.Unmarshal(b, &out)
+		}
+		return w.Code, out
+	}
+
+	var (
+		mu         sync.Mutex
+		acks       [][]mutAck // per mutator, in ack order
+		reloadSeqs []uint64
+		failures   []string
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	acks = make([][]mutAck, mutMutators)
+
+	ctx, stop := context.WithTimeout(context.Background(), mutRaceFor)
+	defer stop()
+	var wg sync.WaitGroup
+
+	// Mutators: insert unique IDs, occasionally delete one of their own.
+	for m := 0; m < mutMutators; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(m) + 17))
+			var mine []int // inserted and not yet deleted by this mutator
+			next := mutInsertID + m*100_000
+			for ctx.Err() == nil {
+				if len(mine) > 0 && rng.Float64() < 0.3 {
+					id := mine[len(mine)-1]
+					code, body := post("/v1/admin/delete", fmt.Sprintf(`{"id":%d}`, id))
+					switch code {
+					case 200:
+						mine = mine[:len(mine)-1]
+						mu.Lock()
+						acks[m] = append(acks[m], mutAck{op: "delete", id: id, snapSeq: uint64(body["snapshot_seq"].(float64))})
+						mu.Unlock()
+					case 404:
+						// A reload swapped the item away between our insert
+						// and this delete — superseded, not lost.
+						mine = mine[:len(mine)-1]
+					default:
+						fail("delete %d: unexpected status %d: %v", id, code, body)
+					}
+					continue
+				}
+				id := next
+				next++
+				code, body := post("/v1/admin/insert",
+					fmt.Sprintf(`{"id":%d,"point":[%g,%g]}`, id, rng.Float64()*1000, rng.Float64()*1000))
+				if code != 200 {
+					fail("insert %d: unexpected status %d: %v", id, code, body)
+					continue
+				}
+				mine = append(mine, id)
+				mu.Lock()
+				acks[m] = append(acks[m], mutAck{op: "insert", id: id, snapSeq: uint64(body["snapshot_seq"].(float64))})
+				mu.Unlock()
+			}
+		}(m)
+	}
+
+	// Reloaders: hot-swap between generations.
+	for r := 0; r < mutReloaders; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; ctx.Err() == nil; i++ {
+				path := genPaths[i%len(genPaths)]
+				code, body := post("/v1/admin/reload", fmt.Sprintf(`{"path":%q}`, path))
+				switch code {
+				case 200:
+					mu.Lock()
+					reloadSeqs = append(reloadSeqs, uint64(body["snapshot_seq"].(float64)))
+					mu.Unlock()
+				case 409: // a build was already running
+				default:
+					fail("reload: unexpected status %d: %v", code, body)
+				}
+				select {
+				case <-ctx.Done():
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+		}(r)
+	}
+
+	// Readers: every reverse skyline must come from a single generation.
+	for q := 0; q < mutReaders; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(q) + 4242))
+			for ctx.Err() == nil {
+				code, body := post("/v1/rskyline",
+					fmt.Sprintf(`{"q":[%g,%g]}`, rng.Float64()*1000, rng.Float64()*1000))
+				if code != 200 {
+					continue // shed under pressure is fine; purity is the invariant
+				}
+				gens := map[int]bool{}
+				for _, raw := range body["customer_ids"].([]any) {
+					if g := genOf(int(raw.(float64))); g >= 0 {
+						gens[g] = true
+					}
+				}
+				if len(gens) > 1 {
+					fail("rskyline mixed generations %v at snapshot_seq %v", gens, body["snapshot_seq"])
+				}
+			}
+		}(q)
+	}
+
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if len(reloadSeqs) == 0 {
+		t.Fatal("no reload succeeded; the race tested nothing")
+	}
+
+	// Publish-order checks: per-mutator acks strictly increase, and no two
+	// acked publishes (mutation or reload) share a sequence number.
+	seen := map[uint64]string{}
+	for seq := range reloadSeqs {
+		seen[reloadSeqs[seq]] = "reload"
+	}
+	var lastReload uint64
+	for _, seq := range reloadSeqs {
+		if seq > lastReload {
+			lastReload = seq
+		}
+	}
+	total := 0
+	for m, list := range acks {
+		total += len(list)
+		var prev uint64
+		for _, a := range list {
+			if a.snapSeq <= prev {
+				t.Errorf("mutator %d: snapshot seq went %d -> %d (not monotone)", m, prev, a.snapSeq)
+			}
+			prev = a.snapSeq
+			if who, dup := seen[a.snapSeq]; dup {
+				t.Errorf("snapshot seq %d published twice (%s and %s %d)", a.snapSeq, who, a.op, a.id)
+			}
+			seen[a.snapSeq] = a.op
+		}
+	}
+	if total == 0 {
+		t.Fatal("no mutation was acknowledged; the race tested nothing")
+	}
+
+	// Lost-update check: replay each mutator's post-final-reload acks and
+	// compare against the final snapshot.
+	final := map[int]bool{}
+	for _, it := range srv.Snapshot().Items {
+		final[it.ID] = true
+	}
+	for m, list := range acks {
+		expect := map[int]bool{} // id -> should be present
+		for _, a := range list {
+			if a.snapSeq <= lastReload {
+				continue
+			}
+			expect[a.id] = a.op == "insert"
+		}
+		for id, want := range expect {
+			if final[id] != want {
+				t.Errorf("mutator %d: id %d acked after the last reload (want present=%v) but final snapshot disagrees", m, id, want)
+			}
+		}
+	}
+	t.Logf("race: %d mutation acks, %d reloads, final snapshot %d items",
+		total, len(reloadSeqs), len(srv.Snapshot().Items))
+}

@@ -33,6 +33,8 @@ type Metrics struct {
 	Panics *obs.Counter
 	// Reloads counts completed dataset hot-swaps.
 	Reloads *obs.Counter
+	// Mutations counts acknowledged insert/delete mutations published.
+	Mutations *obs.Counter
 	// SnapshotSeq gauges the sequence number of the serving snapshot.
 	SnapshotSeq *obs.Gauge
 	// Draining gauges drain state (0 serving, 1 draining).
@@ -65,6 +67,8 @@ func NewMetrics(reg *obs.Registry, adm func() *Admission) *Metrics {
 			"Handler panics caught by the isolation middleware."),
 		Reloads: reg.Counter("server_reloads_total",
 			"Completed zero-downtime dataset hot-swaps."),
+		Mutations: reg.Counter("server_mutations_total",
+			"Acknowledged insert/delete mutations published as snapshots."),
 		SnapshotSeq: reg.Gauge("server_snapshot_seq",
 			"Sequence number of the snapshot currently serving."),
 		Draining: reg.Gauge("server_draining",

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// Mutation endpoints: POST /v1/admin/insert and /v1/admin/delete.
+//
+// A mutation is acknowledged only after its WAL append returns (in durable
+// mode; memory-only otherwise), and is visible only through a freshly built
+// immutable snapshot published with the same atomic swap reload uses. The
+// serving snapshot is never mutated in place — in-flight queries keep the
+// consistent dataset they loaded, and the generation stamps retire the old
+// snapshot's caches at swap time. The rebuild makes mutations an admin-rate
+// operation (bulk-load cost per call), which is the price of keeping every
+// query lock-free.
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.With("insert").Inc()
+	req, err := DecodeInsertRequest(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	snap := s.snap.Load() // under mutMu: no publish can race this read
+	if snap == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no dataset loaded")
+		return
+	}
+	if dims := snap.DB.Dims(); len(req.Point) != dims {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("point has %d dims, dataset has %d", len(req.Point), dims))
+		return
+	}
+	if _, dup := snap.byID[req.ID]; dup {
+		s.writeError(w, http.StatusConflict, fmt.Sprintf("id %d already present", req.ID))
+		return
+	}
+	it := repro.Item{ID: req.ID, Point: repro.NewPoint(req.Point...)}
+
+	seq, ok := s.commitMutation(w, wal.OpInsert, it)
+	if !ok {
+		return
+	}
+	items := make([]repro.Item, 0, len(snap.Items)+1)
+	items = append(items, snap.Items...)
+	items = append(items, it)
+	s.publishMutated(w, snap, items, seq, len(items))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.With("delete").Inc()
+	req, err := DecodeDeleteRequest(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	snap := s.snap.Load()
+	if snap == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no dataset loaded")
+		return
+	}
+	stored, ok := snap.byID[req.ID]
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("id %d not found", req.ID))
+		return
+	}
+	// An explicit point must match the stored record: deleting "id 7 at p"
+	// when id 7 sits elsewhere is a stale-client error, not a delete.
+	if len(req.Point) > 0 && !stored.Point.Equal(repro.NewPoint(req.Point...)) {
+		s.writeError(w, http.StatusConflict,
+			fmt.Sprintf("id %d is not at the given position", req.ID))
+		return
+	}
+
+	seq, ok := s.commitMutation(w, wal.OpDelete, stored)
+	if !ok {
+		return
+	}
+	items := make([]repro.Item, 0, len(snap.Items)-1)
+	for _, it := range snap.Items {
+		if it.ID != req.ID {
+			items = append(items, it)
+		}
+	}
+	if len(items) == 0 {
+		// The WAL record is already durable and replays fine; only serving an
+		// empty dataset is refused (every endpoint would 503 anyway). The
+		// item set shrinks to zero only by deleting the whole catalogue —
+		// operator territory, not a request path.
+		s.writeError(w, http.StatusConflict, "refusing to delete the last item")
+		return
+	}
+	s.publishMutated(w, snap, items, seq, len(items))
+}
+
+// commitMutation appends the record to the WAL — the acknowledgement point.
+// Memory-only servers (no Durability) skip the append and report seq 0. On an
+// append failure the mutation is not acknowledged and the handler answers 500
+// (the log is poisoned fail-stop; subsequent mutations fail too, queries keep
+// serving).
+func (s *Server) commitMutation(w http.ResponseWriter, op wal.Op, it repro.Item) (uint64, bool) {
+	if s.wal == nil {
+		return 0, true
+	}
+	if s.walClosed {
+		s.writeError(w, http.StatusServiceUnavailable, "write-ahead log is closed")
+		return 0, false
+	}
+	seq, err := s.wal.Append(op, it)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("wal append: %v", err))
+		return 0, false
+	}
+	return seq, true
+}
+
+// publishMutated builds the post-mutation snapshot and publishes it. Called
+// with mutMu held, after the WAL append. The approximate store is never
+// carried over or rebuilt here: it was sampled from the pre-mutation item
+// set, and serving it would answer for items that no longer exist (reload
+// with build_store to regain the approx rung after a mutation burst).
+func (s *Server) publishMutated(w http.ResponseWriter, old *Snapshot, items []repro.Item, walSeq uint64, count int) {
+	began := obs.Now()
+	snap, err := snapshotFromItems(context.Background(), items, old.Name, false, 0, s.dbOptions())
+	if err != nil {
+		// Unreachable in practice (no store build, items pre-validated), but
+		// if it happens the WAL record is durable while the serving state is
+		// not: recovery on restart will apply it. Be honest about that.
+		s.writeError(w, http.StatusInternalServerError,
+			fmt.Sprintf("mutation logged (wal seq %d) but snapshot rebuild failed: %v", walSeq, err))
+		return
+	}
+	s.publishLocked(snap)
+	s.metrics.Mutations.Inc()
+	body := map[string]any{
+		"snapshot_seq": snap.Seq,
+		"items":        count,
+		"build_ms":     float64(obs.Since(began)) / 1e6,
+	}
+	if s.wal != nil {
+		body["wal_seq"] = walSeq
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}

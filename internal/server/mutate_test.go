@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// TestMutationEndpoints drives insert/delete happy paths and rejections on a
+// memory-only server (no WAL): mutations still publish new snapshots, they
+// are just not durable.
+func TestMutationEndpoints(t *testing.T) {
+	s := newTestServer(t, nil)
+	seq0 := s.Snapshot().Seq
+
+	t.Run("insert", func(t *testing.T) {
+		w, body := do(t, s, "POST", "/v1/admin/insert", `{"id":900001,"point":[480,520]}`)
+		if w.Code != 200 {
+			t.Fatalf("insert = %d %v", w.Code, body)
+		}
+		if int(body["items"].(float64)) != testDatasetN+1 {
+			t.Fatalf("items = %v, want %d", body["items"], testDatasetN+1)
+		}
+		snap := s.Snapshot()
+		if snap.Seq <= seq0 {
+			t.Fatalf("snapshot seq %d not advanced past %d", snap.Seq, seq0)
+		}
+		if _, ok := snap.Customer(900001); !ok {
+			t.Fatal("inserted item not in the serving snapshot")
+		}
+	})
+	t.Run("insert duplicate", func(t *testing.T) {
+		w, _ := do(t, s, "POST", "/v1/admin/insert", `{"id":900001,"point":[1,2]}`)
+		if w.Code != 409 {
+			t.Fatalf("duplicate insert = %d, want 409", w.Code)
+		}
+	})
+	t.Run("insert wrong dims", func(t *testing.T) {
+		w, _ := do(t, s, "POST", "/v1/admin/insert", `{"id":900002,"point":[1,2,3]}`)
+		if w.Code != 400 {
+			t.Fatalf("wrong-dims insert = %d, want 400", w.Code)
+		}
+	})
+	t.Run("delete", func(t *testing.T) {
+		w, body := do(t, s, "POST", "/v1/admin/delete", `{"id":900001}`)
+		if w.Code != 200 {
+			t.Fatalf("delete = %d %v", w.Code, body)
+		}
+		if _, ok := s.Snapshot().Customer(900001); ok {
+			t.Fatal("deleted item still in the serving snapshot")
+		}
+	})
+	t.Run("delete absent", func(t *testing.T) {
+		w, _ := do(t, s, "POST", "/v1/admin/delete", `{"id":900001}`)
+		if w.Code != 404 {
+			t.Fatalf("absent delete = %d, want 404", w.Code)
+		}
+	})
+	t.Run("delete wrong position", func(t *testing.T) {
+		it := s.Snapshot().Items[0]
+		w, _ := do(t, s, "POST", "/v1/admin/delete",
+			fmt.Sprintf(`{"id":%d,"point":[%g,%g]}`, it.ID, it.Point[0]+1, it.Point[1]))
+		if w.Code != 409 {
+			t.Fatalf("wrong-position delete = %d, want 409", w.Code)
+		}
+	})
+	t.Run("queries still answer", func(t *testing.T) {
+		w, body := do(t, s, "POST", "/v1/rskyline", `{"q":[480,520]}`)
+		if w.Code != 200 {
+			t.Fatalf("rskyline after mutations = %d %v", w.Code, body)
+		}
+	})
+}
+
+// TestDurableMutationsSurviveRestart is the server-level recovery test: boot
+// a durable server, mutate, shut down, boot a second server over the same WAL
+// directory and base dataset, and assert the mutations are serving again.
+func TestDurableMutationsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	durable := func(cfg *Config) {
+		cfg.Durability = &wal.Options{Dir: dir, Policy: wal.SyncAlways}
+	}
+
+	s := newTestServer(t, durable)
+	if w, body := do(t, s, "POST", "/v1/admin/insert", `{"id":900100,"point":[11,12]}`); w.Code != 200 {
+		t.Fatalf("insert = %d %v", w.Code, body)
+	} else if body["wal_seq"].(float64) != 1 {
+		t.Fatalf("wal_seq = %v, want 1", body["wal_seq"])
+	}
+	victim := s.Snapshot().Items[0]
+	if w, body := do(t, s, "POST", "/v1/admin/delete", fmt.Sprintf(`{"id":%d}`, victim.ID)); w.Code != 200 {
+		t.Fatalf("delete = %d %v", w.Code, body)
+	}
+	// Shutdown (no listener attached) flushes and checkpoints the WAL.
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelCtx()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	s2 := newTestServer(t, durable)
+	defer func() {
+		ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelCtx()
+		_ = s2.Shutdown(ctx)
+	}()
+	snap := s2.Snapshot()
+	if _, ok := snap.Customer(900100); !ok {
+		t.Fatal("insert lost across restart")
+	}
+	if _, ok := snap.Customer(victim.ID); ok {
+		t.Fatal("delete lost across restart")
+	}
+	if len(snap.Items) != testDatasetN {
+		t.Fatalf("recovered %d items, want %d", len(snap.Items), testDatasetN)
+	}
+	// The clean shutdown checkpointed: recovery replayed an empty tail.
+	if got := len(s2.walRec.Tail); got != 0 {
+		t.Fatalf("recovery replayed %d records, want 0 after a checkpointing shutdown", got)
+	}
+	if !s2.walRec.HaveSnapshot {
+		t.Fatal("recovery found no snapshot after a checkpointing shutdown")
+	}
+	// Mutations after recovery continue the sequence.
+	if w, body := do(t, s2, "POST", "/v1/admin/insert", `{"id":900101,"point":[13,14]}`); w.Code != 200 {
+		t.Fatalf("post-recovery insert = %d %v", w.Code, body)
+	} else if body["wal_seq"].(float64) != 3 {
+		t.Fatalf("post-recovery wal_seq = %v, want 3", body["wal_seq"])
+	}
+}
+
+// TestReloadStartsNewDurabilityEpoch: a reload checkpoints the new dataset,
+// so a restart recovers the reloaded dataset — not the boot dataset plus the
+// pre-reload mutations.
+func TestReloadStartsNewDurabilityEpoch(t *testing.T) {
+	dir := t.TempDir()
+	durable := func(cfg *Config) {
+		cfg.Durability = &wal.Options{Dir: dir, Policy: wal.SyncAlways}
+	}
+
+	s := newTestServer(t, durable)
+	if w, body := do(t, s, "POST", "/v1/admin/insert", `{"id":900200,"point":[1,2]}`); w.Code != 200 {
+		t.Fatalf("insert = %d %v", w.Code, body)
+	}
+	w, body := do(t, s, "POST", "/v1/admin/reload",
+		`{"generate":{"kind":"UN","n":50,"dims":2,"seed":11}}`)
+	if w.Code != 200 {
+		t.Fatalf("reload = %d %v", w.Code, body)
+	}
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelCtx()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	s2 := newTestServer(t, durable)
+	defer func() {
+		ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelCtx()
+		_ = s2.Shutdown(ctx)
+	}()
+	snap := s2.Snapshot()
+	if len(snap.Items) != 50 {
+		t.Fatalf("recovered %d items, want the reloaded 50", len(snap.Items))
+	}
+	if _, ok := snap.Customer(900200); ok {
+		t.Fatal("pre-reload mutation resurrected after restart — reload must supersede it")
+	}
+}
+
+// TestMutationsRefusedWhileDraining: the mutation path checks drain state
+// before touching the WAL.
+func TestMutationsRefusedWhileDraining(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.BeginDrain()
+	if w, _ := do(t, s, "POST", "/v1/admin/insert", `{"id":1,"point":[1,2]}`); w.Code != 503 {
+		t.Fatalf("insert while draining = %d, want 503", w.Code)
+	}
+	if w, _ := do(t, s, "POST", "/v1/admin/delete", `{"id":1}`); w.Code != 503 {
+		t.Fatalf("delete while draining = %d, want 503", w.Code)
+	}
+}

@@ -85,6 +85,22 @@ type ReloadRequest struct {
 	K int `json:"k,omitempty"`
 }
 
+// InsertRequest is the body of POST /v1/admin/insert: durably add one item.
+type InsertRequest struct {
+	// ID is the new item's dataset ID; must not collide with a present item.
+	ID int `json:"id"`
+	// Point is the item's position, one coordinate per dimension.
+	Point []float64 `json:"point"`
+}
+
+// DeleteRequest is the body of POST /v1/admin/delete: durably remove one item
+// by ID. Point, when given, must match the stored position (stale-client
+// protection); when omitted the ID alone decides.
+type DeleteRequest struct {
+	ID    int       `json:"id"`
+	Point []float64 `json:"point,omitempty"`
+}
+
 // decodeStrict parses exactly one JSON value from r, rejecting unknown fields
 // and trailing garbage. It is the shared front door of every POST endpoint
 // (and the fuzz target's entry point).
@@ -156,6 +172,38 @@ func DecodeRSkylineRequest(r io.Reader) (RSkylineRequest, error) {
 	}
 	if err := validateTimeout(req.TimeoutMS); err != nil {
 		return RSkylineRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeInsertRequest parses and validates a /v1/admin/insert body.
+func DecodeInsertRequest(r io.Reader) (InsertRequest, error) {
+	var req InsertRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return InsertRequest{}, err
+	}
+	if req.ID < 0 {
+		return InsertRequest{}, badRequestf("id must be non-negative")
+	}
+	if err := validatePoint(req.Point); err != nil {
+		return InsertRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodeDeleteRequest parses and validates a /v1/admin/delete body.
+func DecodeDeleteRequest(r io.Reader) (DeleteRequest, error) {
+	var req DeleteRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return DeleteRequest{}, err
+	}
+	if req.ID < 0 {
+		return DeleteRequest{}, badRequestf("id must be non-negative")
+	}
+	if len(req.Point) > 0 {
+		if err := validatePoint(req.Point); err != nil {
+			return DeleteRequest{}, err
+		}
 	}
 	return req, nil
 }

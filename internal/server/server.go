@@ -32,6 +32,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // Config assembles a Server. Zero fields get the documented defaults.
@@ -68,6 +70,12 @@ type Config struct {
 	Hook cancel.Hook
 	// Registry receives every metric; a fresh one is built when nil.
 	Registry *obs.Registry
+	// Durability, when non-nil, opens a write-ahead log: boot recovers the
+	// log over the Dataset base, /v1/admin/insert|delete commit to it before
+	// publishing, reload checkpoints it (a reload supersedes prior
+	// mutations), and Shutdown flushes it. Without it mutations are
+	// memory-only and lost on restart.
+	Durability *wal.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +106,14 @@ type Server struct {
 	seq      atomic.Uint64
 	reloadMu chan struct{} // 1-buffered: serialises snapshot builds
 
+	// mutMu orders every snapshot publish (mutations, reload swaps, boot)
+	// and, in durable mode, keeps WAL append order identical to publish
+	// order. wal and walRec are nil/zero without Config.Durability.
+	mutMu     sync.Mutex
+	wal       *wal.Log
+	walRec    wal.Recovery
+	walClosed bool // set under mutMu by closeWAL
+
 	draining atomic.Bool
 
 	baseCtx    context.Context
@@ -120,12 +136,13 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.engMetrics = engine.NewMetrics(cfg.Registry)
 	obs.RegisterCost(cfg.Registry)
 
-	snap, err := buildSnapshot(ctx, cfg.Dataset, s.dbOptions(), s.seq.Add(1))
+	snap, err := s.bootSnapshot(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("server: boot snapshot: %w", err)
 	}
-	s.snap.Store(snap)
-	s.metrics.SnapshotSeq.Set(float64(snap.Seq))
+	s.mutMu.Lock()
+	s.publishLocked(snap)
+	s.mutMu.Unlock()
 
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.handler = s.buildMux()
@@ -139,6 +156,62 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 
 func (s *Server) dbOptions() repro.DBOptions {
 	return repro.DBOptions{Parallelism: s.cfg.Workers, CacheSize: s.cfg.CacheSize}
+}
+
+// bootSnapshot builds the first serving snapshot. In durable mode the WAL is
+// recovered first: the newest valid on-disk snapshot (or the configured base
+// dataset when none exists) plus the replayed log tail defines the item set,
+// so mutations acknowledged before the last shutdown/crash are serving again
+// before the listener opens.
+func (s *Server) bootSnapshot(ctx context.Context) (*Snapshot, error) {
+	if s.cfg.Durability == nil {
+		return buildSnapshot(ctx, s.cfg.Dataset, s.dbOptions())
+	}
+	wopts := *s.cfg.Durability
+	if wopts.Metrics == nil {
+		wopts.Metrics = wal.NewMetrics(s.cfg.Registry)
+	}
+	l, rec, err := wal.Open(wopts)
+	if err != nil {
+		return nil, fmt.Errorf("wal recovery: %w", err)
+	}
+	s.wal = l
+	s.walRec = rec
+	items, name, err := loadItems(s.cfg.Dataset)
+	if err != nil {
+		return nil, errors.Join(err, l.Close())
+	}
+	start := items
+	if rec.HaveSnapshot {
+		start = rec.Items
+	}
+	merged, err := wal.ApplyTail(start, rec.Tail)
+	if err != nil {
+		return nil, errors.Join(err, l.Close())
+	}
+	if len(merged) == 0 {
+		return nil, errors.Join(fmt.Errorf("recovered dataset %s is empty", name), l.Close())
+	}
+	if rec.HaveSnapshot || len(rec.Tail) > 0 {
+		name += " (+wal)"
+	}
+	snap, err := snapshotFromItems(ctx, merged, name, s.cfg.Dataset.BuildStore, s.cfg.Dataset.K, s.dbOptions())
+	if err != nil {
+		return nil, errors.Join(err, l.Close())
+	}
+	return snap, nil
+}
+
+// publishLocked assigns the next swap sequence number and publishes snap
+// atomically. Every publish site holds mutMu, which is what makes the
+// snapshot_seq a request observes monotone even when mutations race reloads.
+func (s *Server) publishLocked(snap *Snapshot) {
+	snap.Seq = s.seq.Add(1)
+	old := s.snap.Swap(snap)
+	if old != nil {
+		old.DB.InvalidateCaches()
+	}
+	s.metrics.SnapshotSeq.Set(float64(snap.Seq))
 }
 
 // Handler returns the fully wired HTTP handler (panic isolation included).
@@ -166,6 +239,8 @@ func (s *Server) buildMux() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/admin/insert", s.handleInsert)
+	mux.HandleFunc("POST /v1/admin/delete", s.handleDelete)
 	mux.HandleFunc("GET /v1/admin/status", s.handleStatus)
 	mux.Handle("GET /metrics", s.cfg.Registry.Handler())
 	mux.Handle("GET /metrics.json", s.cfg.Registry.JSONHandler())
@@ -502,6 +577,25 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			"has_store": snap.Store != nil,
 		}
 	}
+	if s.wal != nil {
+		st := s.wal.Stats()
+		body["wal"] = map[string]any{
+			"dir":            st.Dir,
+			"policy":         st.Policy,
+			"last_seq":       st.LastSeq,
+			"segments":       st.Segments,
+			"active_bytes":   st.ActiveBytes,
+			"appended_bytes": st.AppendedBytes,
+			"recovery": map[string]any{
+				"had_snapshot":      s.walRec.HaveSnapshot,
+				"snapshot_seq":      s.walRec.SnapshotSeq,
+				"replayed_records":  len(s.walRec.Tail),
+				"torn_tail":         s.walRec.TornTail,
+				"corrupt_snapshots": s.walRec.CorruptSnapshots,
+				"duration_ms":       float64(s.walRec.Duration) / 1e6,
+			},
+		}
+	}
 	s.writeJSON(w, http.StatusOK, body)
 }
 
@@ -530,7 +624,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Generate:   req.Generate,
 		BuildStore: req.BuildStore,
 		K:          req.K,
-	}, s.dbOptions(), s.seq.Add(1))
+	}, s.dbOptions())
 	if err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("reload failed: %v", err))
 		return
@@ -539,13 +633,22 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	// The swap itself: one atomic pointer store publishes the new dataset to
 	// every subsequent request. Queries that already hold the old snapshot
 	// finish against it unchanged; its caches are retired via the generation
-	// stamps so nothing stale can ever be served from them again.
-	old := s.snap.Swap(snap)
-	if old != nil {
-		old.DB.InvalidateCaches()
+	// stamps so nothing stale can ever be served from them again. In durable
+	// mode the new dataset is checkpointed into the WAL *before* the swap —
+	// a reload starts a new durability epoch superseding every prior
+	// mutation, and a crash right after the swap must recover the new
+	// dataset, not the old one plus a stale tail.
+	s.mutMu.Lock()
+	if s.wal != nil {
+		if err := s.wal.Checkpoint(snap.Items, s.wal.LastSeq()); err != nil {
+			s.mutMu.Unlock()
+			s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("reload checkpoint failed: %v", err))
+			return
+		}
 	}
+	s.publishLocked(snap)
+	s.mutMu.Unlock()
 	s.metrics.Reloads.Inc()
-	s.metrics.SnapshotSeq.Set(float64(snap.Seq))
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"snapshot_seq": snap.Seq,
 		"name":         snap.Name,
@@ -581,12 +684,15 @@ func (s *Server) BeginDrain() {
 // accepting, in-flight requests get until ctx's deadline to finish, and
 // whatever is still running then is cancelled through the cooperative
 // checkpoints (those requests answer 503) before connections are torn down.
+// In durable mode the WAL is checkpointed and closed after the drain, so a
+// clean shutdown leaves a snapshot-current log and the next boot recovers
+// with an empty tail.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
 	err := s.httpSrv.Shutdown(ctx)
 	if err == nil {
 		s.cancelBase()
-		return nil
+		return s.closeWAL()
 	}
 	// Drain deadline passed with requests still in flight: cancel their
 	// contexts so the checkpoint machinery aborts them promptly, give the
@@ -595,10 +701,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	grace, cancelGrace := context.WithTimeout(context.Background(), time.Second)
 	defer cancelGrace()
 	if err2 := s.httpSrv.Shutdown(grace); err2 == nil {
-		return err
+		return errors.Join(err, s.closeWAL())
 	}
 	_ = s.httpSrv.Close()
-	return err
+	return errors.Join(err, s.closeWAL())
+}
+
+// closeWAL flushes the log on the way down: checkpoint the serving item set
+// (best effort — an append-path failure must not mask the drain result) and
+// close. Idempotent via wal.Close; a no-op without durability.
+func (s *Server) closeWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	if s.walClosed {
+		return nil
+	}
+	s.walClosed = true
+	var errs []error
+	if snap := s.snap.Load(); snap != nil {
+		if err := s.wal.Checkpoint(snap.Items, s.wal.LastSeq()); err != nil {
+			errs = append(errs, fmt.Errorf("server: shutdown checkpoint: %w", err))
+		}
+	}
+	if err := s.wal.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("server: wal close: %w", err))
+	}
+	return errors.Join(errs...)
 }
 
 // traceJSON renders a trace compactly for inclusion in a response body.

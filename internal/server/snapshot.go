@@ -47,11 +47,8 @@ func (s *Snapshot) Customer(id int) (repro.Item, bool) {
 	return it, ok
 }
 
-// buildSnapshot constructs a complete immutable snapshot: load or generate
-// the items, bulk-load the index, and (optionally) precompute the approximate
-// store. All the expensive work happens here, before the swap — the swap
-// itself is one atomic pointer store.
-func buildSnapshot(ctx context.Context, spec DatasetSpec, opts repro.DBOptions, seq uint64) (*Snapshot, error) {
+// loadItems resolves a DatasetSpec to its item list and display name.
+func loadItems(spec DatasetSpec) ([]repro.Item, string, error) {
 	var (
 		items []repro.Item
 		name  string
@@ -60,12 +57,12 @@ func buildSnapshot(ctx context.Context, spec DatasetSpec, opts repro.DBOptions, 
 	case spec.Path != "":
 		f, err := os.Open(spec.Path)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		d, err := dataset.ReadCSV(spec.Path, f)
 		f.Close()
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		items = d.Items
 		name = spec.Path
@@ -74,29 +71,35 @@ func buildSnapshot(ctx context.Context, spec DatasetSpec, opts repro.DBOptions, 
 		var err error
 		items, err = repro.GenerateDataset(g.Kind, g.N, g.Dims, g.Seed)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		name = fmt.Sprintf("%s(n=%d,dims=%d,seed=%d)", g.Kind, g.N, g.Dims, g.Seed)
 	default:
-		return nil, fmt.Errorf("server: dataset spec has neither path nor generator")
+		return nil, "", fmt.Errorf("server: dataset spec has neither path nor generator")
 	}
 	if len(items) == 0 {
-		return nil, fmt.Errorf("server: dataset %s is empty", name)
+		return nil, "", fmt.Errorf("server: dataset %s is empty", name)
 	}
+	return items, name, nil
+}
 
+// snapshotFromItems bulk-loads an item list into a fresh immutable snapshot,
+// optionally precomputing the approximate store (k ≤ 0 skips the store; the
+// mutation path passes k ≤ 0 because a store sampled from the pre-mutation
+// dataset would answer for items that no longer exist). Seq is left zero —
+// the publisher assigns it under the lock that orders swaps.
+func snapshotFromItems(ctx context.Context, items []repro.Item, name string, buildStore bool, k int, opts repro.DBOptions) (*Snapshot, error) {
 	db := repro.NewDBWithOptions(items[0].Point.Dims(), items, opts)
 	snap := &Snapshot{
 		DB:    db,
 		Items: items,
 		Name:  name,
-		Seq:   seq,
 		byID:  make(map[int]repro.Item, len(items)),
 	}
 	for _, it := range items {
 		snap.byID[it.ID] = it
 	}
-	if spec.BuildStore {
-		k := spec.K
+	if buildStore {
 		if k <= 0 {
 			k = 10
 		}
@@ -107,4 +110,16 @@ func buildSnapshot(ctx context.Context, spec DatasetSpec, opts repro.DBOptions, 
 		snap.Store = store
 	}
 	return snap, nil
+}
+
+// buildSnapshot constructs a complete immutable snapshot from a dataset spec:
+// load or generate the items, bulk-load the index, and (optionally)
+// precompute the approximate store. All the expensive work happens here,
+// before the swap — the swap itself is one atomic pointer store.
+func buildSnapshot(ctx context.Context, spec DatasetSpec, opts repro.DBOptions) (*Snapshot, error) {
+	items, name, err := loadItems(spec)
+	if err != nil {
+		return nil, err
+	}
+	return snapshotFromItems(ctx, items, name, spec.BuildStore, spec.K, opts)
 }

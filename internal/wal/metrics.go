@@ -1,0 +1,49 @@
+package wal
+
+import "repro/internal/obs"
+
+// Metrics is the WAL's observability surface. Every field follows the obs
+// nil-safety contract, so a zero Metrics (or a nil Options.Metrics) costs
+// nothing at the call sites.
+type Metrics struct {
+	// Appends counts acknowledged Append calls.
+	Appends *obs.Counter
+	// AppendedBytes counts frame bytes written.
+	AppendedBytes *obs.Counter
+	// Fsyncs counts fsync syscalls on the active segment.
+	Fsyncs *obs.Counter
+	// FsyncDur is the fsync latency distribution in seconds.
+	FsyncDur *obs.Histogram
+	// Rotations counts segment rotations.
+	Rotations *obs.Counter
+	// Snapshots counts completed checkpoints.
+	Snapshots *obs.Counter
+	// CompactedSegments counts segment files deleted by compaction.
+	CompactedSegments *obs.Counter
+	// TornTailTruncations counts torn-tail repairs performed by recovery.
+	TornTailTruncations *obs.Counter
+	// RecoveredRecords counts tail records replayed by recovery.
+	RecoveredRecords *obs.Counter
+	// RecoveryDur is the last recovery's wall-clock duration in seconds.
+	RecoveryDur *obs.Gauge
+	// LastSeq is the last acknowledged sequence number.
+	LastSeq *obs.Gauge
+}
+
+// NewMetrics registers the WAL metric set on reg (nil reg → all-nil metrics,
+// which every call site tolerates).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Appends:             reg.Counter("wal_appends_total", "Acknowledged WAL record appends."),
+		AppendedBytes:       reg.Counter("wal_bytes_total", "WAL frame bytes written."),
+		Fsyncs:              reg.Counter("wal_fsyncs_total", "WAL fsync syscalls."),
+		FsyncDur:            reg.Histogram("wal_fsync_seconds", "WAL fsync latency in seconds.", nil),
+		Rotations:           reg.Counter("wal_rotations_total", "WAL segment rotations."),
+		Snapshots:           reg.Counter("wal_snapshots_total", "WAL checkpoints completed."),
+		CompactedSegments:   reg.Counter("wal_compacted_segments_total", "WAL segment files deleted by compaction."),
+		TornTailTruncations: reg.Counter("wal_torn_tail_truncations_total", "Torn-tail repairs performed during recovery."),
+		RecoveredRecords:    reg.Counter("wal_recovered_records_total", "WAL tail records replayed during recovery."),
+		RecoveryDur:         reg.Gauge("wal_recovery_seconds", "Duration of the last WAL recovery in seconds."),
+		LastSeq:             reg.Gauge("wal_last_seq", "Last acknowledged WAL sequence number."),
+	}
+}

@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// Op is a mutation kind.
+type Op uint8
+
+const (
+	// OpInsert adds an item to the dataset.
+	OpInsert Op = 1
+	// OpDelete removes an item (matched by ID and position).
+	OpDelete Op = 2
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(op))
+	}
+}
+
+// Record is one logged mutation.
+type Record struct {
+	// Seq is the record's log sequence number: 1-based, contiguous,
+	// strictly increasing across segments.
+	Seq  uint64
+	Op   Op
+	Item rtree.Item
+}
+
+// Record frame (all integers little-endian):
+//
+//	u32 payload length | u32 crc32c(payload) | payload
+//
+// Payload:
+//
+//	u64 seq | u8 op | i64 item id | u16 dims | dims × f64 coordinates
+//
+// The CRC covers the payload only; a corrupted length field manifests as an
+// implausible length or a CRC mismatch on whatever bytes it delimits, both of
+// which recovery classifies (torn tail vs mid-log corruption) by position.
+const (
+	frameHeaderLen = 8
+	// minPayloadLen is a record with zero dimensions.
+	minPayloadLen = 8 + 1 + 8 + 2
+	// maxPayloadLen bounds dims at 4096 — far beyond any real dataset;
+	// anything larger is corruption, not data.
+	maxPayloadLen = minPayloadLen + 8*4096
+)
+
+// appendFrame encodes rec as a frame appended to dst (which may have spare
+// capacity from a previous call).
+func appendFrame(dst []byte, rec Record) ([]byte, error) {
+	dims := rec.Item.Point.Dims()
+	if dims > 4096 {
+		return nil, fmt.Errorf("wal: record has %d dims (max 4096)", dims)
+	}
+	if rec.Op != OpInsert && rec.Op != OpDelete {
+		return nil, fmt.Errorf("wal: unknown op %d", rec.Op)
+	}
+	payloadLen := minPayloadLen + 8*dims
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeaderLen+payloadLen)...)
+	payload := dst[start+frameHeaderLen:]
+	binary.LittleEndian.PutUint64(payload[0:], rec.Seq)
+	payload[8] = byte(rec.Op)
+	binary.LittleEndian.PutUint64(payload[9:], uint64(int64(rec.Item.ID)))
+	binary.LittleEndian.PutUint16(payload[17:], uint16(dims))
+	for i := 0; i < dims; i++ {
+		binary.LittleEndian.PutUint64(payload[19+8*i:], math.Float64bits(rec.Item.Point[i]))
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst, nil
+}
+
+// frameError classifies a frame decode failure for recovery's torn-tail
+// versus mid-log-corruption decision.
+type frameError struct {
+	reason string
+	// torn reports that the failure is consistent with an interrupted final
+	// write (truncated header, frame extending past EOF). CRC mismatches and
+	// implausible lengths inside the data are NOT torn by themselves; the
+	// caller decides using position (was this the final record?).
+	torn bool
+}
+
+func (e *frameError) Error() string { return e.reason }
+
+// decodeFrame decodes one frame starting at buf[off]. It returns the record
+// and the offset just past the frame, or a *frameError.
+func decodeFrame(buf []byte, off int64) (Record, int64, *frameError) {
+	rest := buf[off:]
+	if len(rest) < frameHeaderLen {
+		return Record{}, 0, &frameError{reason: fmt.Sprintf("truncated frame header (%d of %d bytes)", len(rest), frameHeaderLen), torn: true}
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(rest[0:]))
+	wantCRC := binary.LittleEndian.Uint32(rest[4:])
+	if payloadLen < minPayloadLen || payloadLen > maxPayloadLen {
+		// An implausible length is corruption of the header itself — unless
+		// the "length" is part of a torn, partially written tail, which the
+		// caller detects via the all-zero / extends-to-EOF heuristics.
+		return Record{}, 0, &frameError{reason: fmt.Sprintf("implausible payload length %d (want %d..%d)", payloadLen, minPayloadLen, maxPayloadLen)}
+	}
+	if len(rest) < frameHeaderLen+payloadLen {
+		return Record{}, 0, &frameError{reason: fmt.Sprintf("frame extends past end of segment (%d payload bytes declared, %d available)", payloadLen, len(rest)-frameHeaderLen), torn: true}
+	}
+	payload := rest[frameHeaderLen : frameHeaderLen+payloadLen]
+	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		return Record{}, 0, &frameError{reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", wantCRC, got)}
+	}
+	rec := Record{
+		Seq: binary.LittleEndian.Uint64(payload[0:]),
+		Op:  Op(payload[8]),
+	}
+	rec.Item.ID = int(int64(binary.LittleEndian.Uint64(payload[9:])))
+	dims := int(binary.LittleEndian.Uint16(payload[17:]))
+	if payloadLen != minPayloadLen+8*dims {
+		return Record{}, 0, &frameError{reason: fmt.Sprintf("payload length %d inconsistent with %d dims", payloadLen, dims)}
+	}
+	if rec.Op != OpInsert && rec.Op != OpDelete {
+		return Record{}, 0, &frameError{reason: fmt.Sprintf("unknown op %d", payload[8])}
+	}
+	p := make(geom.Point, dims)
+	for i := range p {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(payload[19+8*i:]))
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Record{}, 0, &frameError{reason: fmt.Sprintf("non-finite coordinate %d", i)}
+		}
+		p[i] = x
+	}
+	rec.Item.Point = p
+	return rec, off + int64(frameHeaderLen+payloadLen), nil
+}
+
+// allZero reports whether every byte of b is zero — the signature of a
+// preallocated-but-unwritten or torn-to-zeros tail.
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,256 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rtree"
+)
+
+// CorruptionError reports unrecoverable mid-log corruption: a bad record with
+// valid data after it, or structural damage recovery must not paper over.
+// The offset and record index pinpoint the damage for forensics.
+type CorruptionError struct {
+	// Path is the corrupt segment file.
+	Path string
+	// Record is the 0-based index of the bad record within the segment (its
+	// "line number").
+	Record int
+	// Offset is the byte offset of the bad frame within the segment.
+	Offset int64
+	// Reason describes what failed (checksum mismatch, implausible length,
+	// sequence gap, ...).
+	Reason string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("wal: %s: corrupt record %d at offset %d: %s", e.Path, e.Record, e.Offset, e.Reason)
+}
+
+// Recovery describes what Open reconstructed from the log directory.
+type Recovery struct {
+	// HaveSnapshot reports whether a valid snapshot was loaded; Items and
+	// SnapshotSeq are meaningful only then.
+	HaveSnapshot bool
+	// Items is the newest valid snapshot's item set (nil without one — the
+	// caller supplies the base dataset).
+	Items []rtree.Item
+	// SnapshotSeq is the applied sequence number of the loaded snapshot.
+	SnapshotSeq uint64
+	// CorruptSnapshots counts newer snapshot files that failed verification
+	// and were skipped in favour of an older one.
+	CorruptSnapshots int
+	// Tail is every valid record with Seq > SnapshotSeq, in order. Apply it
+	// over the snapshot (or base) item set — see ApplyTail.
+	Tail []Record
+	// LastSeq is the highest sequence number the log has ever acknowledged
+	// that survived recovery (snapshot seq included).
+	LastSeq uint64
+	// TornTail reports that a torn/truncated final record was found and
+	// truncated away.
+	TornTail bool
+	// TruncatedBytes is how many trailing bytes the torn-tail repair removed.
+	TruncatedBytes int64
+	// Segments is the number of segment files after recovery.
+	Segments int
+	// Duration is the wall-clock recovery time.
+	Duration time.Duration
+}
+
+// Open recovers a log directory (created if missing) and returns a Log ready
+// for appends plus the recovered state. A torn or truncated final record —
+// the signature of a crash mid-write — is truncated away and recovery
+// continues; corruption anywhere else fails with a *CorruptionError rather
+// than silently dropping acknowledged mutations.
+func Open(opts Options) (*Log, Recovery, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, Recovery{}, errors.New("wal: Options.Dir is required")
+	}
+	start := obs.Now()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, Recovery{}, err
+	}
+	var rec Recovery
+
+	// Stray temp files are checkpoints that died before their rename: never
+	// valid state, always safe to discard.
+	if err := removeStrayTemps(opts.Dir); err != nil {
+		return nil, Recovery{}, err
+	}
+
+	// Newest snapshot that verifies wins; corrupt ones are skipped (counted),
+	// falling back to older snapshots and finally to the caller's base set.
+	snaps, err := listSnapshots(opts.Dir)
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		items, seq, err := readSnapshotFile(filepath.Join(opts.Dir, snaps[i].name))
+		if err != nil {
+			rec.CorruptSnapshots++
+			continue
+		}
+		rec.HaveSnapshot = true
+		rec.Items = items
+		rec.SnapshotSeq = seq
+		break
+	}
+
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, Recovery{}, err
+	}
+	rec.Segments = len(segs)
+	lastSeq := rec.SnapshotSeq
+	expect := uint64(0) // next expected seq; 0 until the first record is seen
+	for i, seg := range segs {
+		path := filepath.Join(opts.Dir, seg.name)
+		final := i == len(segs)-1
+		records, truncateAt, size, err := replaySegment(path, final)
+		if err != nil {
+			return nil, Recovery{}, err
+		}
+		if truncateAt >= 0 {
+			if err := os.Truncate(path, truncateAt); err != nil {
+				return nil, Recovery{}, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+			}
+			rec.TornTail = true
+			rec.TruncatedBytes = size - truncateAt
+			if opts.Metrics != nil {
+				opts.Metrics.TornTailTruncations.Inc()
+			}
+		}
+		for _, r := range records {
+			if expect != 0 && r.Seq != expect {
+				return nil, Recovery{}, &CorruptionError{Path: path, Reason: fmt.Sprintf("sequence gap: got seq %d, want %d", r.Seq, expect)}
+			}
+			expect = r.Seq + 1
+			if r.Seq > lastSeq {
+				lastSeq = r.Seq
+			}
+			if r.Seq > rec.SnapshotSeq {
+				rec.Tail = append(rec.Tail, r)
+			}
+		}
+	}
+	// Records below the snapshot may have been compacted away, but the first
+	// surviving record must not be above the snapshot's successor — a hole
+	// between snapshot and tail means lost acknowledged mutations.
+	if len(rec.Tail) > 0 && rec.Tail[0].Seq > rec.SnapshotSeq+1 {
+		return nil, Recovery{}, &CorruptionError{
+			Path:   opts.Dir,
+			Reason: fmt.Sprintf("log starts at seq %d but newest snapshot covers only up to %d: acknowledged mutations are missing", rec.Tail[0].Seq, rec.SnapshotSeq),
+		}
+	}
+	rec.LastSeq = lastSeq
+
+	// Position the log for appends: reopen the last segment, or create the
+	// first one.
+	l := &Log{opts: opts, seq: lastSeq, segments: len(segs)}
+	if len(segs) == 0 {
+		f, err := createSegment(opts.Dir, lastSeq+1)
+		if err != nil {
+			return nil, Recovery{}, err
+		}
+		l.f = f
+		l.segments = 1
+	} else {
+		path := filepath.Join(opts.Dir, segs[len(segs)-1].name)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, Recovery{}, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			if cerr := f.Close(); cerr != nil {
+				return nil, Recovery{}, errors.Join(err, cerr)
+			}
+			return nil, Recovery{}, err
+		}
+		l.f = f
+		l.size = st.Size()
+	}
+	l.lastSync = obs.Now()
+	rec.Duration = obs.Since(start)
+	if m := opts.Metrics; m != nil {
+		m.RecoveryDur.Set(rec.Duration.Seconds())
+		m.LastSeq.Set(float64(lastSeq))
+		m.RecoveredRecords.Add(uint64(len(rec.Tail)))
+	}
+	return l, rec, nil
+}
+
+// replaySegment reads every frame of one segment. For the final segment a
+// torn tail is tolerated: the returned truncateAt (≥ 0) says where to cut.
+// For non-final segments — and for damage that valid later data proves is not
+// a torn tail — it returns a *CorruptionError.
+func replaySegment(path string, final bool) (records []Record, truncateAt int64, size int64, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, -1, 0, err
+	}
+	size = int64(len(buf))
+	var off int64
+	for idx := 0; off < size; idx++ {
+		r, next, ferr := decodeFrame(buf, off)
+		if ferr == nil {
+			records = append(records, r)
+			off = next
+			continue
+		}
+		// Classification. A failure is a torn tail — truncate and continue —
+		// only in the final segment AND only when nothing after the damage
+		// could be valid data: the frame itself claims bytes past EOF, the
+		// header is truncated, or everything from the damage to EOF is one
+		// unfinished write. A CRC-bad record in the middle of a segment with
+		// intact records after it is real corruption.
+		if final && (ferr.torn || tornAtEOF(buf, off)) {
+			return records, off, size, nil
+		}
+		return nil, -1, size, &CorruptionError{Path: path, Record: idx, Offset: off, Reason: ferr.reason}
+	}
+	return records, -1, size, nil
+}
+
+// tornAtEOF reports whether the damage starting at off is consistent with an
+// interrupted final write: the bad frame's claimed extent reaches EOF (the
+// payload was never fully written), or the remaining bytes are all zero
+// (filesystem recovered the inode size but not the data).
+func tornAtEOF(buf []byte, off int64) bool {
+	rest := buf[off:]
+	if allZero(rest) {
+		return true
+	}
+	if len(rest) >= frameHeaderLen {
+		payloadLen := int(uint32(rest[0]) | uint32(rest[1])<<8 | uint32(rest[2])<<16 | uint32(rest[3])<<24)
+		if payloadLen >= minPayloadLen && payloadLen <= maxPayloadLen && frameHeaderLen+payloadLen == len(rest) {
+			// The bad record is exactly the final one: its payload was cut or
+			// scrambled by the crash and nothing follows it.
+			return true
+		}
+	}
+	return false
+}
+
+// removeStrayTemps deletes "*.tmp" leftovers from checkpoints that crashed
+// before their rename.
+func removeStrayTemps(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rtree"
+)
+
+// writeLog appends n sequential insert records and returns the directory and
+// the single segment's path.
+func writeLog(t *testing.T, n int) (dir, seg string) {
+	t.Helper()
+	dir = t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, Policy: SyncNever})
+	for i := 1; i <= n; i++ {
+		if _, err := l.Append(OpInsert, item(i, float64(i), float64(i)+0.5)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("segments = %d, want 1", len(segs))
+	}
+	return dir, filepath.Join(dir, segs[0].name)
+}
+
+// TestTornTailTruncatedAtEveryBoundary cuts the final record at every possible
+// byte boundary — mid-header, mid-payload, exactly one byte short — and
+// asserts recovery repairs it, keeping every earlier record.
+func TestTornTailTruncatedAtEveryBoundary(t *testing.T) {
+	dir, seg := writeLog(t, 3)
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := len(full) / 3
+	lastStart := 2 * frameLen
+	for cut := lastStart + 1; cut < len(full); cut++ {
+		if err := os.WriteFile(seg, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut at %d: Open: %v", cut, err)
+		}
+		if !rec.TornTail {
+			t.Fatalf("cut at %d: TornTail not reported", cut)
+		}
+		if rec.TruncatedBytes != int64(cut-lastStart) {
+			t.Fatalf("cut at %d: TruncatedBytes = %d, want %d", cut, rec.TruncatedBytes, cut-lastStart)
+		}
+		if rec.LastSeq != 2 || len(rec.Tail) != 2 {
+			t.Fatalf("cut at %d: LastSeq=%d tail=%d, want 2/2", cut, rec.LastSeq, len(rec.Tail))
+		}
+		// The repair must be durable-in-place: appends continue from seq 2.
+		if seq, err := l.Append(OpInsert, item(99, 9, 9)); err != nil || seq != 3 {
+			t.Fatalf("cut at %d: append after repair = %d, %v", cut, seq, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+}
+
+// TestTornTailZeroFill models a filesystem that recovered the inode size but
+// not the data: the final record's bytes are zeroed rather than missing.
+func TestTornTailZeroFill(t *testing.T) {
+	dir, seg := writeLog(t, 3)
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := len(full) / 3
+	for i := 2 * frameLen; i < len(full); i++ {
+		full[i] = 0
+	}
+	if err := os.WriteFile(seg, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if !rec.TornTail || rec.LastSeq != 2 {
+		t.Fatalf("rec = %+v, want torn tail with LastSeq 2", rec)
+	}
+}
+
+// TestTornFinalPayload flips a byte inside the final record's payload: a CRC
+// mismatch on the very last record with nothing after it is indistinguishable
+// from a torn write and must be truncated, not fatal.
+func TestTornFinalPayload(t *testing.T) {
+	dir, seg := writeLog(t, 3)
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full[len(full)-1] ^= 0xff
+	if err := os.WriteFile(seg, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if !rec.TornTail || rec.LastSeq != 2 || len(rec.Tail) != 2 {
+		t.Fatalf("rec = %+v, want torn-tail repair keeping 2 records", rec)
+	}
+}
+
+// TestMidLogCorruptionIsFatal flips one byte in the SECOND of four records:
+// valid data follows the damage, so this is corruption, not a torn tail, and
+// recovery must refuse with the exact record index and offset.
+func TestMidLogCorruptionIsFatal(t *testing.T) {
+	dir, seg := writeLog(t, 4)
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameLen := len(full) / 4
+	full[frameLen+frameHeaderLen+3] ^= 0x01 // one bit, inside record 1's payload
+	if err := os.WriteFile(seg, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(Options{Dir: dir})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open = %v, want *CorruptionError", err)
+	}
+	if ce.Record != 1 || ce.Offset != int64(frameLen) {
+		t.Fatalf("CorruptionError record=%d offset=%d, want 1/%d", ce.Record, ce.Offset, frameLen)
+	}
+	if !strings.Contains(ce.Reason, "checksum mismatch") {
+		t.Fatalf("Reason = %q, want checksum mismatch", ce.Reason)
+	}
+	if ce.Path != seg {
+		t.Fatalf("Path = %q, want %q", ce.Path, seg)
+	}
+}
+
+// TestCorruptionInNonFinalSegmentIsFatal damages the tail of a non-final
+// segment: torn-tail tolerance applies only to the last segment.
+func TestCorruptionInNonFinalSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, Policy: SyncNever, SegmentBytes: 100})
+	for i := 1; i <= 6; i++ {
+		if _, err := l.Append(OpInsert, item(i, float64(i), float64(i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("segments = %d, want ≥ 2", len(segs))
+	}
+	first := filepath.Join(dir, segs[0].name)
+	buf, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(first, buf[:len(buf)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(Options{Dir: dir})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Open = %v, want *CorruptionError for non-final torn segment", err)
+	}
+}
+
+// TestSequenceGapIsFatal deletes a middle segment: the seq numbers jump, which
+// means acknowledged mutations are missing.
+func TestSequenceGapIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, Policy: SyncNever, SegmentBytes: 100})
+	for i := 1; i <= 6; i++ {
+		if _, err := l.Append(OpInsert, item(i, float64(i), float64(i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("segments = %d, want ≥ 3", len(segs))
+	}
+	if err := os.Remove(filepath.Join(dir, segs[1].name)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(Options{Dir: dir})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "sequence gap") {
+		t.Fatalf("Open = %v, want sequence-gap CorruptionError", err)
+	}
+}
+
+// TestCorruptNewestSnapshotFallsBack damages the newest snapshot and asserts
+// recovery uses the older one plus the longer WAL tail — the reason compaction
+// retains KeepSnapshots generations of both.
+func TestCorruptNewestSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, Policy: SyncNever, SegmentBytes: 100, KeepSnapshots: 2})
+	var live []int
+	for i := 1; i <= 10; i++ {
+		if _, err := l.Append(OpInsert, item(i, float64(i), float64(i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		live = append(live, i)
+		if i == 5 || i == 10 {
+			var snap []rtree.Item
+			for _, id := range live {
+				snap = append(snap, item(id, float64(id), float64(id)))
+			}
+			if err := l.Checkpoint(snap, l.LastSeq()); err != nil {
+				t.Fatalf("Checkpoint: %v", err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	newest := filepath.Join(dir, snaps[1].name)
+	buf, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(newest, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := mustOpen(t, Options{Dir: dir})
+	defer l2.Close()
+	if rec.CorruptSnapshots != 1 {
+		t.Fatalf("CorruptSnapshots = %d, want 1", rec.CorruptSnapshots)
+	}
+	if !rec.HaveSnapshot || rec.SnapshotSeq != 5 {
+		t.Fatalf("fell back to snapshot seq %d (have=%v), want 5", rec.SnapshotSeq, rec.HaveSnapshot)
+	}
+	got, err := ApplyTail(rec.Items, rec.Tail)
+	if err != nil {
+		t.Fatalf("ApplyTail: %v", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("recovered %d items, want 10", len(got))
+	}
+	for i, it := range got {
+		if it.ID != i+1 {
+			t.Fatalf("item %d has ID %d, want %d", i, it.ID, i+1)
+		}
+	}
+}
+
+// TestHoleBetweenSnapshotAndTailIsFatal builds a snapshot at seq 5 but a log
+// whose first surviving record is seq 7: acknowledged seq 6 is gone.
+func TestHoleBetweenSnapshotAndTailIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSnapshotFile(filepath.Join(dir, snapshotName(5)), []rtree.Item{item(1, 1, 1)}, 5); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := appendFrame(nil, Record{Seq: 7, Op: OpInsert, Item: item(2, 2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(7)), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(Options{Dir: dir})
+	var ce *CorruptionError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "missing") {
+		t.Fatalf("Open = %v, want missing-mutations CorruptionError", err)
+	}
+}
+
+// TestWholeSegmentTornToNothing truncates the only segment to zero bytes —
+// recovery should treat it as empty, not corrupt.
+func TestWholeSegmentTornToNothing(t *testing.T) {
+	dir, seg := writeLog(t, 2)
+	if err := os.Truncate(seg, 0); err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if rec.LastSeq != 0 || len(rec.Tail) != 0 {
+		t.Fatalf("rec = %+v, want empty", rec)
+	}
+}

@@ -1,0 +1,581 @@
+// Package wal is the durability subsystem: a write-ahead log for
+// Insert/Delete mutations plus checksummed snapshot persistence, so the
+// derived state the query engine rebuilds from the item set (R-tree index,
+// approximate store, memoisation caches) survives a process crash.
+//
+// On disk a log directory holds numbered segment files (`wal-<firstseq>.log`)
+// of CRC32C-framed, length-prefixed mutation records, and snapshot files
+// (`snap-<seq>.snap`) each carrying a full item set with a CRC32C trailer.
+// Appends go to the active (newest) segment and rotate at a size threshold;
+// the fsync policy decides when acknowledged appends are durable (always /
+// interval / never). Checkpoint writes a new snapshot via the
+// temp-write → fsync → rename → dir-fsync dance and then compacts: segments
+// wholly covered by the oldest *retained* snapshot are deleted, so even if
+// the newest snapshot is later found corrupt, an older snapshot plus the
+// retained tail still reconstructs the exact state.
+//
+// Recovery (Open) loads the newest snapshot that validates, replays the WAL
+// tail above its sequence number, tolerates a torn or truncated final record
+// by truncating it away (the crash interrupted an unacknowledged write), and
+// hard-fails on mid-log corruption — a bad record with valid data after it —
+// with a segment/record/offset diagnostic, because silently dropping
+// acknowledged mutations is worse than refusing to start.
+//
+// Every write and fsync boundary passes through an optional Hook
+// (cancel.Hook, the same interface internal/engine/faultinject implements),
+// which is how the crashtest harness SIGKILLs a child process at exact
+// durability boundaries. Failures are fail-stop: the first write or fsync
+// error poisons the log and every later operation returns it — limping along
+// after a lost write is how acknowledged data quietly disappears.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cancel"
+	"repro/internal/obs"
+	"repro/internal/rtree"
+)
+
+// castagnoli is the CRC32C table shared by record frames and snapshots
+// (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy decides when an Append is made durable with fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before Append returns: an acknowledged mutation is
+	// durable. The safest and the default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs when at least Options.Interval has passed since the
+	// last fsync: a crash loses at most one interval of acknowledged
+	// mutations.
+	SyncInterval
+	// SyncNever leaves fsync to the OS page cache (and Close/Checkpoint): a
+	// crash may lose any unsynced acknowledged mutation. For bulk loads and
+	// tests only.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy maps the CLI spellings onto policies.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// Hook sites: the durability boundaries the crashtest harness kills at. Each
+// fires at most once per operation, in the documented position, so a
+// fault-injection rule pinned to (site, visit) is a deterministic crash point.
+const (
+	// SiteAppend fires after a record frame is encoded, before its write
+	// syscall: a kill here loses the record entirely (never acknowledged).
+	SiteAppend = "wal.append"
+	// SiteWrite fires after the frame's write returned, before the fsync
+	// decision: a kill here may leave a torn or unsynced record.
+	SiteWrite = "wal.write"
+	// SiteSync fires after a successful fsync: a kill here loses nothing that
+	// was acknowledged.
+	SiteSync = "wal.sync"
+	// SiteRotate fires after a new segment file is created and made durable.
+	SiteRotate = "wal.rotate"
+	// SiteSnapshotWrite fires after a checkpoint's temp snapshot is written
+	// and fsynced, before the rename: a kill here leaves a stray .tmp that
+	// recovery ignores.
+	SiteSnapshotWrite = "wal.snapshot.write"
+	// SiteSnapshotRename fires after the snapshot rename and directory fsync,
+	// before compaction deletes anything.
+	SiteSnapshotRename = "wal.snapshot.rename"
+)
+
+// Default tuning. SegmentBytes is deliberately small-ish: rotation is cheap
+// and small segments bound both compaction granularity and torn-tail loss.
+const (
+	DefaultSegmentBytes  = 4 << 20
+	DefaultSyncInterval  = 50 * time.Millisecond
+	DefaultKeepSnapshots = 2
+)
+
+// Options configures a log directory. The zero value of every field gets the
+// documented default; Dir is required.
+type Options struct {
+	// Dir is the log directory, created if missing. One directory belongs to
+	// one dataset lineage: recovery refuses logs that do not replay cleanly.
+	Dir string
+	// Policy is the fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the SyncInterval flush period (default 50ms).
+	Interval time.Duration
+	// SegmentBytes rotates the active segment when it would exceed this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// KeepSnapshots is how many newest snapshots survive compaction (default
+	// 2; the extra one is the fallback if the newest turns out corrupt).
+	KeepSnapshots int
+	// Hook, when non-nil, is visited at every durability boundary (Site*
+	// constants) — the crash-injection entry point.
+	Hook cancel.Hook
+	// Metrics, when non-nil, receives fsync latency, append/byte counters and
+	// recovery duration.
+	Metrics *Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = DefaultSyncInterval
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.KeepSnapshots <= 0 {
+		o.KeepSnapshots = DefaultKeepSnapshots
+	}
+	return o
+}
+
+// Stats is a point-in-time description of a live log.
+type Stats struct {
+	Dir      string `json:"dir"`
+	Policy   string `json:"policy"`
+	LastSeq  uint64 `json:"last_seq"`
+	Segments int    `json:"segments"`
+	// ActiveBytes is the size of the active segment.
+	ActiveBytes int64 `json:"active_bytes"`
+	// AppendedBytes counts frame bytes written since Open.
+	AppendedBytes int64 `json:"appended_bytes"`
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent use;
+// appends are serialised internally, but callers that must keep WAL order
+// identical to apply order (every real user) serialise append+apply
+// themselves.
+type Log struct {
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	size     int64    // bytes in the active segment
+	segments int      // segment files on disk, active included
+	seq      uint64   // last assigned sequence number
+	appended int64    // frame bytes written since Open
+	lastSync int64    // obs.Now() of the last fsync
+	dirty    bool     // unsynced appended bytes exist
+	failed   error    // sticky fail-stop error
+	closed   bool
+	hookN    uint64 // monotone hook-visit counter
+	buf      []byte // frame scratch, reused across appends
+}
+
+// visit consults the crash-injection hook at one durability boundary. Called
+// with l.mu held; the hook may never return (SIGKILL).
+func (l *Log) visit(site string) {
+	if l.opts.Hook != nil {
+		l.hookN++
+		l.opts.Hook.Visit(site, l.hookN)
+	}
+}
+
+// fail poisons the log: the first hard error sticks and every later
+// operation reports it. Returns the error for call-site convenience.
+func (l *Log) fail(err error) error {
+	if l.failed == nil {
+		l.failed = fmt.Errorf("wal: failed permanently: %w", err)
+	}
+	return l.failed
+}
+
+func (l *Log) guard() error {
+	if l.failed != nil {
+		return l.failed
+	}
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	return nil
+}
+
+// LastSeq returns the sequence number of the last appended record (0 before
+// any append, including the recovered history).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Stats returns current log statistics.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Dir:           l.opts.Dir,
+		Policy:        l.opts.Policy.String(),
+		LastSeq:       l.seq,
+		Segments:      l.segments,
+		ActiveBytes:   l.size,
+		AppendedBytes: l.appended,
+	}
+}
+
+// Append commits one mutation record to the log and returns its sequence
+// number. Under SyncAlways a nil error means the record is durable; under
+// the weaker policies it means the record is written (durability follows at
+// the next fsync). Appends after a write/fsync failure return the sticky
+// failure.
+func (l *Log) Append(op Op, it rtree.Item) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.guard(); err != nil {
+		return 0, err
+	}
+	seq := l.seq + 1
+	frame, err := appendFrame(l.buf[:0], Record{Seq: seq, Op: op, Item: it})
+	if err != nil {
+		return 0, err
+	}
+	l.buf = frame[:0]
+	if l.size > 0 && l.size+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(seq); err != nil {
+			return 0, err
+		}
+	}
+	l.visit(SiteAppend)
+	n, err := l.f.Write(frame)
+	l.size += int64(n)
+	l.appended += int64(n)
+	if err != nil {
+		return 0, l.fail(err)
+	}
+	l.dirty = true
+	l.seq = seq
+	if m := l.opts.Metrics; m != nil {
+		m.Appends.Inc()
+		m.AppendedBytes.Add(uint64(len(frame)))
+		m.LastSeq.Set(float64(seq))
+	}
+	l.visit(SiteWrite)
+	switch l.opts.Policy {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if obs.Since(l.lastSync) >= l.opts.Interval {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return seq, nil
+}
+
+// Sync forces an fsync of the active segment, regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.guard(); err != nil {
+		return err
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	start := obs.Now()
+	if err := l.f.Sync(); err != nil {
+		return l.fail(err)
+	}
+	l.dirty = false
+	l.lastSync = obs.Now()
+	if m := l.opts.Metrics; m != nil {
+		m.Fsyncs.Inc()
+		m.FsyncDur.ObserveSince(start)
+	}
+	l.visit(SiteSync)
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens a fresh one
+// whose name records the first sequence number it will hold.
+func (l *Log) rotateLocked(nextSeq uint64) error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return l.fail(err)
+	}
+	f, err := createSegment(l.opts.Dir, nextSeq)
+	if err != nil {
+		return l.fail(err)
+	}
+	l.f = f
+	l.size = 0
+	l.segments++
+	if m := l.opts.Metrics; m != nil {
+		m.Rotations.Inc()
+	}
+	l.visit(SiteRotate)
+	return nil
+}
+
+// Checkpoint persists a snapshot of the full item set as of appliedSeq (the
+// caller's view of the last applied mutation — capture LastSeq under the same
+// lock that serialises your appends) and compacts: segments wholly covered by
+// the oldest retained snapshot are deleted, as are snapshots beyond
+// KeepSnapshots. Appends are blocked for the duration; checkpoints are an
+// admin-rate operation.
+func (l *Log) Checkpoint(items []rtree.Item, appliedSeq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.guard(); err != nil {
+		return err
+	}
+	if appliedSeq > l.seq {
+		return fmt.Errorf("wal: checkpoint at seq %d beyond last appended %d", appliedSeq, l.seq)
+	}
+	// The snapshot may only supersede records that are themselves durable:
+	// compaction after the checkpoint deletes them.
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.writeSnapshotLocked(items, appliedSeq); err != nil {
+		return err
+	}
+	if err := l.compactLocked(); err != nil {
+		return err
+	}
+	if m := l.opts.Metrics; m != nil {
+		m.Snapshots.Inc()
+	}
+	return nil
+}
+
+// writeSnapshotLocked does the temp-write → fsync → rename → dir-fsync dance.
+func (l *Log) writeSnapshotLocked(items []rtree.Item, appliedSeq uint64) error {
+	final := filepath.Join(l.opts.Dir, snapshotName(appliedSeq))
+	tmp := final + ".tmp"
+	if err := writeSnapshotFile(tmp, items, appliedSeq); err != nil {
+		// A failed temp write is not fail-stop: the log itself is intact.
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	l.visit(SiteSnapshotWrite)
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	if err := syncDir(l.opts.Dir); err != nil {
+		return l.fail(err)
+	}
+	l.visit(SiteSnapshotRename)
+	return nil
+}
+
+// compactLocked deletes segments wholly covered by the oldest retained
+// snapshot and snapshots beyond the retention count. Never touches the
+// active segment.
+func (l *Log) compactLocked() error {
+	snaps, err := listSnapshots(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	if len(snaps) == 0 {
+		return nil
+	}
+	// snaps ascending; retain the newest KeepSnapshots.
+	retainFrom := 0
+	if len(snaps) > l.opts.KeepSnapshots {
+		retainFrom = len(snaps) - l.opts.KeepSnapshots
+	}
+	for _, s := range snaps[:retainFrom] {
+		if err := os.Remove(filepath.Join(l.opts.Dir, s.name)); err != nil {
+			return fmt.Errorf("wal: compact snapshot: %w", err)
+		}
+	}
+	// Delete segments whose every record is ≤ the oldest retained snapshot's
+	// seq: segment i is covered iff segment i+1 starts at or below seq+1.
+	bound := snaps[retainFrom].seq
+	segs, err := listSegments(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].firstSeq <= bound+1 {
+			if err := os.Remove(filepath.Join(l.opts.Dir, segs[i].name)); err != nil {
+				return fmt.Errorf("wal: compact segment: %w", err)
+			}
+			removed++
+		} else {
+			break
+		}
+	}
+	if removed > 0 {
+		l.segments -= removed
+		if err := syncDir(l.opts.Dir); err != nil {
+			return l.fail(err)
+		}
+		if m := l.opts.Metrics; m != nil {
+			m.CompactedSegments.Add(uint64(removed))
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the log. Safe to call once; the log is unusable
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if l.failed != nil {
+		// Best-effort close of the poisoned handle; the sticky error stands.
+		if l.f != nil {
+			if cerr := l.f.Close(); cerr != nil {
+				return errors.Join(l.failed, cerr)
+			}
+		}
+		l.closed = true
+		return l.failed
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+// ---- directory layout helpers ----
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstSeq, segSuffix)
+}
+
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix)
+}
+
+type dirEntry struct {
+	name     string
+	firstSeq uint64 // segments
+	seq      uint64 // snapshots
+}
+
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	v, err := strconv.ParseUint(mid, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func listSegments(dir string) ([]dirEntry, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []dirEntry
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeqName(e.Name(), segPrefix, segSuffix); ok {
+			out = append(out, dirEntry{name: e.Name(), firstSeq: seq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].firstSeq < out[j].firstSeq })
+	return out, nil
+}
+
+func listSnapshots(dir string) ([]dirEntry, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []dirEntry
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeqName(e.Name(), snapPrefix, snapSuffix); ok {
+			out = append(out, dirEntry{name: e.Name(), seq: seq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// createSegment creates a fresh segment file (exclusive — a name collision
+// means sequence accounting is broken) and makes its directory entry durable.
+func createSegment(dir string, firstSeq uint64) (*os.File, error) {
+	path := filepath.Join(dir, segmentName(firstSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			return nil, errors.Join(err, cerr)
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,264 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/rtree"
+)
+
+func item(id int, coords ...float64) rtree.Item {
+	return rtree.Item{ID: id, Point: geom.Point(coords)}
+}
+
+func mustOpen(t *testing.T, opts Options) (*Log, Recovery) {
+	t.Helper()
+	l, rec, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", opts.Dir, err)
+	}
+	return l, rec
+}
+
+func TestAppendRecoverRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, Options{Dir: dir, Policy: SyncNever})
+	if rec.LastSeq != 0 || rec.HaveSnapshot || len(rec.Tail) != 0 {
+		t.Fatalf("fresh dir recovery = %+v, want empty", rec)
+	}
+	want := []Record{
+		{Seq: 1, Op: OpInsert, Item: item(7, 1.5, -2.25)},
+		{Seq: 2, Op: OpInsert, Item: item(9, 0, 3)},
+		{Seq: 3, Op: OpDelete, Item: item(7, 1.5, -2.25)},
+	}
+	for _, r := range want {
+		seq, err := l.Append(r.Op, r.Item)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if seq != r.Seq {
+			t.Fatalf("Append seq = %d, want %d", seq, r.Seq)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := mustOpen(t, Options{Dir: dir})
+	defer l2.Close()
+	if rec2.LastSeq != 3 {
+		t.Fatalf("recovered LastSeq = %d, want 3", rec2.LastSeq)
+	}
+	if len(rec2.Tail) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec2.Tail), len(want))
+	}
+	for i, r := range rec2.Tail {
+		w := want[i]
+		if r.Seq != w.Seq || r.Op != w.Op || r.Item.ID != w.Item.ID || !r.Item.Point.Equal(w.Item.Point) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, w)
+		}
+	}
+	// Appends continue from the recovered sequence.
+	seq, err := l2.Append(OpInsert, item(11, 4, 5))
+	if err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if seq != 4 {
+		t.Fatalf("post-recovery seq = %d, want 4", seq)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Each 2-d frame is 8+35 = 43 bytes; a 100-byte cap rotates every 2 records.
+	l, _ := mustOpen(t, Options{Dir: dir, Policy: SyncNever, SegmentBytes: 100})
+	for i := 1; i <= 7; i++ {
+		if _, err := l.Append(OpInsert, item(i, float64(i), float64(-i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("Segments = %d, want ≥ 3 after rotation", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != st.Segments {
+		t.Fatalf("on-disk segments = %d, stats say %d", len(segs), st.Segments)
+	}
+
+	_, rec := mustOpen(t, Options{Dir: dir})
+	if rec.LastSeq != 7 || len(rec.Tail) != 7 {
+		t.Fatalf("recovery across segments: LastSeq=%d tail=%d, want 7/7", rec.LastSeq, len(rec.Tail))
+	}
+	for i, r := range rec.Tail {
+		if r.Seq != uint64(i+1) || r.Item.ID != i+1 {
+			t.Fatalf("record %d = %+v, want seq/id %d", i, r, i+1)
+		}
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			reg := obs.NewRegistry()
+			l, _ := mustOpen(t, Options{Dir: t.TempDir(), Policy: policy, Metrics: NewMetrics(reg)})
+			for i := 1; i <= 5; i++ {
+				if _, err := l.Append(OpInsert, item(i, float64(i))); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			fsyncs := reg.JSONValue()["wal_fsyncs_total"].(uint64)
+			switch policy {
+			case SyncAlways:
+				if fsyncs != 5 {
+					t.Fatalf("SyncAlways fsyncs = %d, want 5", fsyncs)
+				}
+			case SyncNever:
+				if fsyncs != 0 {
+					t.Fatalf("SyncNever fsyncs = %d, want 0 before Close", fsyncs)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"": SyncAlways, "always": SyncAlways, "interval": SyncInterval, "never": SyncNever} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy(sometimes) accepted")
+	}
+}
+
+func TestCheckpointAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, Policy: SyncNever, SegmentBytes: 100, KeepSnapshots: 2})
+	live := map[int]rtree.Item{}
+	for i := 1; i <= 20; i++ {
+		it := item(i, float64(i), float64(2*i))
+		if _, err := l.Append(OpInsert, it); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		live[it.ID] = it
+		if i%5 == 0 {
+			if err := l.Checkpoint(sortedItems(live), l.LastSeq()); err != nil {
+				t.Fatalf("Checkpoint at %d: %v", i, err)
+			}
+		}
+	}
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("retained snapshots = %d, want 2", len(snaps))
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oldest retained snapshot covers seq 15; segments wholly below that
+	// are gone. 20 records × 43B at 100B/segment ≈ 10 segments uncompacted.
+	if len(segs) >= 8 {
+		t.Fatalf("segments after compaction = %d, want far fewer than the ~10 written", len(segs))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, rec := mustOpen(t, Options{Dir: dir})
+	if !rec.HaveSnapshot || rec.SnapshotSeq != 20 {
+		t.Fatalf("recovery snapshot seq = %d (have=%v), want 20", rec.SnapshotSeq, rec.HaveSnapshot)
+	}
+	got, err := ApplyTail(rec.Items, rec.Tail)
+	if err != nil {
+		t.Fatalf("ApplyTail: %v", err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("recovered %d items, want 20", len(got))
+	}
+	for i, it := range got {
+		if it.ID != i+1 || !it.Point.Equal(live[it.ID].Point) {
+			t.Fatalf("item %d = %+v, want %+v", i, it, live[it.ID])
+		}
+	}
+}
+
+func TestCheckpointBeyondLastSeqRejected(t *testing.T) {
+	l, _ := mustOpen(t, Options{Dir: t.TempDir(), Policy: SyncNever})
+	defer l.Close()
+	if err := l.Checkpoint(nil, 5); err == nil {
+		t.Fatal("Checkpoint beyond last appended seq accepted")
+	}
+}
+
+func TestApplyTailRejectsMismatchedLog(t *testing.T) {
+	base := []rtree.Item{item(1, 0, 0)}
+	if _, err := ApplyTail(base, []Record{{Seq: 1, Op: OpInsert, Item: item(1, 9, 9)}}); err == nil {
+		t.Fatal("insert of present ID accepted")
+	}
+	if _, err := ApplyTail(base, []Record{{Seq: 1, Op: OpDelete, Item: item(2, 0, 0)}}); err == nil {
+		t.Fatal("delete of absent ID accepted")
+	}
+	got, err := ApplyTail(base, []Record{
+		{Seq: 1, Op: OpInsert, Item: item(2, 1, 1)},
+		{Seq: 2, Op: OpDelete, Item: item(1, 0, 0)},
+	})
+	if err != nil {
+		t.Fatalf("valid tail rejected: %v", err)
+	}
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("ApplyTail = %+v, want only item 2", got)
+	}
+}
+
+func TestCloseIsIdempotentAndFinal(t *testing.T) {
+	l, _ := mustOpen(t, Options{Dir: t.TempDir(), Policy: SyncNever})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append(OpInsert, item(1, 1)); err == nil {
+		t.Fatal("Append after Close accepted")
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, _, err := Open(Options{}); err == nil {
+		t.Fatal("Open without Dir accepted")
+	}
+}
+
+func TestStrayTempRemovedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, snapshotName(3)+".tmp")
+	if err := os.WriteFile(tmp, []byte("half a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec := mustOpen(t, Options{Dir: dir})
+	defer l.Close()
+	if rec.HaveSnapshot {
+		t.Fatal("stray .tmp treated as a snapshot")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stray .tmp still present: %v", err)
+	}
+}

@@ -38,6 +38,20 @@ func FuzzLoadApproxStore(f *testing.F) {
 		huge[i] = 0xff // inflate the customer count
 	}
 	f.Add(huge)
+	// A legacy v1 file is the v2 body without its CRC trailer and with the
+	// version field patched down; the decoder must still accept it.
+	v1 := append([]byte{}, valid[:len(valid)-4]...)
+	v1[4], v1[5] = storeVersionV1, 0
+	f.Add(v1)
+	// A mid-body bit flip must be caught by the trailer even where every
+	// field stays individually plausible.
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	// A v2 file with a corrupt trailer itself.
+	badTrailer := append([]byte{}, valid...)
+	badTrailer[len(badTrailer)-1] ^= 0xff
+	f.Add(badTrailer)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := LoadApproxStore(bytes.NewReader(data))
 		if err != nil {

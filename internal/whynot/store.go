@@ -5,9 +5,12 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
+	"os"
 	"sort"
+	"sync"
 
 	"repro/internal/cancel"
 	"repro/internal/exec"
@@ -21,18 +24,29 @@ import (
 //	magic "RSKA" | u16 version | i32 K | i32 SortDim | u32 customer count
 //	per customer: i64 id | u32 corner count
 //	per corner:   u16 dims | dims × f64 coordinates
+//	trailer (v2): u32 CRC32C over every preceding byte
 //
 // The format is length-prefixed but every length is validated against what
 // the reader can actually deliver: decoding allocates proportionally to the
 // bytes read, never to a length claimed by the header, so hostile input
-// cannot trigger unbounded allocation or a panic.
+// cannot trigger unbounded allocation or a panic. The v2 trailer catches
+// what per-field validation cannot: a bit flip inside an otherwise plausible
+// coordinate. Version-1 files (no trailer) still load, with a one-time
+// deprecation warning — re-save to upgrade.
 const (
-	storeMagic   = "RSKA"
-	storeVersion = 1
+	storeMagic     = "RSKA"
+	storeVersion   = 2
+	storeVersionV1 = 1
 	// maxStoreDims caps point dimensionality; real datasets are ≤ ~10-d and
 	// anything near the cap indicates corruption.
 	maxStoreDims = 1 << 10
 )
+
+// storeCRCTable is the Castagnoli polynomial, matching the WAL's framing.
+var storeCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// storeV1Warn fires the v1 deprecation warning at most once per process.
+var storeV1Warn sync.Once
 
 // Save writes the store in a self-contained binary format (§VI.B.1 keeps the
 // approximate skylines "stored (off-line)"; this is that offline artifact).
@@ -45,24 +59,31 @@ func (s *ApproxStore) Save(w io.Writer) error {
 	sort.Ints(ids)
 
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(storeMagic); err != nil {
+	crc := crc32.New(storeCRCTable)
+	var scratch [8]byte
+	// Every byte up to the trailer goes through the CRC; hash.Hash.Write
+	// never errors.
+	put := func(b []byte) error {
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		crc.Write(b)
+		return nil
+	}
+	if err := put([]byte(storeMagic)); err != nil {
 		return err
 	}
-	var scratch [8]byte
 	putU16 := func(v uint16) error {
 		binary.LittleEndian.PutUint16(scratch[:2], v)
-		_, err := bw.Write(scratch[:2])
-		return err
+		return put(scratch[:2])
 	}
 	putU32 := func(v uint32) error {
 		binary.LittleEndian.PutUint32(scratch[:4], v)
-		_, err := bw.Write(scratch[:4])
-		return err
+		return put(scratch[:4])
 	}
 	putU64 := func(v uint64) error {
 		binary.LittleEndian.PutUint64(scratch[:8], v)
-		_, err := bw.Write(scratch[:8])
-		return err
+		return put(scratch[:8])
 	}
 	if err := putU16(storeVersion); err != nil {
 		return err
@@ -98,6 +119,11 @@ func (s *ApproxStore) Save(w io.Writer) error {
 			}
 		}
 	}
+	// Trailer: CRC32C over everything above, written outside the hash.
+	binary.LittleEndian.PutUint32(scratch[:4], crc.Sum32())
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
@@ -107,11 +133,15 @@ func (s *ApproxStore) Save(w io.Writer) error {
 // dimensionality, and non-finite coordinates are all reported explicitly.
 func LoadApproxStore(r io.Reader) (*ApproxStore, error) {
 	br := bufio.NewReader(r)
+	crc := crc32.New(storeCRCTable)
 	var scratch [8]byte
+	// readN feeds the running CRC; the v2 trailer itself is read raw below,
+	// after the body, so the sum covers exactly what Save hashed.
 	readN := func(n int, what string) error {
 		if _, err := io.ReadFull(br, scratch[:n]); err != nil {
 			return fmt.Errorf("whynot: approx store: truncated %s: %w", what, err)
 		}
+		crc.Write(scratch[:n])
 		return nil
 	}
 	readU16 := func(what string) (uint16, error) {
@@ -143,8 +173,8 @@ func LoadApproxStore(r io.Reader) (*ApproxStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != storeVersion {
-		return nil, fmt.Errorf("whynot: approx store: unsupported version %d (want %d)", version, storeVersion)
+	if version != storeVersion && version != storeVersionV1 {
+		return nil, fmt.Errorf("whynot: approx store: unsupported version %d (want %d or %d)", version, storeVersion, storeVersionV1)
 	}
 	k, err := readU32("K")
 	if err != nil {
@@ -209,6 +239,21 @@ func LoadApproxStore(r io.Reader) (*ApproxStore, error) {
 			cs = append(cs, p)
 		}
 		s.corners[id] = cs
+	}
+	switch version {
+	case storeVersionV1:
+		storeV1Warn.Do(func() {
+			fmt.Fprintln(os.Stderr, "whynot: approx store: deprecated v1 format (no checksum); re-save (e.g. buildstore -save-store) to upgrade")
+		})
+	default:
+		// The sum must be captured before the trailer read touches scratch.
+		want := crc.Sum32()
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return nil, fmt.Errorf("whynot: approx store: truncated checksum trailer: %w", err)
+		}
+		if got := binary.LittleEndian.Uint32(scratch[:4]); got != want {
+			return nil, fmt.Errorf("whynot: approx store: checksum mismatch: trailer %08x, computed %08x (corrupt or torn file)", got, want)
+		}
 	}
 	if _, err := br.ReadByte(); err != io.EOF {
 		return nil, fmt.Errorf("whynot: approx store: trailing data after %d customers", count)

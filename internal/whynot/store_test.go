@@ -81,3 +81,66 @@ func TestBuildApproxStoreParallelMatchesSerial(t *testing.T) {
 		t.Fatal("empty build must yield an empty store")
 	}
 }
+
+// TestApproxStoreChecksum: every single-byte corruption of a v2 store must be
+// rejected — that is the whole point of the CRC trailer. Field validation
+// alone cannot catch a bit flip inside a plausible coordinate.
+func TestApproxStoreChecksum(t *testing.T) {
+	products := randProducts(60, 99)
+	e := NewEngine(rskyline.NewDB(2, products, rtree.Config{}), true)
+	store := e.BuildApproxStore(products[:12], 3, 0)
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	for i := range valid {
+		mutated := append([]byte{}, valid...)
+		mutated[i] ^= 0x01
+		if _, err := LoadApproxStore(bytes.NewReader(mutated)); err == nil {
+			t.Fatalf("byte %d flipped, load still succeeded", i)
+		}
+	}
+	// Truncating the trailer is also corruption.
+	if _, err := LoadApproxStore(bytes.NewReader(valid[:len(valid)-2])); err == nil {
+		t.Fatal("truncated trailer accepted")
+	}
+}
+
+// TestApproxStoreV1Compat: a legacy v1 file — no trailer, version field 1 —
+// still loads, and re-saving upgrades it to checksummed v2.
+func TestApproxStoreV1Compat(t *testing.T) {
+	products := randProducts(60, 100)
+	e := NewEngine(rskyline.NewDB(2, products, rtree.Config{}), true)
+	store := e.BuildApproxStore(products[:12], 3, 0)
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+
+	// Reconstruct the v1 encoding: strip the CRC trailer, patch the version.
+	v1 := append([]byte{}, v2[:len(v2)-4]...)
+	v1[4], v1[5] = storeVersionV1, 0
+
+	back, err := LoadApproxStore(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 store rejected: %v", err)
+	}
+	if back.Len() != store.Len() || back.K != store.K || back.SortDim != store.SortDim {
+		t.Fatalf("v1 load lost data: %d/%d/%d", back.Len(), back.K, back.SortDim)
+	}
+	// Re-saving emits v2 bytes, trailer included.
+	var up bytes.Buffer
+	if err := back.Save(&up); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(up.Bytes(), v2) {
+		t.Fatal("re-saved v1 store does not match the v2 encoding")
+	}
+	// A v1 file with trailing garbage still fails.
+	if _, err := LoadApproxStore(bytes.NewReader(append(v1, 0))); err == nil {
+		t.Fatal("v1 store with trailing data accepted")
+	}
+}

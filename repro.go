@@ -39,6 +39,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/cancel"
 	"repro/internal/datagen"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/region"
 	"repro/internal/rskyline"
 	"repro/internal/rtree"
+	"repro/internal/wal"
 	"repro/internal/whynot"
 )
 
@@ -115,6 +117,13 @@ type DB struct {
 	pool     *obs.ExecMetrics
 	queries  *obs.LabeledCounter
 	queryDur *obs.Histogram
+	// Durable-mode state (OpenDurable): the write-ahead log, the live item
+	// set it checkpoints from, and the mutation lock that keeps WAL order
+	// identical to index-apply order. All nil/zero on an in-memory DB.
+	wal      *wal.Log
+	mutMu    sync.Mutex
+	items    map[int]Item
+	recovery wal.Recovery
 }
 
 // DBOptions tunes execution of a DB beyond the paper's single-threaded
@@ -138,6 +147,10 @@ type DBOptions struct {
 	// per-query phase spans. Disabled (the default), every instrumentation
 	// hook is a nil no-op on the query path.
 	Observability bool
+	// Durability, when non-nil, configures write-ahead logging for this DB.
+	// Only OpenDurable reads it; NewDBWithOptions ignores it (an in-memory DB
+	// has no log).
+	Durability *DurabilityOptions
 }
 
 // NewDB bulk-loads products into an R*-tree (the paper's 1536-byte page
@@ -287,15 +300,24 @@ func (db *DB) Workers() int { return db.workers }
 
 // Insert adds a product to the index and invalidates every derived cache
 // (cached dynamic skylines and anti-dominance regions are stamped with a
-// mutation generation and can never be served after this call).
+// mutation generation and can never be served after this call). On a durable
+// DB (OpenDurable) it panics: bypassing the WAL would silently fork the
+// on-disk and in-memory states — use InsertDurable.
 func (db *DB) Insert(it Item) {
+	if db.wal != nil {
+		panic("repro: Insert on a durable DB bypasses the WAL; use InsertDurable")
+	}
 	db.engine.DB.Insert(it)
 	db.engine.InvalidateCaches()
 }
 
 // Delete removes the product equal to it (ID and position), reporting whether
-// it was present. A successful delete invalidates every derived cache.
+// it was present. A successful delete invalidates every derived cache. On a
+// durable DB it panics — use DeleteDurable.
 func (db *DB) Delete(it Item) bool {
+	if db.wal != nil {
+		panic("repro: Delete on a durable DB bypasses the WAL; use DeleteDurable")
+	}
 	ok := db.engine.DB.Delete(it)
 	if ok {
 		db.engine.InvalidateCaches()

@@ -93,6 +93,16 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Refuse before logging: a refused mutation must leave no durable trace,
+	// or recovery would replay a delete the client was told failed — and with
+	// no later inserts the recovered dataset is empty, which cannot even boot.
+	// The item set shrinks to zero only by deleting the whole catalogue —
+	// operator territory, not a request path.
+	if len(snap.Items) == 1 {
+		s.writeError(w, http.StatusConflict, "refusing to delete the last item")
+		return
+	}
+
 	seq, ok := s.commitMutation(w, wal.OpDelete, stored)
 	if !ok {
 		return
@@ -102,14 +112,6 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		if it.ID != req.ID {
 			items = append(items, it)
 		}
-	}
-	if len(items) == 0 {
-		// The WAL record is already durable and replays fine; only serving an
-		// empty dataset is refused (every endpoint would 503 anyway). The
-		// item set shrinks to zero only by deleting the whole catalogue —
-		// operator territory, not a request path.
-		s.writeError(w, http.StatusConflict, "refusing to delete the last item")
-		return
 	}
 	s.publishMutated(w, snap, items, seq, len(items))
 }
@@ -125,6 +127,11 @@ func (s *Server) commitMutation(w http.ResponseWriter, op wal.Op, it repro.Item)
 	}
 	if s.walClosed {
 		s.writeError(w, http.StatusServiceUnavailable, "write-ahead log is closed")
+		return 0, false
+	}
+	if s.mutPoisoned {
+		s.writeError(w, http.StatusServiceUnavailable,
+			"mutations disabled: a logged mutation failed to publish (restart to recover)")
 		return 0, false
 	}
 	seq, err := s.wal.Append(op, it)
@@ -146,7 +153,12 @@ func (s *Server) publishMutated(w http.ResponseWriter, old *Snapshot, items []re
 	if err != nil {
 		// Unreachable in practice (no store build, items pre-validated), but
 		// if it happens the WAL record is durable while the serving state is
-		// not: recovery on restart will apply it. Be honest about that.
+		// not: recovery on restart will apply it. Poison the mutation path so
+		// later mutations cannot build on the stale snapshot while WAL seqs
+		// advance past the unapplied record; queries keep serving.
+		if s.wal != nil {
+			s.mutPoisoned = true
+		}
 		s.writeError(w, http.StatusInternalServerError,
 			fmt.Sprintf("mutation logged (wal seq %d) but snapshot rebuild failed: %v", walSeq, err))
 		return

@@ -132,6 +132,40 @@ func TestDurableMutationsSurviveRestart(t *testing.T) {
 	}
 }
 
+// TestRefusedLastItemDeleteLeavesNoWALRecord: a 409-refused delete must leave
+// no durable trace. If it were logged, a crash-recovery replay would either
+// yield an empty dataset that cannot boot, or silently apply a delete the
+// client was told failed.
+func TestRefusedLastItemDeleteLeavesNoWALRecord(t *testing.T) {
+	dir := t.TempDir()
+	oneItem := func(cfg *Config) {
+		cfg.Dataset.Generate = &GenerateSpec{Kind: "UN", N: 1, Dims: 2, Seed: 3}
+		cfg.Durability = &wal.Options{Dir: dir, Policy: wal.SyncAlways}
+	}
+
+	s := newTestServer(t, oneItem)
+	id := s.Snapshot().Items[0].ID
+	if w, _ := do(t, s, "POST", "/v1/admin/delete", fmt.Sprintf(`{"id":%d}`, id)); w.Code != 409 {
+		t.Fatalf("last-item delete = %d, want 409", w.Code)
+	}
+	if got := s.wal.LastSeq(); got != 0 {
+		t.Fatalf("refused delete was logged: wal LastSeq = %d, want 0", got)
+	}
+
+	// Crash-style restart: abandon s without the shutdown checkpoint and boot
+	// over the raw log. Had the refused delete been logged, replay would
+	// produce an empty dataset and recovery would refuse to start.
+	s2 := newTestServer(t, oneItem)
+	defer func() {
+		ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelCtx()
+		_ = s2.Shutdown(ctx)
+	}()
+	if got := len(s2.Snapshot().Items); got != 1 {
+		t.Fatalf("recovered %d items, want 1", got)
+	}
+}
+
 // TestReloadStartsNewDurabilityEpoch: a reload checkpoints the new dataset,
 // so a restart recovers the reloaded dataset — not the boot dataset plus the
 // pre-reload mutations.

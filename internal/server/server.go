@@ -113,6 +113,11 @@ type Server struct {
 	wal       *wal.Log
 	walRec    wal.Recovery
 	walClosed bool // set under mutMu by closeWAL
+	// mutPoisoned (under mutMu) is set when a mutation was durably logged but
+	// its snapshot failed to publish: serving state now lags the WAL, and
+	// further mutations would compound the divergence. Queries keep serving;
+	// restart recovery replays the log and converges.
+	mutPoisoned bool
 
 	draining atomic.Bool
 
@@ -647,6 +652,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.publishLocked(snap)
+	// The checkpoint above superseded any logged-but-unpublished mutation:
+	// durable and serving state agree again, so the mutation path reopens.
+	s.mutPoisoned = false
 	s.mutMu.Unlock()
 	s.metrics.Reloads.Inc()
 	s.writeJSON(w, http.StatusOK, map[string]any{
@@ -721,7 +729,10 @@ func (s *Server) closeWAL() error {
 	}
 	s.walClosed = true
 	var errs []error
-	if snap := s.snap.Load(); snap != nil {
+	// A poisoned mutation path means the serving snapshot lags the log;
+	// checkpointing it at LastSeq would silently discard the logged-but-
+	// unpublished record. Leave the tail for restart recovery to replay.
+	if snap := s.snap.Load(); snap != nil && !s.mutPoisoned {
 		if err := s.wal.Checkpoint(snap.Items, s.wal.LastSeq()); err != nil {
 			errs = append(errs, fmt.Errorf("server: shutdown checkpoint: %w", err))
 		}

@@ -117,7 +117,7 @@ func Open(opts Options) (*Log, Recovery, error) {
 			return nil, Recovery{}, err
 		}
 		if truncateAt >= 0 {
-			if err := os.Truncate(path, truncateAt); err != nil {
+			if err := truncateAndSync(path, truncateAt); err != nil {
 				return nil, Recovery{}, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
 			}
 			rec.TornTail = true
@@ -236,6 +236,25 @@ func tornAtEOF(buf []byte, off int64) bool {
 		}
 	}
 	return false
+}
+
+// truncateAndSync cuts the file at off and fsyncs the new size before any
+// fresh appends land beyond the cut point. Without the fsync, a second crash
+// could resurrect the discarded torn bytes *after* newly written valid
+// records — which the next recovery would rightly classify as mid-log
+// corruption and refuse to boot.
+func truncateAndSync(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(off); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
 }
 
 // removeStrayTemps deletes "*.tmp" leftovers from checkpoints that crashed

@@ -10,9 +10,9 @@ GO ?= go
 # detection on fresh mutations of the seed corpus, not deep exploration.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet vet-obs vet-wal test race race-core bench-smoke fuzz-smoke crash-smoke bench
+.PHONY: check build vet vet-obs vet-wal test race race-core bench-smoke fuzz-smoke crash-smoke sim-smoke bench
 
-check: vet-obs vet-wal build test race race-core bench-smoke fuzz-smoke crash-smoke
+check: vet-obs vet-wal build test race race-core bench-smoke fuzz-smoke crash-smoke sim-smoke
 	@echo "tier-1 gate: OK"
 
 build:
@@ -51,8 +51,11 @@ vet-wal: vet
 	fi
 	@echo "vet-wal: OK"
 
+# -shuffle=on randomises test (and subtest-source) execution order every
+# run, so accidental inter-test state dependence surfaces instead of
+# fossilising; the seed is printed on failure for exact reproduction.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -63,7 +66,7 @@ race:
 # correctness. Redundant with `race` but kept separate so the critical slice
 # has its own fast signal.
 race-core:
-	$(GO) test -race ./internal/exec/... ./internal/oracle/... ./internal/server/... ./internal/wal/...
+	$(GO) test -race -short ./internal/exec/... ./internal/oracle/... ./internal/server/... ./internal/wal/... ./internal/sim/...
 
 # Benchmark smoke: the parallel/cache-aware configuration against the
 # sequential reference on CarDB-50K, recorded as BENCH_parallel.json.
@@ -77,12 +80,20 @@ fuzz-smoke:
 	$(GO) test ./internal/whynot -run FuzzLoadApproxStore -fuzz FuzzLoadApproxStore -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/whynot -run FuzzMWPMQP -fuzz FuzzMWPMQP -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run FuzzDecodeRequests -fuzz FuzzDecodeRequests -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wal -run FuzzDecodeFrame -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME)
 
 # Crash smoke: the WAL kill-injection soak at short length — every log
 # write/fsync/rotate/snapshot boundary killed twice, recovery verified
 # against the oracle replay. Appends to BENCH_crash.json.
 crash-smoke:
 	$(GO) run ./cmd/crash -mutations 60 -visits 2 -out BENCH_crash.json
+
+# Simulation smoke: short seeded model-based histories against the embedded
+# DB and the in-process server, with the metamorphic transforms, checked
+# op-by-op against the brute-force oracle model. A divergence shrinks to a
+# replayable .simtrace and fails the target. Appends to BENCH_sim.json.
+sim-smoke:
+	$(GO) run ./cmd/sim -seeds 2 -ops 400 -out BENCH_sim.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the documented process exit contract (0 success,
+// 1 internal failure, 2 usage error, 3 deadline/degraded) by executing the
+// real binary: scripts branch on these codes, and in-process tests of run()
+// cannot see what main() maps an error onto.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "whynot")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	oneItem := filepath.Join(t.TempDir(), "one.csv")
+	if err := os.WriteFile(oneItem, []byte("1,5.0,5.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		args   []string
+		want   int
+		stderr string // required substring of stderr when non-empty
+	}{
+		{name: "rsl on the paper example",
+			args: []string{"-q", "8.5,55", "rsl"}, want: 0},
+		{name: "durable insert",
+			args: []string{"-wal-dir", "{tmp}", "-q", "9,40", "-c", "9001", "insert"}, want: 0},
+		{name: "missing -q is a usage error",
+			args: []string{"rsl"}, want: 2, stderr: "missing -q"},
+		{name: "unknown command is a usage error",
+			args: []string{"-q", "8.5,55", "frobnicate"}, want: 2, stderr: "unknown command"},
+		{name: "unreadable dataset is an internal failure",
+			args: []string{"-data", filepath.Join(t.TempDir(), "absent.csv"), "-q", "1,2", "rsl"},
+			want: 1},
+		{name: "refused last-item delete is an internal failure",
+			args: []string{"-data", oneItem, "-wal-dir", "{tmp}", "-c", "1", "delete"},
+			want: 1, stderr: "last item"},
+		{name: "blown deadline",
+			args: []string{"-timeout", "1ns", "-q", "8.5,55", "rsl"}, want: 3,
+			stderr: "deadline"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := make([]string, len(tc.args))
+			for i, a := range tc.args {
+				if a == "{tmp}" {
+					a = t.TempDir()
+				}
+				args[i] = a
+			}
+			cmd := exec.Command(bin, args...)
+			var stderr strings.Builder
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			got := 0
+			if ee, ok := err.(*exec.ExitError); ok {
+				got = ee.ExitCode()
+			} else if err != nil {
+				t.Fatalf("exec: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("exit code = %d, want %d\nstderr: %s", got, tc.want, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Fatalf("stderr %q does not mention %q", stderr.String(), tc.stderr)
+			}
+		})
+	}
+}

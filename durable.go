@@ -62,6 +62,12 @@ func (e *NotFoundError) Error() string {
 	return fmt.Sprintf("repro: delete: id %d not present at that position", e.ID)
 }
 
+// ErrLastItem rejects a DeleteDurable that would empty the dataset: an empty
+// reverse-skyline dataset has no recoverable meaning, and refusing before the
+// WAL append keeps the refusal free of durable side effects. The serving
+// layer applies the same rule at the snapshot level.
+var ErrLastItem = errors.New("repro: delete: refusing to remove the last item")
+
 // OpenDurable opens (or creates) a durable DB: the WAL directory named by
 // opts.Durability is recovered — newest valid snapshot, or the given base
 // item set when none exists, plus the replayed log tail — and the resulting
@@ -126,7 +132,7 @@ func (db *DB) InsertDurable(it Item) (uint64, error) {
 // DeleteDurable commits a delete to the WAL and then applies it to the index,
 // returning the record's log sequence number. The item must be present with
 // that exact ID and position; an absent item is rejected before anything is
-// logged.
+// logged, and the last remaining item cannot be deleted (ErrLastItem).
 func (db *DB) DeleteDurable(it Item) (uint64, error) {
 	if db.wal == nil {
 		return 0, ErrNotDurable
@@ -136,6 +142,9 @@ func (db *DB) DeleteDurable(it Item) (uint64, error) {
 	stored, ok := db.items[it.ID]
 	if !ok || !stored.Point.Equal(it.Point) {
 		return 0, &NotFoundError{ID: it.ID}
+	}
+	if len(db.items) == 1 {
+		return 0, ErrLastItem
 	}
 	seq, err := db.wal.Append(wal.OpDelete, it)
 	if err != nil {

@@ -117,3 +117,33 @@ func TestDurableGuards(t *testing.T) {
 		db.Insert(Item{ID: 1, Point: NewPoint(1, 1)})
 	}()
 }
+
+func TestDeleteDurableRefusesLastItem(t *testing.T) {
+	dir := t.TempDir()
+	base := []Item{
+		{ID: 1, Point: NewPoint(1, 1)},
+		{ID: 2, Point: NewPoint(2, 2)},
+	}
+	db, _, err := OpenDurable(2, base, durableOpts(dir))
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	defer db.Close()
+	if _, err := db.DeleteDurable(base[0]); err != nil {
+		t.Fatalf("DeleteDurable with two items left: %v", err)
+	}
+	if _, err := db.DeleteDurable(base[1]); !errors.Is(err, ErrLastItem) {
+		t.Fatalf("DeleteDurable of last item = %v, want ErrLastItem", err)
+	}
+	// The refusal must leave no durable side effect: the item is still
+	// present, queryable and deletable once company returns.
+	if got := db.Len(); got != 1 {
+		t.Fatalf("Len after refused delete = %d, want 1", got)
+	}
+	if _, err := db.InsertDurable(Item{ID: 3, Point: NewPoint(3, 3)}); err != nil {
+		t.Fatalf("InsertDurable after refusal: %v", err)
+	}
+	if _, err := db.DeleteDurable(base[1]); err != nil {
+		t.Fatalf("DeleteDurable once no longer last: %v", err)
+	}
+}

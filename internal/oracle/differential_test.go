@@ -97,6 +97,12 @@ func forEachConfigMaxDim(t *testing.T, maxDim int, fn func(t *testing.T, f fixtu
 			if d > maxDim {
 				continue
 			}
+			if d == 4 && testing.Short() {
+				// The d=4 configs dominate the suite's runtime (2^d orthant
+				// fan-out in every pass) while the algorithms branch on
+				// dimension nowhere beyond loops; -short keeps d ≤ 3.
+				continue
+			}
 			k, d := k, d
 			t.Run(fmt.Sprintf("%s/d=%d", k.name, d), func(t *testing.T) {
 				t.Parallel()

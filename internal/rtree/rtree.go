@@ -520,9 +520,13 @@ func packNodes(children []*node, M, dims, level int) []*node {
 }
 
 // strTile recursively sorts by successive dimensions and slices into tiles.
+// Every returned group owns its backing array: groups become node entry
+// slices, and a node must be able to append within its own capacity without
+// clobbering a sibling. (Returning the aliased sub-slice here once let the
+// first post-bulk-load insert overwrite the first entry of the next leaf.)
 func strTile(es []entry, M, dims, dim int, key func(entry, int) float64) [][]entry {
 	if len(es) <= M {
-		return [][]entry{es}
+		return [][]entry{append([]entry(nil), es...)}
 	}
 	sort.Slice(es, func(i, j int) bool { return key(es[i], dim) < key(es[j], dim) })
 	if dim == dims-1 {

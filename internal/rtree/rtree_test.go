@@ -570,3 +570,42 @@ func TestConfigAndBoundsAccessors(t *testing.T) {
 		t.Fatal("non-empty tree must have bounds")
 	}
 }
+
+// TestBulkLoadThenInsertNoAliasing is the regression test for the STR slice
+// aliasing bug: strTile's small-group base case used to return sub-slices of
+// one shared backing array, so the first leaf kept spare capacity overlapping
+// its sibling and the first post-bulk-load Insert silently overwrote the
+// sibling's first entry — one item vanished from queries and the inserted
+// item was reported twice. Found by the internal/sim model-based harness.
+func TestBulkLoadThenInsertNoAliasing(t *testing.T) {
+	for _, dims := range []int{2, 3, 4} {
+		for _, n := range []int{30, 32, 48, 100, 333} {
+			items := randItems(n, dims, int64(7*n+dims))
+			tr := BulkLoad(dims, items, Config{})
+			for k, extra := range randItems(8, dims, int64(n)) {
+				extra.ID = 1_000_000 + k
+				tr.Insert(extra)
+				items = append(items, extra)
+			}
+			seen := make(map[int]int, len(items))
+			tr.All(func(it Item) bool {
+				seen[it.ID]++
+				return true
+			})
+			for _, it := range items {
+				if seen[it.ID] != 1 {
+					t.Fatalf("dims=%d n=%d: item %d stored %d times after bulk+insert",
+						dims, n, it.ID, seen[it.ID])
+				}
+				got := tr.RangeQuery(geom.PointRect(it.Point))
+				found := false
+				for _, g := range got {
+					found = found || g.ID == it.ID
+				}
+				if !found {
+					t.Fatalf("dims=%d n=%d: item %d invisible to window query", dims, n, it.ID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// insertIDBase is the first generated insert ID; base IDs are tiny, so the
+// two ranges never collide (and neither does the metamorphic twin range).
+const insertIDBase = 100_000
+
+// absentID is an ID no generated history ever makes live: deletes and
+// whynot ops occasionally target it to exercise the agreed error paths
+// (NotFoundError / 404), which also keeps arbitrary subsequences of a
+// history valid for the shrinker.
+const absentID = 987_654_321
+
+// GenConfig shapes a generated history. Zero fields get defaults sized for
+// a fast, high-coverage run.
+type GenConfig struct {
+	Mode  Mode
+	Seed  int64
+	Dims  int // default 2
+	BaseN int // default 48
+	Ops   int // default 200
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Mode == "" {
+		c.Mode = ModeDB
+	}
+	if c.Dims <= 0 {
+		c.Dims = 2
+	}
+	if c.BaseN <= 0 {
+		c.BaseN = 48
+	}
+	if c.Ops <= 0 {
+		c.Ops = 200
+	}
+	return c
+}
+
+// Generate produces a deterministic seeded history: same config, same
+// history, byte for byte. The generator tracks a shadow live-ID set so
+// deletes and whynot ops mostly target live items, never drain the dataset
+// below a floor, and reloads reset the set the way the real stack will.
+func Generate(cfg GenConfig) History {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x51D))
+	h := History{Mode: cfg.Mode, Seed: cfg.Seed, Dims: cfg.Dims, BaseN: cfg.BaseN}
+
+	var live []int
+	if cfg.Mode == ModeServer {
+		// datagen IDs are 0..n-1.
+		for i := 0; i < cfg.BaseN; i++ {
+			live = append(live, i)
+		}
+	} else {
+		for i := 1; i <= cfg.BaseN; i++ {
+			live = append(live, i)
+		}
+	}
+	nextInsert := insertIDBase
+
+	point := func() geom.Point {
+		p := make(geom.Point, cfg.Dims)
+		for d := range p {
+			p[d] = Quantize(rng.Float64() * 1000)
+		}
+		return p
+	}
+	pickLive := func() int { return live[rng.Intn(len(live))] }
+	removeLive := func(id int) {
+		for i, v := range live {
+			if v == id {
+				live = append(live[:i], live[i+1:]...)
+				return
+			}
+		}
+	}
+
+	for len(h.Ops) < cfg.Ops {
+		roll := rng.Intn(100)
+		h.Ops = append(h.Ops, nextOp(cfg, rng, roll, &live, &nextInsert, point, pickLive, removeLive))
+	}
+	return h
+}
+
+// nextOp rolls one op. Split out so the weight table reads as one switch.
+func nextOp(cfg GenConfig, rng *rand.Rand, roll int, live *[]int, nextInsert *int,
+	point func() geom.Point, pickLive func() int, removeLive func(int)) Op {
+	if cfg.Mode == ModeServer {
+		switch {
+		case roll < 30: // rskyline
+			return Op{Kind: KindRSkyline, Point: point()}
+		case roll < 48: // whynot
+			id := pickLive()
+			if rng.Intn(10) == 0 {
+				id = absentID
+			}
+			return Op{Kind: KindWhyNot, ID: id, Point: point()}
+		case roll < 68: // insert
+			return genInsert(rng, live, nextInsert, point)
+		case roll < 80: // delete
+			return genDelete(rng, live, nextInsert, point, pickLive, removeLive)
+		case roll < 85: // reload
+			spec := &GenSpec{
+				Kind: []string{"UN", "CO", "AC"}[rng.Intn(3)],
+				N:    30 + rng.Intn(40),
+				Seed: rng.Int63n(1 << 20),
+			}
+			*live = (*live)[:0]
+			for i := 0; i < spec.N; i++ {
+				*live = append(*live, i)
+			}
+			return Op{Kind: KindReload, Gen: spec}
+		case roll < 90: // restart
+			return Op{Kind: KindRestart}
+		default: // status
+			return Op{Kind: KindStatus}
+		}
+	}
+	switch {
+	case roll < 28: // rskyline
+		return Op{Kind: KindRSkyline, Point: point()}
+	case roll < 40: // dsl
+		return Op{Kind: KindDSL, Point: point()}
+	case roll < 55: // whynot
+		id := pickLive()
+		if rng.Intn(10) == 0 {
+			id = absentID
+		}
+		return Op{Kind: KindWhyNot, ID: id, Point: point()}
+	case roll < 73: // insert
+		return genInsert(rng, live, nextInsert, point)
+	case roll < 83: // delete
+		return genDelete(rng, live, nextInsert, point, pickLive, removeLive)
+	case roll < 87: // checkpoint
+		return Op{Kind: KindCheckpoint}
+	case roll < 91: // invalidate
+		return Op{Kind: KindInvalidate}
+	case roll < 96: // restart
+		return Op{Kind: KindRestart}
+	default: // safeprobe (2-d only: exact safe regions stay cheap there)
+		if cfg.Dims == 2 {
+			return Op{Kind: KindSafeProbe, Point: point()}
+		}
+		return Op{Kind: KindRSkyline, Point: point()}
+	}
+}
+
+func genInsert(rng *rand.Rand, live *[]int, nextInsert *int, point func() geom.Point) Op {
+	// One in ten inserts reuses a live ID: the stack must refuse it exactly
+	// like the model does.
+	if rng.Intn(10) == 0 && len(*live) > 0 {
+		return Op{Kind: KindInsert, ID: (*live)[rng.Intn(len(*live))], Point: point()}
+	}
+	id := *nextInsert
+	*nextInsert++
+	*live = append(*live, id)
+	return Op{Kind: KindInsert, ID: id, Point: point()}
+}
+
+func genDelete(rng *rand.Rand, live *[]int, nextInsert *int, point func() geom.Point,
+	pickLive func() int, removeLive func(int)) Op {
+	// One in ten deletes targets an absent ID (agreed no-op); never drain
+	// the live set below a floor — an empty dataset cannot recover.
+	if rng.Intn(10) == 0 {
+		return Op{Kind: KindDelete, ID: absentID}
+	}
+	if len(*live) <= 3 {
+		return genInsert(rng, live, nextInsert, point)
+	}
+	id := pickLive()
+	removeLive(id)
+	return Op{Kind: KindDelete, ID: id}
+}

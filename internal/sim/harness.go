@@ -1,0 +1,409 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro"
+	"repro/internal/geom"
+)
+
+// Runner executes one history against the real stack while mirroring every
+// state change into the model. One Runner runs one history once; the
+// shrinker builds a fresh Runner (and a fresh scratch directory) per
+// attempt.
+type Runner struct {
+	cfg   Config
+	h     History
+	base  []repro.Item
+	model *Model
+	rep   *Report
+
+	visitN   map[string]uint64
+	dropNext bool
+
+	db  *repro.DB     // ModeDB
+	srv *serverClient // ModeServer
+}
+
+// NewRunner boots the stack for h's mode over cfg.Dir. The returned error
+// covers plumbing failures only; once the runner exists, disagreements are
+// reported as Report.Divergence.
+func NewRunner(cfg Config, h History) (*Runner, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("sim: Config.Dir is required")
+	}
+	r := &Runner{
+		cfg:    cfg,
+		h:      h,
+		base:   h.Base(),
+		visitN: make(map[string]uint64),
+		rep:    &Report{Mode: h.Mode},
+	}
+	r.model = NewModel(h.Dims, r.base)
+	switch h.Mode {
+	case ModeDB:
+		db, _, err := repro.OpenDurable(h.Dims, r.base, r.dbOptions())
+		if err != nil {
+			return nil, fmt.Errorf("sim: open durable db: %w", err)
+		}
+		r.db = db
+	case ModeServer:
+		srv, err := bootServer(cfg, h)
+		if err != nil {
+			return nil, fmt.Errorf("sim: boot server: %w", err)
+		}
+		r.srv = srv
+	default:
+		return nil, fmt.Errorf("sim: unknown mode %q", h.Mode)
+	}
+	return r, nil
+}
+
+// dbOptions builds the durable facade configuration. The log runs with
+// fsync disabled: sim verifies logical state across graceful restarts, not
+// media durability across kills — that is crashtest's job, and skipping
+// fsync keeps 5000-op histories in the seconds range.
+func (r *Runner) dbOptions() repro.DBOptions {
+	return repro.DBOptions{
+		Parallelism: r.cfg.Workers,
+		CacheSize:   r.cfg.CacheSize,
+		Durability:  &repro.DurabilityOptions{Dir: r.cfg.Dir, Policy: repro.SyncNever},
+	}
+}
+
+// DropNextApply arms the divergence fault: the next insert/delete is
+// applied to the model but silently skipped on the real stack. Wire it into
+// a faultinject.Rule{Site: SiteApplyInsert, Do: r.DropNextApply} to prove
+// the harness catches lost writes and the shrinker minimises them.
+func (r *Runner) DropNextApply() { r.dropNext = true }
+
+// Close releases the stack (idempotent).
+func (r *Runner) Close() error {
+	switch {
+	case r.db != nil:
+		db := r.db
+		r.db = nil
+		return db.Close()
+	case r.srv != nil:
+		srv := r.srv
+		r.srv = nil
+		return srv.close()
+	}
+	return nil
+}
+
+func (r *Runner) visit(site string) {
+	if r.cfg.Hook == nil {
+		return
+	}
+	r.visitN[site]++
+	r.cfg.Hook.Visit(site, r.visitN[site])
+}
+
+func (r *Runner) fail(i int, op Op, format string, args ...any) *Divergence {
+	return &Divergence{OpIndex: i, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (r *Runner) record(res QueryResult) {
+	r.rep.Queries++
+	r.rep.Results = append(r.rep.Results, res)
+}
+
+// Run executes the history, stopping at the first divergence. The final
+// state is always cross-checked item-for-item against the model.
+func (r *Runner) Run() *Report {
+	for i, op := range r.h.Ops {
+		r.visit(SiteOp)
+		var d *Divergence
+		if r.h.Mode == ModeServer {
+			d = r.applyServer(i, op)
+		} else {
+			d = r.applyDB(i, op)
+		}
+		r.rep.Ops++
+		if d != nil {
+			r.rep.Divergence = d
+			return r.rep
+		}
+	}
+	if d := r.finalCheck(); d != nil {
+		r.rep.Divergence = d
+	}
+	return r.rep
+}
+
+func (r *Runner) finalCheck() *Divergence {
+	last := len(r.h.Ops)
+	if r.h.Mode == ModeServer {
+		return r.srv.checkItems(r, last, Op{Kind: KindStatus})
+	}
+	return r.checkDurableItems(last, Op{Kind: KindCheckpoint})
+}
+
+// ---- ModeDB ----
+
+func (r *Runner) applyDB(i int, op Op) *Divergence {
+	switch op.Kind {
+	case KindInsert:
+		return r.dbInsert(i, op)
+	case KindDelete:
+		return r.dbDelete(i, op)
+	case KindRSkyline:
+		return r.dbRSkyline(i, op, KindRSkyline)
+	case KindDSL:
+		return r.dbDSL(i, op)
+	case KindWhyNot:
+		return r.dbWhyNot(i, op)
+	case KindSafeProbe:
+		return r.dbSafeProbe(i, op)
+	case KindCheckpoint:
+		r.rep.Checkpoints++
+		if err := r.db.Checkpoint(); err != nil {
+			return r.fail(i, op, "checkpoint failed: %v", err)
+		}
+		return r.checkDurableItems(i, op)
+	case KindRestart:
+		return r.dbRestart(i, op)
+	case KindInvalidate:
+		r.rep.Invalidates++
+		r.db.InvalidateCaches()
+		return nil
+	default:
+		return r.fail(i, op, "op kind %s is not valid in mode db", op.Kind)
+	}
+}
+
+func (r *Runner) dbInsert(i int, op Op) *Divergence {
+	r.rep.Mutations++
+	r.visit(SiteApplyInsert)
+	it := repro.Item{ID: op.ID, Point: op.Point}
+	_, dup := r.model.Get(op.ID)
+	if r.dropNext {
+		// Injected fault: the model moves on, the stack does not.
+		r.dropNext = false
+		if !dup {
+			r.model.Insert(it)
+		}
+		return nil
+	}
+	_, err := r.db.InsertDurable(it)
+	var dupErr *repro.DuplicateIDError
+	switch {
+	case !dup && err == nil:
+		r.model.Insert(it)
+	case dup && errors.As(err, &dupErr):
+		// Agreed rejection.
+	case dup && err == nil:
+		return r.fail(i, op, "duplicate insert of id %d accepted", op.ID)
+	default:
+		return r.fail(i, op, "insert of id %d rejected: %v", op.ID, err)
+	}
+	return r.checkLen(i, op)
+}
+
+func (r *Runner) dbDelete(i int, op Op) *Divergence {
+	r.rep.Mutations++
+	r.visit(SiteApplyDelete)
+	stored, live := r.model.Get(op.ID)
+	last := live && r.model.Len() == 1
+	if r.dropNext {
+		r.dropNext = false
+		if live && !last {
+			r.model.Delete(op.ID)
+		}
+		return nil
+	}
+	target := stored
+	if !live {
+		target = repro.Item{ID: op.ID, Point: make(geom.Point, r.h.Dims)}
+	}
+	_, err := r.db.DeleteDurable(target)
+	var nf *repro.NotFoundError
+	switch {
+	case live && !last && err == nil:
+		r.model.Delete(op.ID)
+	case !live && errors.As(err, &nf):
+		// Agreed rejection.
+	case last && errors.Is(err, repro.ErrLastItem):
+		// Agreed refusal: an empty dataset cannot recover.
+	case err == nil:
+		return r.fail(i, op, "delete of id %d accepted (want refusal: live=%v last=%v)", op.ID, live, last)
+	default:
+		return r.fail(i, op, "delete of id %d rejected: %v", op.ID, err)
+	}
+	return r.checkLen(i, op)
+}
+
+func (r *Runner) dbRSkyline(i int, op Op, as Kind) *Divergence {
+	items := r.model.Items()
+	got := sortedIDs(r.db.ReverseSkyline(items, op.Point))
+	want := sortedIDs(r.model.ReverseSkyline(op.Point))
+	if !sameIDSets(got, want) {
+		return r.fail(i, op, "RSL(%v): stack %v, model %v", op.Point, got, want)
+	}
+	r.record(QueryResult{OpIndex: i, Kind: as, IDs: want})
+	return nil
+}
+
+func (r *Runner) dbDSL(i int, op Op) *Divergence {
+	got := sortedIDs(r.db.DynamicSkyline(op.Point))
+	want := sortedIDs(r.model.DynamicSkyline(op.Point))
+	if !sameIDSets(got, want) {
+		return r.fail(i, op, "DSL(%v): stack %v, model %v", op.Point, got, want)
+	}
+	r.record(QueryResult{OpIndex: i, Kind: KindDSL, IDs: want})
+	return nil
+}
+
+func (r *Runner) dbWhyNot(i int, op Op) *Divergence {
+	ct, live := r.model.Get(op.ID)
+	if !live {
+		r.record(QueryResult{OpIndex: i, Kind: KindWhyNot, Skipped: true})
+		return nil
+	}
+	member := r.db.IsReverseSkyline(ct, op.Point)
+	want := r.model.IsReverseSkyline(ct, op.Point)
+	if member != want {
+		return r.fail(i, op, "membership of customer %d in RSL(%v): stack %v, model %v",
+			op.ID, op.Point, member, want)
+	}
+	if !member {
+		// Lemma 1 culprits. The engine's window query is a closed box, so it
+		// may legitimately include weak-boundary ties on top of the strict
+		// dominators; it must contain every strict dominator and nothing
+		// that fails even weak dominance.
+		culprits := r.db.Explain(ct, op.Point)
+		have := make(map[int]bool, len(culprits))
+		for _, p := range culprits {
+			if p.ID == ct.ID {
+				return r.fail(i, op, "Explain returned the customer's own record %d", p.ID)
+			}
+			if !geom.DynWeaklyDominates(ct.Point, p.Point, op.Point) {
+				return r.fail(i, op, "Explain culprit %d does not even weakly dominate q", p.ID)
+			}
+			have[p.ID] = true
+		}
+		for _, p := range r.model.Culprits(ct, op.Point) {
+			if !have[p.ID] {
+				return r.fail(i, op, "Explain missed strict culprit %d", p.ID)
+			}
+		}
+	}
+	r.record(QueryResult{OpIndex: i, Kind: KindWhyNot, Member: member})
+	return nil
+}
+
+// maxProbeRSL caps the reverse-skyline size a safe-region probe will build
+// an exact region for: Algorithm 3's cost grows steeply with |RSL(q)|, and
+// the probe's value is the Lemma 2 relation, not stress-testing region
+// algebra.
+const maxProbeRSL = 6
+
+func (r *Runner) dbSafeProbe(i int, op Op) *Divergence {
+	if d := r.dbRSkyline(i, op, KindSafeProbe); d != nil {
+		return d
+	}
+	r.rep.SafeProbes++
+	rsl := r.model.ReverseSkyline(op.Point)
+	if len(rsl) == 0 || len(rsl) > maxProbeRSL {
+		return nil
+	}
+	sr := r.db.SafeRegion(op.Point, rsl)
+	// q itself keeps every current RSL member by definition, and the
+	// constructed region is closed, so it must contain q.
+	if !sr.Contains(op.Point) {
+		return r.fail(i, op, "safe region of %v excludes q itself", op.Point)
+	}
+	cand := r.pickSafePoint(sr, rsl)
+	if cand == nil {
+		return nil
+	}
+	items := r.model.Items()
+	got := sortedIDs(r.db.ReverseSkyline(items, cand))
+	want := sortedIDs(r.model.ReverseSkyline(cand))
+	if !sameIDSets(got, want) {
+		return r.fail(i, op, "RSL(%v) after safe move: stack %v, model %v", cand, got, want)
+	}
+	// Lemma 2: a move inside the safe region loses no customer.
+	kept := make(map[int]bool, len(got))
+	for _, id := range got {
+		kept[id] = true
+	}
+	for _, c := range rsl {
+		if !kept[c.ID] {
+			return r.fail(i, op, "customer %d lost by safe move %v -> %v", c.ID, op.Point, cand)
+		}
+	}
+	return nil
+}
+
+// pickSafePoint deterministically picks a perturbed query position inside
+// the constructed safe region: the first rectangle midpoint (nudged off the
+// boundary) that the semantic oracle also confirms safe. The oracle
+// confirmation dodges the measure-zero closed-boundary disagreement the
+// oracle package documents.
+func (r *Runner) pickSafePoint(sr repro.Region, rsl []repro.Item) geom.Point {
+	for k, rect := range sr {
+		if k >= 4 {
+			break
+		}
+		mid := make(geom.Point, len(rect.Lo))
+		for d := range mid {
+			mid[d] = (rect.Lo[d] + rect.Hi[d]) / 2
+		}
+		cand := sr.InteriorNudge(mid, 1e-7)
+		if r.model.SafeAt(rsl, cand) {
+			return cand
+		}
+	}
+	return nil
+}
+
+func (r *Runner) dbRestart(i int, op Op) *Divergence {
+	r.rep.Restarts++
+	if err := r.db.Close(); err != nil {
+		return r.fail(i, op, "close before restart: %v", err)
+	}
+	db, _, err := repro.OpenDurable(r.h.Dims, r.base, r.dbOptions())
+	if err != nil {
+		return r.fail(i, op, "recovery failed: %v", err)
+	}
+	r.db = db
+	return r.checkDurableItems(i, op)
+}
+
+// checkLen is the cheap per-mutation invariant; full item equality runs on
+// checkpoints, restarts and at the end of the history.
+func (r *Runner) checkLen(i int, op Op) *Divergence {
+	if got, want := r.db.Len(), r.model.Len(); got != want {
+		return r.fail(i, op, "item count: stack %d, model %d", got, want)
+	}
+	return nil
+}
+
+func (r *Runner) checkDurableItems(i int, op Op) *Divergence {
+	got := r.db.DurableItems()
+	want := r.model.Items()
+	if msg := itemsDiff(got, want); msg != "" {
+		return r.fail(i, op, "durable item set: %s", msg)
+	}
+	return nil
+}
+
+// itemsDiff compares two ID-sorted item slices exactly (IDs and positions),
+// returning "" when equal.
+func itemsDiff(got, want []repro.Item) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("%d items, model has %d", len(got), len(want))
+	}
+	for k := range got {
+		if got[k].ID != want[k].ID {
+			return fmt.Sprintf("item %d has id %d, model has %d", k, got[k].ID, want[k].ID)
+		}
+		if !got[k].Point.Equal(want[k].Point) {
+			return fmt.Sprintf("item id %d at %v, model has %v", got[k].ID, got[k].Point, want[k].Point)
+		}
+	}
+	return ""
+}

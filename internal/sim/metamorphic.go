@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Metamorphic transform names. Each names a paper-derived history
+// transformation with a known required relation between the answers of the
+// base run and the transformed run; violations indict the stack or the
+// oracle without needing any external ground truth.
+const (
+	// TransformRescale maps every coordinate (base items, insert positions,
+	// query points) through a per-dimension positive affine map. Dynamic
+	// dominance compares |a_i - c_i| against |b_i - c_i| (Definition 2), and
+	// an affine map with positive scale multiplies both sides by the same
+	// factor, so every dominance verdict — hence every answer ID set — must
+	// be identical. Scales are powers of two and offsets are grid-aligned,
+	// so the transform is exact in IEEE 754: no verdict can flip by rounding.
+	TransformRescale = "rescale"
+	// TransformRelabel renames every ID through φ(id) = id + relabelOffset.
+	// Answers must be equal up to φ: mapping the transformed run's IDs back
+	// through φ⁻¹ must reproduce the base answers exactly.
+	TransformRelabel = "relabel"
+	// TransformDupDelete follows every insert with a twin insert at the same
+	// point under a fresh ID and an immediate delete of the twin. The net
+	// state after each pair is unchanged and no query runs between the twin's
+	// birth and death, so every answer must be identical — while the WAL,
+	// index maintenance and caches absorb twice the churn and exact
+	// coordinate ties.
+	TransformDupDelete = "dupdelete"
+	// TransformPerturb rewrites every second rskyline op into a safeprobe:
+	// the probe re-asks RSL(q), builds the Algorithm 3 safe region, moves q
+	// to a verified interior point and asserts the Lemma 2 relation that the
+	// perturbed query keeps every original customer (superset), inline in the
+	// runner. Across runs the recorded RSL(q) sets must still be equal.
+	TransformPerturb = "perturb"
+)
+
+const (
+	relabelOffset = 7_000_000
+	twinIDBase    = 5_000_000
+)
+
+var (
+	rescaleScale  = [4]float64{2, 0.5, 4, 0.25}
+	rescaleOffset = [4]float64{128, 37.5, 64, 256}
+)
+
+// rescalePoint applies the exact per-dimension affine map of
+// TransformRescale.
+func rescalePoint(p geom.Point) geom.Point {
+	out := make(geom.Point, len(p))
+	for d, v := range p {
+		out[d] = v*rescaleScale[d%4] + rescaleOffset[d%4]
+	}
+	return out
+}
+
+func relabelID(id int) int { return id + relabelOffset }
+
+// Transform is one metamorphic history transformation.
+type Transform struct {
+	// Name is the Transform* constant.
+	Name string
+	// Relation documents the required answer relation ("equal",
+	// "equal-up-to-relabel", "equal+superset-inline").
+	Relation string
+	// Apply rewrites a base history into its transformed twin (the input is
+	// not mutated).
+	Apply func(History) History
+	// MapBackID maps an ID from the transformed run's answers back into the
+	// base run's ID space (nil = identity).
+	MapBackID func(int) int
+}
+
+// Transforms returns the transforms applicable to h. The metamorphic layer
+// is ModeDB-only: the server rebuilds its base from a DatasetSpec, which a
+// transform cannot reach through the API.
+func Transforms(h History) []Transform {
+	if h.Mode != ModeDB {
+		return nil
+	}
+	ts := []Transform{
+		{Name: TransformRescale, Relation: "equal", Apply: applyRescale},
+		{Name: TransformRelabel, Relation: "equal-up-to-relabel", Apply: applyRelabel,
+			MapBackID: func(id int) int { return id - relabelOffset }},
+		{Name: TransformDupDelete, Relation: "equal", Apply: applyDupDelete},
+	}
+	if h.Dims == 2 {
+		ts = append(ts, Transform{
+			Name: TransformPerturb, Relation: "equal+superset-inline", Apply: applyPerturb,
+		})
+	}
+	return ts
+}
+
+func cloneOps(h History) History {
+	h.Ops = append([]Op(nil), h.Ops...)
+	return h
+}
+
+func applyRescale(h History) History {
+	h = cloneOps(h)
+	h.Transform = TransformRescale
+	for i, op := range h.Ops {
+		if op.Point != nil {
+			h.Ops[i].Point = rescalePoint(op.Point)
+		}
+	}
+	return h
+}
+
+func applyRelabel(h History) History {
+	h = cloneOps(h)
+	h.Transform = TransformRelabel
+	for i, op := range h.Ops {
+		switch op.Kind {
+		case KindInsert, KindDelete, KindWhyNot:
+			h.Ops[i].ID = relabelID(op.ID)
+		}
+	}
+	return h
+}
+
+func applyDupDelete(h History) History {
+	out := History{Mode: h.Mode, Seed: h.Seed, Dims: h.Dims, BaseN: h.BaseN,
+		Transform: TransformDupDelete}
+	twin := twinIDBase
+	for _, op := range h.Ops {
+		out.Ops = append(out.Ops, op)
+		if op.Kind == KindInsert {
+			p := append(geom.Point(nil), op.Point...)
+			out.Ops = append(out.Ops,
+				Op{Kind: KindInsert, ID: twin, Point: p},
+				Op{Kind: KindDelete, ID: twin})
+			twin++
+		}
+	}
+	return out
+}
+
+func applyPerturb(h History) History {
+	h = cloneOps(h)
+	h.Transform = TransformPerturb
+	nth := 0
+	for i, op := range h.Ops {
+		if op.Kind != KindRSkyline {
+			continue
+		}
+		if nth++; nth%2 == 0 {
+			h.Ops[i].Kind = KindSafeProbe
+		}
+	}
+	return h
+}
+
+// Violation reports a broken metamorphic relation.
+type Violation struct {
+	Transform string
+	// Index is the offending position in the aligned Results lists (or the
+	// diverging op index if the transformed replay itself diverged).
+	Index int
+	Msg   string
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("metamorphic %s at %d: %s", v.Transform, v.Index, v.Msg)
+}
+
+// CompareResults checks the transform's relation between the base run's
+// recorded answers and the transformed run's. Every transform preserves the
+// number and order of answer-recording ops, so alignment is positional.
+func CompareResults(t Transform, base, got []QueryResult) *Violation {
+	bad := func(i int, format string, args ...any) *Violation {
+		return &Violation{Transform: t.Name, Index: i, Msg: fmt.Sprintf(format, args...)}
+	}
+	if len(base) != len(got) {
+		return bad(-1, "recorded %d answers, base run recorded %d", len(got), len(base))
+	}
+	mapBack := t.MapBackID
+	if mapBack == nil {
+		mapBack = func(id int) int { return id }
+	}
+	for i := range base {
+		b, g := base[i], got[i]
+		if b.Skipped != g.Skipped {
+			return bad(i, "skipped=%v, base run skipped=%v", g.Skipped, b.Skipped)
+		}
+		if b.Kind == KindWhyNot {
+			if b.Member != g.Member {
+				return bad(i, "whynot membership %v, base run %v", g.Member, b.Member)
+			}
+			continue
+		}
+		ids := make([]int, len(g.IDs))
+		for k, id := range g.IDs {
+			ids[k] = mapBack(id)
+		}
+		if !sameIDSets(ids, b.IDs) {
+			return bad(i, "%s answer %v (mapped back %v), base run %v", b.Kind, g.IDs, ids, b.IDs)
+		}
+	}
+	return nil
+}
+
+// MetaRun is the outcome of one transformed replay.
+type MetaRun struct {
+	Transform Transform
+	Report    *Report
+	Violation *Violation
+}
+
+// RunMetamorphic runs h, then each applicable transform of it in its own
+// scratch directory (scratch must return a fresh empty directory per name),
+// checking the required relation against the base run. The base report is
+// always returned; if the base run itself diverges, no transforms run.
+func RunMetamorphic(cfg Config, h History, scratch func(name string) string) (*Report, []MetaRun, error) {
+	baseRep, err := Run(cfg, h)
+	if err != nil || baseRep.Divergence != nil {
+		return baseRep, nil, err
+	}
+	var runs []MetaRun
+	for _, t := range Transforms(h) {
+		tcfg := cfg
+		tcfg.Dir = scratch(t.Name)
+		tcfg.Hook = nil
+		rep, err := Run(tcfg, t.Apply(h))
+		if err != nil {
+			return baseRep, runs, fmt.Errorf("sim: transform %s: %w", t.Name, err)
+		}
+		mr := MetaRun{Transform: t, Report: rep}
+		if rep.Divergence != nil {
+			mr.Violation = &Violation{Transform: t.Name, Index: rep.Divergence.OpIndex,
+				Msg: "transformed replay diverged: " + rep.Divergence.Msg}
+		} else {
+			mr.Violation = CompareResults(t, baseRep.Results, rep.Results)
+		}
+		runs = append(runs, mr)
+	}
+	return baseRep, runs, nil
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"sort"
+
+	"repro"
+	"repro/internal/geom"
+	"repro/internal/oracle"
+)
+
+// Model is the pure in-memory reference state: a map of live items plus the
+// brute-force oracle queries of internal/oracle. It has no index, no cache,
+// no durability and no concurrency — it exists to be obviously correct, so
+// any disagreement with the real stack indicts the stack (or the oracle,
+// which the metamorphic layer cross-checks algebraically).
+type Model struct {
+	dims  int
+	items map[int]repro.Item
+	// sorted caches Items() between mutations; queries between two
+	// mutations reuse the same slice.
+	sorted []repro.Item
+}
+
+// NewModel starts a model from the base item set.
+func NewModel(dims int, base []repro.Item) *Model {
+	m := &Model{dims: dims, items: make(map[int]repro.Item, len(base))}
+	for _, it := range base {
+		m.items[it.ID] = it
+	}
+	return m
+}
+
+// Len returns the live item count.
+func (m *Model) Len() int { return len(m.items) }
+
+// Get looks an item up by ID.
+func (m *Model) Get(id int) (repro.Item, bool) {
+	it, ok := m.items[id]
+	return it, ok
+}
+
+// Insert adds it, reporting false on a duplicate ID (no change).
+func (m *Model) Insert(it repro.Item) bool {
+	if _, dup := m.items[it.ID]; dup {
+		return false
+	}
+	m.items[it.ID] = it
+	m.sorted = nil
+	return true
+}
+
+// Delete removes the item with the given ID, reporting whether it was live.
+func (m *Model) Delete(id int) bool {
+	if _, ok := m.items[id]; !ok {
+		return false
+	}
+	delete(m.items, id)
+	m.sorted = nil
+	return true
+}
+
+// SetItems replaces the whole state (reload).
+func (m *Model) SetItems(items []repro.Item) {
+	m.items = make(map[int]repro.Item, len(items))
+	for _, it := range items {
+		m.items[it.ID] = it
+	}
+	m.sorted = nil
+}
+
+// Items returns the live set sorted by ID — the order DurableItems and a
+// checkpoint use, so set comparisons are positional.
+func (m *Model) Items() []repro.Item {
+	if m.sorted == nil {
+		out := make([]repro.Item, 0, len(m.items))
+		for _, it := range m.items {
+			out = append(out, it)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		m.sorted = out
+	}
+	return m.sorted
+}
+
+// IDs returns the sorted live ID list.
+func (m *Model) IDs() []int { return sortedIDs(m.Items()) }
+
+// ReverseSkyline is the oracle RSL(q) under the monochromatic convention
+// (the customers are the live items themselves).
+func (m *Model) ReverseSkyline(q geom.Point) []repro.Item {
+	items := m.Items()
+	return oracle.ReverseSkyline(items, items, q)
+}
+
+// DynamicSkyline is the oracle DSL(c) with no exclusion.
+func (m *Model) DynamicSkyline(c geom.Point) []repro.Item {
+	return oracle.DynamicSkyline(m.Items(), c, oracle.NoExclude)
+}
+
+// IsReverseSkyline is the oracle membership test for a live customer.
+func (m *Model) IsReverseSkyline(c repro.Item, q geom.Point) bool {
+	return oracle.IsReverseSkyline(m.Items(), c, q)
+}
+
+// Culprits returns the strict Lemma 1 culprit set: every product other than
+// the customer's own record that dynamically dominates q from c's
+// perspective. The engine's window-query Explain must return a superset of
+// this (its closed window may also pick up weak-boundary ties).
+func (m *Model) Culprits(ct repro.Item, q geom.Point) []repro.Item {
+	var out []repro.Item
+	for _, p := range m.Items() {
+		if p.ID == ct.ID {
+			continue
+		}
+		if geom.DynDominates(ct.Point, p.Point, q) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SafeAt is the semantic Lemma 2 safe-region membership test.
+func (m *Model) SafeAt(rsl []repro.Item, x geom.Point) bool {
+	return oracle.SafeAt(m.Items(), rsl, x)
+}

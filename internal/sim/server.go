@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// serverClient drives internal/server in-process: every op becomes a real
+// JSON request through the fully wired Handler (admission control, breakers
+// and panic isolation included), and a restart is a graceful Shutdown plus
+// a fresh server.New recovering the same WAL directory.
+type serverClient struct {
+	cfg Config
+	h   History
+	srv *server.Server
+}
+
+func bootServer(cfg Config, h History) (*serverClient, error) {
+	sc := &serverClient{cfg: cfg, h: h}
+	if err := sc.boot(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func (sc *serverClient) serverConfig() server.Config {
+	return server.Config{
+		// The base DatasetSpec regenerates History.Base() exactly: recovery
+		// after a restart replays the WAL tail over the identical item set
+		// the model started from.
+		Dataset: server.DatasetSpec{Generate: &server.GenerateSpec{
+			Kind: "UN", N: sc.h.BaseN, Dims: sc.h.Dims, Seed: sc.h.Seed,
+		}},
+		Workers:    sc.cfg.Workers,
+		CacheSize:  sc.cfg.CacheSize,
+		Durability: &wal.Options{Dir: sc.cfg.Dir, Policy: wal.SyncNever},
+	}
+}
+
+func (sc *serverClient) boot() error {
+	srv, err := server.New(context.Background(), sc.serverConfig())
+	if err != nil {
+		return err
+	}
+	sc.srv = srv
+	return nil
+}
+
+func (sc *serverClient) close() error {
+	if sc.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := sc.srv.Shutdown(ctx)
+	sc.srv = nil
+	return err
+}
+
+// do issues one in-process request and decodes the JSON response body.
+func (sc *serverClient) do(method, path string, body any) (int, map[string]any) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			panic(fmt.Sprintf("sim: marshal request: %v", err))
+		}
+		rd = bytes.NewReader(b)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	sc.srv.Handler().ServeHTTP(rec, req)
+	var m map[string]any
+	if rec.Body.Len() > 0 {
+		_ = json.Unmarshal(rec.Body.Bytes(), &m)
+	}
+	return rec.Code, m
+}
+
+// ---- ModeServer op application (methods on Runner for symmetric access to
+// the model, report and fault switches) ----
+
+func (r *Runner) applyServer(i int, op Op) *Divergence {
+	sc := r.srv
+	switch op.Kind {
+	case KindInsert:
+		return r.srvInsert(i, op)
+	case KindDelete:
+		return r.srvDelete(i, op)
+	case KindRSkyline:
+		return r.srvRSkyline(i, op)
+	case KindWhyNot:
+		return r.srvWhyNot(i, op)
+	case KindReload:
+		return r.srvReload(i, op)
+	case KindRestart:
+		r.rep.Restarts++
+		if err := sc.close(); err != nil {
+			return r.fail(i, op, "shutdown: %v", err)
+		}
+		if err := sc.boot(); err != nil {
+			return r.fail(i, op, "reboot over %s failed: %v", r.cfg.Dir, err)
+		}
+		return sc.checkItems(r, i, op)
+	case KindStatus:
+		status, body := sc.do("GET", "/v1/admin/status", nil)
+		if status != 200 {
+			return r.fail(i, op, "status answered %d", status)
+		}
+		snap, _ := body["snapshot"].(map[string]any)
+		if snap == nil {
+			return r.fail(i, op, "status has no snapshot section")
+		}
+		if got := int(jsonNum(snap["items"])); got != r.model.Len() {
+			return r.fail(i, op, "status reports %d items, model has %d", got, r.model.Len())
+		}
+		return nil
+	default:
+		return r.fail(i, op, "op kind %s is not valid in mode server", op.Kind)
+	}
+}
+
+func (r *Runner) srvInsert(i int, op Op) *Divergence {
+	r.rep.Mutations++
+	r.visit(SiteApplyInsert)
+	_, dup := r.model.Get(op.ID)
+	it := repro.Item{ID: op.ID, Point: op.Point}
+	if r.dropNext {
+		r.dropNext = false
+		if !dup {
+			r.model.Insert(it)
+		}
+		return nil
+	}
+	status, _ := r.srv.do("POST", "/v1/admin/insert",
+		map[string]any{"id": op.ID, "point": []float64(op.Point)})
+	switch {
+	case !dup && status == 200:
+		r.model.Insert(it)
+	case dup && status == 409:
+		// Agreed rejection.
+	default:
+		return r.fail(i, op, "insert id %d answered %d (model dup=%v)", op.ID, status, dup)
+	}
+	return r.checkServedCount(i, op)
+}
+
+func (r *Runner) srvDelete(i int, op Op) *Divergence {
+	r.rep.Mutations++
+	r.visit(SiteApplyDelete)
+	_, live := r.model.Get(op.ID)
+	last := live && r.model.Len() == 1
+	if r.dropNext {
+		r.dropNext = false
+		if live && !last {
+			r.model.Delete(op.ID)
+		}
+		return nil
+	}
+	status, _ := r.srv.do("POST", "/v1/admin/delete", map[string]any{"id": op.ID})
+	switch {
+	case live && !last && status == 200:
+		r.model.Delete(op.ID)
+	case !live && status == 404:
+		// Agreed rejection.
+	case last && status == 409:
+		// Agreed last-item refusal.
+	default:
+		return r.fail(i, op, "delete id %d answered %d (model live=%v last=%v)", op.ID, status, live, last)
+	}
+	return r.checkServedCount(i, op)
+}
+
+func (r *Runner) srvRSkyline(i int, op Op) *Divergence {
+	status, body := r.srv.do("POST", "/v1/rskyline", map[string]any{"q": []float64(op.Point)})
+	if status != 200 {
+		return r.fail(i, op, "rskyline answered %d: %v", status, body["error"])
+	}
+	got := jsonIntList(body["customer_ids"])
+	want := sortedIDs(r.model.ReverseSkyline(op.Point))
+	if !sameIDSets(got, want) {
+		return r.fail(i, op, "RSL(%v): server %v, model %v", op.Point, got, want)
+	}
+	r.record(QueryResult{OpIndex: i, Kind: KindRSkyline, IDs: want})
+	return nil
+}
+
+func (r *Runner) srvWhyNot(i int, op Op) *Divergence {
+	ct, live := r.model.Get(op.ID)
+	status, body := r.srv.do("POST", "/v1/whynot",
+		map[string]any{"q": []float64(op.Point), "customer_id": op.ID})
+	if !live {
+		if status != 404 {
+			return r.fail(i, op, "whynot for absent customer %d answered %d", op.ID, status)
+		}
+		r.record(QueryResult{OpIndex: i, Kind: KindWhyNot, Skipped: true})
+		return nil
+	}
+	if status != 200 {
+		return r.fail(i, op, "whynot answered %d: %v", status, body["error"])
+	}
+	member, _ := body["already_member"].(bool)
+	want := r.model.IsReverseSkyline(ct, op.Point)
+	if member != want {
+		return r.fail(i, op, "membership of customer %d in RSL(%v): server %v, model %v",
+			op.ID, op.Point, member, want)
+	}
+	if !member {
+		// A non-member must get a ladder answer; which rung is a quality
+		// concern, not a correctness one — but the proposed q* must exist.
+		if _, ok := body["q_star"]; !ok {
+			return r.fail(i, op, "whynot answer for non-member %d lacks q_star", op.ID)
+		}
+	}
+	r.record(QueryResult{OpIndex: i, Kind: KindWhyNot, Member: member})
+	return nil
+}
+
+func (r *Runner) srvReload(i int, op Op) *Divergence {
+	r.rep.Reloads++
+	status, body := r.srv.do("POST", "/v1/admin/reload", map[string]any{
+		"generate": map[string]any{
+			"kind": op.Gen.Kind, "n": op.Gen.N, "dims": r.h.Dims, "seed": op.Gen.Seed,
+		},
+	})
+	if status != 200 {
+		return r.fail(i, op, "reload answered %d: %v", status, body["error"])
+	}
+	items, err := repro.GenerateDataset(op.Gen.Kind, op.Gen.N, r.h.Dims, op.Gen.Seed)
+	if err != nil {
+		return r.fail(i, op, "model cannot mirror reload spec: %v", err)
+	}
+	r.model.SetItems(items)
+	return r.checkServedCount(i, op)
+}
+
+// checkServedCount is the cheap per-mutation invariant (the served snapshot
+// is reachable in-process); full set equality runs on restarts and at the
+// end.
+func (r *Runner) checkServedCount(i int, op Op) *Divergence {
+	snap := r.srv.srv.Snapshot()
+	if snap == nil {
+		return r.fail(i, op, "no serving snapshot")
+	}
+	if got, want := len(snap.Items), r.model.Len(); got != want {
+		return r.fail(i, op, "served item count: %d, model %d", got, want)
+	}
+	return nil
+}
+
+func (sc *serverClient) checkItems(r *Runner, i int, op Op) *Divergence {
+	snap := sc.srv.Snapshot()
+	if snap == nil {
+		return r.fail(i, op, "no serving snapshot")
+	}
+	got := append([]repro.Item(nil), snap.Items...)
+	sort.Slice(got, func(a, b int) bool { return got[a].ID < got[b].ID })
+	if msg := itemsDiff(got, r.model.Items()); msg != "" {
+		return r.fail(i, op, "served item set: %s", msg)
+	}
+	return nil
+}
+
+func jsonNum(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+func jsonIntList(v any) []int {
+	list, _ := v.([]any)
+	out := make([]int, 0, len(list))
+	for _, e := range list {
+		out = append(out, int(jsonNum(e)))
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,68 @@
+package sim
+
+// Shrink delta-debugs a failing history to a locally minimal failing op
+// subsequence (ddmin): it tries dropping ever-smaller chunks of the op list,
+// keeping any reduction that still fails, and finishes with a greedy
+// single-op pass, so no single op of the result can be removed without
+// losing the failure. The fails predicate must rebuild a fresh runner (and a
+// fresh scratch directory) per attempt and be deterministic — which every
+// sim history is by construction. Generated histories keep arbitrary
+// subsequences valid: mutations against the wrong state degrade into agreed
+// rejections (duplicate insert, absent delete), never into harness errors.
+//
+// If h itself does not fail, it is returned unchanged.
+func Shrink(h History, fails func(History) bool) History {
+	withOps := func(ops []Op) History {
+		c := h
+		c.Ops = ops
+		return c
+	}
+	if len(h.Ops) == 0 || !fails(h) {
+		return h
+	}
+	ops := append([]Op(nil), h.Ops...)
+	n := 2
+	for len(ops) >= 2 {
+		chunk := (len(ops) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(ops); start += chunk {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			complement := make([]Op, 0, len(ops)-(end-start))
+			complement = append(complement, ops[:start]...)
+			complement = append(complement, ops[end:]...)
+			if len(complement) > 0 && fails(withOps(complement)) {
+				ops = complement
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(ops) {
+				break
+			}
+			n *= 2
+			if n > len(ops) {
+				n = len(ops)
+			}
+		}
+	}
+	// Greedy single-op polish: ddmin's chunk granularity can leave a
+	// removable op behind when a neighbouring removal succeeded first.
+	for i := 0; i < len(ops) && len(ops) > 1; {
+		cand := make([]Op, 0, len(ops)-1)
+		cand = append(cand, ops[:i]...)
+		cand = append(cand, ops[i+1:]...)
+		if fails(withOps(cand)) {
+			ops = cand
+		} else {
+			i++
+		}
+	}
+	return withOps(ops)
+}

@@ -1,0 +1,298 @@
+// Package sim is the deterministic simulation-testing subsystem: a seeded
+// workload generator drives long interleaved histories — queries, durable
+// mutations, checkpoints, cache invalidations, dataset reloads and full
+// process-style restarts over the WAL — through the real stack (repro.DB →
+// engine → internal/server → internal/wal) while a pure in-memory model
+// backed by internal/oracle computes the expected answer to every operation.
+//
+// The harness has two modes sharing one op vocabulary:
+//
+//   - ModeDB exercises the public durable facade: OpenDurable, the query
+//     methods, InsertDurable/DeleteDurable, Checkpoint, InvalidateCaches, and
+//     restart = Close + OpenDurable over the same directory (the recovered
+//     item set must equal the model exactly).
+//   - ModeServer exercises the HTTP serving layer in-process: every op is a
+//     real JSON request through Server.Handler(), and restart = graceful
+//     Shutdown + a fresh server.New over the same WAL directory.
+//
+// On divergence, Shrink delta-debugs the history down to a minimal failing
+// op list, and trace.go serializes any history as a replayable .simtrace
+// file (seed + op list) that `go test -run TestSimReplay -sim.trace=...`
+// re-executes byte-for-byte. A metamorphic layer (metamorphic.go) replays
+// histories under paper-derived transformations — per-dimension affine
+// rescaling, ID relabelling, duplicate-then-delete, query perturbation
+// inside the computed safe region — asserting the required result relations
+// (equal, equal up to relabel, superset).
+//
+// Coordinates are quantized to multiples of 2^-20 and the rescaling
+// transform uses power-of-two scales with grid-aligned offsets, so every
+// affine transform is exact in IEEE 754 arithmetic: a dominance comparison
+// can never flip from rounding, only from a real bug.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro"
+	"repro/internal/cancel"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+)
+
+// Mode selects which layer of the stack a history runs against.
+type Mode string
+
+const (
+	// ModeDB drives the durable repro.DB facade directly.
+	ModeDB Mode = "db"
+	// ModeServer drives internal/server through in-process HTTP requests.
+	ModeServer Mode = "server"
+)
+
+// Kind is an operation kind. The vocabulary is shared by both modes; the
+// generator only emits kinds the target mode supports.
+type Kind uint8
+
+const (
+	// KindInsert adds an item (durable insert / POST /v1/admin/insert).
+	KindInsert Kind = iota + 1
+	// KindDelete removes an item by ID (the stored position is resolved from
+	// the model).
+	KindDelete
+	// KindRSkyline computes RSL(q) and compares the ID set to the oracle.
+	KindRSkyline
+	// KindDSL computes the dynamic skyline of a preference point (ModeDB).
+	KindDSL
+	// KindWhyNot checks reverse-skyline membership of a customer and, for a
+	// non-member, the Lemma 1 culprit set.
+	KindWhyNot
+	// KindSafeProbe computes RSL(q), builds the safe region, and re-queries
+	// from a perturbed position inside it, asserting the Lemma 2 superset
+	// relation (ModeDB; the metamorphic layer also rewrites rskyline ops
+	// into probes).
+	KindSafeProbe
+	// KindCheckpoint persists a durability snapshot and compacts the WAL
+	// (ModeDB).
+	KindCheckpoint
+	// KindRestart closes the stack and recovers it from the WAL directory;
+	// the recovered item set must equal the model.
+	KindRestart
+	// KindInvalidate retires every memoisation cache without touching the
+	// index (ModeDB); later answers must be unchanged.
+	KindInvalidate
+	// KindReload hot-swaps the dataset to a synthetic generation spec
+	// (ModeServer).
+	KindReload
+	// KindStatus fetches /v1/admin/status and checks the served item count
+	// (ModeServer).
+	KindStatus
+)
+
+var kindNames = map[Kind]string{
+	KindInsert:     "insert",
+	KindDelete:     "delete",
+	KindRSkyline:   "rskyline",
+	KindDSL:        "dsl",
+	KindWhyNot:     "whynot",
+	KindSafeProbe:  "safeprobe",
+	KindCheckpoint: "checkpoint",
+	KindRestart:    "restart",
+	KindInvalidate: "invalidate",
+	KindReload:     "reload",
+	KindStatus:     "status",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// GenSpec is a synthetic-dataset spec carried by KindReload ops. Dims is the
+// history's dimensionality.
+type GenSpec struct {
+	Kind string
+	N    int
+	Seed int64
+}
+
+// Op is one step of a history. Which fields are meaningful depends on Kind:
+// ID for insert/delete/whynot, Point for insert positions and query points,
+// Gen for reloads.
+type Op struct {
+	Kind  Kind
+	ID    int
+	Point geom.Point
+	Gen   *GenSpec
+}
+
+// History is a self-contained workload: everything a replay needs. The base
+// item set is derived deterministically from (Mode, Seed, Dims, BaseN,
+// Transform) by Base(), so a serialized trace carries no item dump.
+type History struct {
+	Mode  Mode
+	Seed  int64
+	Dims  int
+	BaseN int
+	// Transform names the metamorphic transformation baked into this
+	// history ("" for the base run); Base() applies its item-set side to
+	// keep transformed traces self-contained. See metamorphic.go.
+	Transform string
+	Ops       []Op
+}
+
+// Base returns the starting item set of the history. ModeDB uses the
+// grid-quantized generator (exact under the rescaling transform); ModeServer
+// uses datagen so the server can rebuild the identical base from a
+// DatasetSpec at every restart.
+func (h History) Base() []repro.Item {
+	var base []repro.Item
+	switch h.Mode {
+	case ModeServer:
+		base = datagen.Generate(datagen.Uniform, h.BaseN, h.Dims, h.Seed)
+	default:
+		base = BaseItems(h.Seed, h.Dims, h.BaseN)
+	}
+	switch h.Transform {
+	case TransformRescale:
+		for i := range base {
+			base[i].Point = rescalePoint(base[i].Point)
+		}
+	case TransformRelabel:
+		for i := range base {
+			base[i].ID = relabelID(base[i].ID)
+		}
+	}
+	return base
+}
+
+// Fault-injection sites the runner visits through Config.Hook (a
+// faultinject.Injector slots straight in). SiteOp fires before every op;
+// the apply sites fire immediately before an insert/delete reaches the real
+// stack, which is where a Rule callback can call Runner.DropNextApply to
+// make the real state silently diverge from the model.
+const (
+	SiteOp          = "sim.op"
+	SiteApplyInsert = "sim.apply.insert"
+	SiteApplyDelete = "sim.apply.delete"
+)
+
+// Config tunes a run. The model side is configuration-free; these knobs
+// shape the real stack under test.
+type Config struct {
+	// Dir is the scratch WAL directory (required; a run owns it).
+	Dir string
+	// Workers is repro.DBOptions.Parallelism (0 = sequential).
+	Workers int
+	// CacheSize enables the memoisation caches (0 = off). Caches plus
+	// KindInvalidate ops give the invalidation machinery real coverage.
+	CacheSize int
+	// Hook, when non-nil, is visited at the Site* constants above.
+	Hook cancel.Hook
+}
+
+// QueryResult is one recorded comparable answer, in op order. The
+// metamorphic layer aligns these across transformed runs.
+type QueryResult struct {
+	OpIndex int
+	Kind    Kind
+	// IDs is the sorted answer ID set (rskyline, dsl, safeprobe).
+	IDs []int
+	// Member is the membership verdict (whynot).
+	Member bool
+	// Skipped marks an op that was a no-op against the current model state
+	// (e.g. a whynot against a deleted customer); skipped ops must be
+	// skipped identically in every transformed replay.
+	Skipped bool
+}
+
+// Divergence reports the first disagreement between the real stack and the
+// model.
+type Divergence struct {
+	OpIndex int
+	Op      Op
+	Msg     string
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf("op %d (%s): %s", d.OpIndex, d.Op.Kind, d.Msg)
+}
+
+// Report summarises one run.
+type Report struct {
+	Mode        Mode
+	Ops         int
+	Queries     int
+	Mutations   int
+	Checkpoints int
+	Restarts    int
+	Invalidates int
+	Reloads     int
+	SafeProbes  int
+	Results     []QueryResult
+	Divergence  *Divergence
+}
+
+// Run executes the history against the mode's real stack, checking every
+// answer against the model. It returns a non-nil Report whose Divergence
+// field carries the first model disagreement; the error return is reserved
+// for harness plumbing failures (unusable scratch directory, boot failure).
+func Run(cfg Config, h History) (*Report, error) {
+	r, err := NewRunner(cfg, h)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.Run(), nil
+}
+
+// sortedIDs projects items onto their sorted ID list.
+func sortedIDs(items []repro.Item) []int {
+	ids := make([]int, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func sameIDSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Grid is the coordinate lattice: every generated coordinate is an integer
+// multiple of 1/Grid. Power-of-two scales and grid-aligned offsets then keep
+// the rescaling transform exact in float64 (the products stay well under
+// 2^53), so metamorphic comparisons are never confounded by rounding.
+const Grid = 1 << 20
+
+// Quantize snaps v onto the lattice.
+func Quantize(v float64) float64 {
+	return float64(int64(v*Grid+0.5)) / Grid
+}
+
+// BaseItems builds the ModeDB starting set: n grid-quantized uniform points
+// in [0,1000]^dims with IDs 1..n.
+func BaseItems(seed int64, dims, n int) []repro.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]repro.Item, n)
+	for i := range items {
+		p := make(geom.Point, dims)
+		for d := range p {
+			p[d] = Quantize(rng.Float64() * 1000)
+		}
+		items[i] = repro.Item{ID: i + 1, Point: p}
+	}
+	return items
+}

@@ -1,0 +1,304 @@
+package sim_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine/faultinject"
+	"repro/internal/sim"
+)
+
+// -sim.trace replays one serialized history in TestSimReplay instead of the
+// checked-in regression corpus:
+//
+//	go test ./internal/sim -run TestSimReplay -sim.trace=/path/to/failure.simtrace
+var traceFlag = flag.String("sim.trace", "",
+	"replay this .simtrace file in TestSimReplay instead of the regression corpus")
+
+// regressionSeeds are the configs behind testdata/regression/*.simtrace.
+// Regenerate the corpus with SIM_UPDATE_TRACES=1 go test ./internal/sim -run
+// TestSimReplay; the files freeze both the generator and the trace format, so
+// an unintended change to either breaks replay loudly.
+var regressionSeeds = []sim.GenConfig{
+	{Mode: sim.ModeDB, Seed: 101, Dims: 2, BaseN: 32, Ops: 80},
+	{Mode: sim.ModeDB, Seed: 202, Dims: 3, BaseN: 32, Ops: 80},
+	{Mode: sim.ModeServer, Seed: 303, Dims: 2, BaseN: 32, Ops: 60},
+}
+
+func runOnce(t *testing.T, cfg sim.Config, h sim.History) *sim.Report {
+	t.Helper()
+	rep, err := sim.Run(cfg, h)
+	if err != nil {
+		t.Fatalf("sim harness: %v", err)
+	}
+	return rep
+}
+
+// reportDivergence fails the test on a model disagreement — after shrinking
+// the history and serializing the minimal reproduction, so CI can upload the
+// .simtrace (SIM_ARTIFACT_DIR) and a developer replays it with -sim.trace.
+func reportDivergence(t *testing.T, cfg sim.Config, h sim.History, rep *sim.Report) {
+	t.Helper()
+	if rep == nil || rep.Divergence == nil {
+		return
+	}
+	fails := func(c sim.History) bool {
+		fcfg := cfg
+		fcfg.Dir = t.TempDir()
+		fcfg.Hook = nil
+		r, err := sim.Run(fcfg, c)
+		return err == nil && r.Divergence != nil
+	}
+	shrunk := sim.Shrink(h, fails)
+	dir := os.Getenv("SIM_ARTIFACT_DIR")
+	if dir == "" {
+		dir = t.TempDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("divergence: %s (artifact dir: %v)", rep.Divergence, err)
+	}
+	path := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_")+".simtrace")
+	if err := sim.WriteTrace(path, shrunk); err != nil {
+		t.Fatalf("divergence: %s (writing trace: %v)", rep.Divergence, err)
+	}
+	t.Fatalf("divergence: %s\nshrunk to %d ops; replay: go test ./internal/sim -run TestSimReplay -sim.trace=%s",
+		rep.Divergence, len(shrunk.Ops), path)
+}
+
+// TestSimDBHistory is the tentpole invariant: long seeded histories against
+// the durable DB facade execute with zero model divergence. The full run is
+// a single >=5000-op history; -short trims it for the race gate.
+func TestSimDBHistory(t *testing.T) {
+	ops := 5000
+	if testing.Short() {
+		ops = 400
+	}
+	cases := []struct {
+		name string
+		cfg  sim.GenConfig
+	}{
+		{"d2", sim.GenConfig{Mode: sim.ModeDB, Seed: 1, Dims: 2, BaseN: 48, Ops: ops}},
+		{"d3", sim.GenConfig{Mode: sim.ModeDB, Seed: 2, Dims: 3, BaseN: 40, Ops: ops / 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := sim.Generate(tc.cfg)
+			cfg := sim.Config{Dir: t.TempDir(), Workers: 2, CacheSize: 64}
+			rep := runOnce(t, cfg, h)
+			reportDivergence(t, cfg, h, rep)
+			if rep.Mutations == 0 || rep.Queries == 0 || rep.Restarts == 0 ||
+				rep.Checkpoints == 0 || rep.Invalidates == 0 {
+				t.Fatalf("history missed part of the op mix: %+v", rep)
+			}
+			if tc.cfg.Dims == 2 && rep.SafeProbes == 0 {
+				t.Fatalf("2-d history ran no safe-region probes")
+			}
+		})
+	}
+}
+
+// TestSimServerHistory drives the same invariant through the serving layer:
+// every op a real JSON request, restarts a graceful shutdown plus WAL
+// recovery through server.New.
+func TestSimServerHistory(t *testing.T) {
+	ops := 1500
+	if testing.Short() {
+		ops = 250
+	}
+	h := sim.Generate(sim.GenConfig{Mode: sim.ModeServer, Seed: 3, Dims: 2, BaseN: 40, Ops: ops})
+	cfg := sim.Config{Dir: t.TempDir(), Workers: 2, CacheSize: 64}
+	rep := runOnce(t, cfg, h)
+	reportDivergence(t, cfg, h, rep)
+	if rep.Mutations == 0 || rep.Queries == 0 || rep.Restarts == 0 || rep.Reloads == 0 {
+		t.Fatalf("history missed part of the op mix: %+v", rep)
+	}
+}
+
+// TestSimMetamorphic replays one history under every transform and checks
+// the required answer relations.
+func TestSimMetamorphic(t *testing.T) {
+	ops := 400
+	if testing.Short() {
+		ops = 150
+	}
+	h := sim.Generate(sim.GenConfig{Mode: sim.ModeDB, Seed: 7, Dims: 2, BaseN: 40, Ops: ops})
+	cfg := sim.Config{Dir: t.TempDir(), CacheSize: 32}
+	base, runs, err := sim.RunMetamorphic(cfg, h, func(string) string { return t.TempDir() })
+	if err != nil {
+		t.Fatalf("metamorphic harness: %v", err)
+	}
+	reportDivergence(t, cfg, h, base)
+	if len(runs) < 4 {
+		t.Fatalf("ran %d transforms, want >= 4", len(runs))
+	}
+	for _, mr := range runs {
+		if mr.Violation != nil {
+			t.Errorf("%s (relation %s)", mr.Violation, mr.Transform.Relation)
+		}
+	}
+}
+
+// TestSimShrinkAndReplay proves the shrinker end to end: an injected lost
+// write (the stack silently drops the third insert) is caught as a
+// divergence, delta-debugged to a handful of ops, serialized, and replayed
+// deterministically from its .simtrace bytes.
+func TestSimShrinkAndReplay(t *testing.T) {
+	h := sim.Generate(sim.GenConfig{Mode: sim.ModeDB, Seed: 11, Dims: 2, BaseN: 24, Ops: 48})
+
+	runWithFault := func(c sim.History) *sim.Divergence {
+		var r *sim.Runner
+		inj := faultinject.New(faultinject.Rule{
+			Site: sim.SiteApplyInsert, OnVisit: 3,
+			Do: func() { r.DropNextApply() },
+		})
+		r, err := sim.NewRunner(sim.Config{Dir: t.TempDir(), Hook: inj}, c)
+		if err != nil {
+			t.Fatalf("sim harness: %v", err)
+		}
+		defer r.Close()
+		return r.Run().Divergence
+	}
+	fails := func(c sim.History) bool { return runWithFault(c) != nil }
+
+	if !fails(h) {
+		t.Fatalf("injected lost write caused no divergence")
+	}
+	shrunk := sim.Shrink(h, fails)
+	if got := len(shrunk.Ops); got > 10 {
+		t.Fatalf("shrunk history has %d ops, want <= 10", got)
+	}
+	if !fails(shrunk) {
+		t.Fatalf("shrunk history no longer fails")
+	}
+
+	// Round-trip through the trace format and replay from disk.
+	enc := sim.Encode(shrunk)
+	path := filepath.Join(t.TempDir(), "shrunk.simtrace")
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := sim.ReadTrace(path)
+	if err != nil {
+		t.Fatalf("reading trace back: %v", err)
+	}
+	if !bytes.Equal(sim.Encode(dec), enc) {
+		t.Fatalf("trace round trip is not byte-stable")
+	}
+	d1, d2 := runWithFault(dec), runWithFault(dec)
+	if d1 == nil || d2 == nil {
+		t.Fatalf("replayed trace did not fail (%v, %v)", d1, d2)
+	}
+	if d1.String() != d2.String() {
+		t.Fatalf("replay is not deterministic:\n  %s\n  %s", d1, d2)
+	}
+}
+
+// TestSimReplay replays the committed regression corpus (or, with
+// -sim.trace, one serialized failure) and expects zero divergence.
+func TestSimReplay(t *testing.T) {
+	if *traceFlag != "" {
+		h, err := sim.ReadTrace(*traceFlag)
+		if err != nil {
+			t.Fatalf("reading %s: %v", *traceFlag, err)
+		}
+		rep := runOnce(t, sim.Config{Dir: t.TempDir(), CacheSize: 64}, h)
+		if rep.Divergence != nil {
+			t.Fatalf("replay of %s: %s", *traceFlag, rep.Divergence)
+		}
+		return
+	}
+	if os.Getenv("SIM_UPDATE_TRACES") != "" {
+		if err := os.MkdirAll(filepath.Join("testdata", "regression"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range regressionSeeds {
+			name := fmt.Sprintf("%s-d%d-seed%d.simtrace", cfg.Mode, cfg.Dims, cfg.Seed)
+			if err := sim.WriteTrace(filepath.Join("testdata", "regression", name), sim.Generate(cfg)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join("testdata", "regression", "*.simtrace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatalf("no regression traces under testdata/regression")
+	}
+	for _, path := range matches {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			h, err := sim.ReadTrace(path)
+			if err != nil {
+				t.Fatalf("reading %s: %v", path, err)
+			}
+			cfg := sim.Config{Dir: t.TempDir(), CacheSize: 64}
+			rep := runOnce(t, cfg, h)
+			reportDivergence(t, cfg, h, rep)
+		})
+	}
+}
+
+// TestTraceRoundTrip freezes the .simtrace format: Encode ∘ Decode is the
+// identity on bytes for generated histories of both modes, and malformed
+// inputs are rejected with positioned errors.
+func TestTraceRoundTrip(t *testing.T) {
+	for _, cfg := range regressionSeeds {
+		h := sim.Generate(cfg)
+		enc := sim.Encode(h)
+		dec, err := sim.Decode(enc)
+		if err != nil {
+			t.Fatalf("%s/seed=%d: decode: %v", cfg.Mode, cfg.Seed, err)
+		}
+		if !bytes.Equal(sim.Encode(dec), enc) {
+			t.Fatalf("%s/seed=%d: round trip not byte-stable", cfg.Mode, cfg.Seed)
+		}
+	}
+	for name, text := range map[string]string{
+		"missing header": "mode db\nseed 1\ndims 2\nbase 4\n",
+		"unknown op":     "simtrace v1\nmode db\nseed 1\ndims 2\nbase 4\nop fly 1 2\n",
+		"dims mismatch":  "simtrace v1\nmode db\nseed 1\ndims 2\nbase 4\nop rskyline 1 2 3\n",
+		"bad mode":       "simtrace v1\nmode tape\nseed 1\ndims 2\nbase 4\n",
+		"no header vals": "simtrace v1\nmode db\n",
+	} {
+		if _, err := sim.Decode([]byte(text)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestShrinkMinimises checks the ddmin core against a pure predicate with a
+// known 2-op minimum buried in 60 ops.
+func TestShrinkMinimises(t *testing.T) {
+	h := sim.History{Mode: sim.ModeDB, Seed: 1, Dims: 2, BaseN: 4}
+	for i := 0; i < 60; i++ {
+		h.Ops = append(h.Ops, sim.Op{Kind: sim.KindDelete, ID: i})
+	}
+	calls := 0
+	fails := func(c sim.History) bool {
+		calls++
+		var has17, has41 bool
+		for _, op := range c.Ops {
+			has17 = has17 || op.ID == 17
+			has41 = has41 || op.ID == 41
+		}
+		return has17 && has41
+	}
+	s := sim.Shrink(h, fails)
+	if len(s.Ops) != 2 || s.Ops[0].ID != 17 || s.Ops[1].ID != 41 {
+		t.Fatalf("shrunk to %v, want ops 17 and 41", s.Ops)
+	}
+	if calls == 0 {
+		t.Fatal("predicate never ran")
+	}
+	// A non-failing history comes back unchanged.
+	pass := sim.Shrink(h, func(sim.History) bool { return false })
+	if len(pass.Ops) != len(h.Ops) {
+		t.Fatalf("non-failing history was modified")
+	}
+}

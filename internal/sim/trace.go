@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// The .simtrace format: a line-oriented text file that is trivially
+// diffable, committable as a regression seed, and byte-for-byte stable
+// under an encode/decode round trip. Floats are printed with
+// strconv.FormatFloat(…, 'g', -1, 64), the shortest representation that
+// parses back to the identical bits.
+//
+//	simtrace v1
+//	mode db
+//	seed 42
+//	dims 2
+//	base 48
+//	transform rescale        (only when set)
+//	op insert 100000 12.5 33.25
+//	op delete 17
+//	op rskyline 410.25 551.875
+//	op dsl 3.5 7
+//	op whynot 23 100.5 60.25
+//	op safeprobe 410.25 551.875
+//	op checkpoint
+//	op restart
+//	op invalidate
+//	op reload UN 60 7
+//	op status
+
+const traceHeader = "simtrace v1"
+
+func formatCoord(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func appendPoint(fields []string, p geom.Point) []string {
+	for _, v := range p {
+		fields = append(fields, formatCoord(v))
+	}
+	return fields
+}
+
+// Encode serializes a history.
+func Encode(h History) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", traceHeader)
+	fmt.Fprintf(&b, "mode %s\n", h.Mode)
+	fmt.Fprintf(&b, "seed %d\n", h.Seed)
+	fmt.Fprintf(&b, "dims %d\n", h.Dims)
+	fmt.Fprintf(&b, "base %d\n", h.BaseN)
+	if h.Transform != "" {
+		fmt.Fprintf(&b, "transform %s\n", h.Transform)
+	}
+	for _, op := range h.Ops {
+		fields := []string{"op", op.Kind.String()}
+		switch op.Kind {
+		case KindInsert:
+			fields = appendPoint(append(fields, strconv.Itoa(op.ID)), op.Point)
+		case KindDelete:
+			fields = append(fields, strconv.Itoa(op.ID))
+		case KindWhyNot:
+			fields = appendPoint(append(fields, strconv.Itoa(op.ID)), op.Point)
+		case KindRSkyline, KindDSL, KindSafeProbe:
+			fields = appendPoint(fields, op.Point)
+		case KindReload:
+			fields = append(fields, op.Gen.Kind, strconv.Itoa(op.Gen.N),
+				strconv.FormatInt(op.Gen.Seed, 10))
+		}
+		b.WriteString(strings.Join(fields, " "))
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Decode parses a serialized history, validating every line; Encode(Decode(x))
+// reproduces x exactly for any x Encode produced.
+func Decode(data []byte) (History, error) {
+	var h History
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != traceHeader {
+		return h, fmt.Errorf("simtrace: missing %q header", traceHeader)
+	}
+	kindByName := make(map[string]Kind, len(kindNames))
+	for k, name := range kindNames {
+		kindByName[name] = k
+	}
+	parsePoint := func(fields []string) (geom.Point, error) {
+		p := make(geom.Point, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, err
+			}
+			p[i] = v
+		}
+		if len(p) != h.Dims {
+			return nil, fmt.Errorf("point has %d coordinates, history has %d dims", len(p), h.Dims)
+		}
+		return p, nil
+	}
+	for ln, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		bad := func(err error) (History, error) {
+			return History{}, fmt.Errorf("simtrace line %d (%q): %v", ln+2, line, err)
+		}
+		key, rest := fields[0], fields[1:]
+		switch key {
+		case "mode":
+			if len(rest) != 1 || (Mode(rest[0]) != ModeDB && Mode(rest[0]) != ModeServer) {
+				return bad(fmt.Errorf("want mode db|server"))
+			}
+			h.Mode = Mode(rest[0])
+		case "seed", "dims", "base":
+			if len(rest) != 1 {
+				return bad(fmt.Errorf("want one integer"))
+			}
+			v, err := strconv.ParseInt(rest[0], 10, 64)
+			if err != nil {
+				return bad(err)
+			}
+			switch key {
+			case "seed":
+				h.Seed = v
+			case "dims":
+				h.Dims = int(v)
+			case "base":
+				h.BaseN = int(v)
+			}
+		case "transform":
+			if len(rest) != 1 {
+				return bad(fmt.Errorf("want one transform name"))
+			}
+			h.Transform = rest[0]
+		case "op":
+			if len(rest) == 0 {
+				return bad(fmt.Errorf("missing op kind"))
+			}
+			kind, ok := kindByName[rest[0]]
+			if !ok {
+				return bad(fmt.Errorf("unknown op kind %q", rest[0]))
+			}
+			op := Op{Kind: kind}
+			args := rest[1:]
+			var err error
+			switch kind {
+			case KindInsert, KindWhyNot:
+				if len(args) < 1 {
+					return bad(fmt.Errorf("want id plus point"))
+				}
+				if op.ID, err = strconv.Atoi(args[0]); err != nil {
+					return bad(err)
+				}
+				if op.Point, err = parsePoint(args[1:]); err != nil {
+					return bad(err)
+				}
+			case KindDelete:
+				if len(args) != 1 {
+					return bad(fmt.Errorf("want exactly an id"))
+				}
+				if op.ID, err = strconv.Atoi(args[0]); err != nil {
+					return bad(err)
+				}
+			case KindRSkyline, KindDSL, KindSafeProbe:
+				if op.Point, err = parsePoint(args); err != nil {
+					return bad(err)
+				}
+			case KindReload:
+				if len(args) != 3 {
+					return bad(fmt.Errorf("want kind n seed"))
+				}
+				spec := &GenSpec{Kind: args[0]}
+				if spec.N, err = strconv.Atoi(args[1]); err != nil {
+					return bad(err)
+				}
+				if spec.Seed, err = strconv.ParseInt(args[2], 10, 64); err != nil {
+					return bad(err)
+				}
+				op.Gen = spec
+			default:
+				if len(args) != 0 {
+					return bad(fmt.Errorf("op takes no arguments"))
+				}
+			}
+			h.Ops = append(h.Ops, op)
+		default:
+			return bad(fmt.Errorf("unknown directive %q", key))
+		}
+	}
+	if h.Mode == "" || h.Dims <= 0 || h.BaseN <= 0 {
+		return History{}, fmt.Errorf("simtrace: incomplete header (mode/dims/base required)")
+	}
+	return h, nil
+}
+
+// WriteTrace serializes h to path.
+func WriteTrace(path string, h History) error {
+	return os.WriteFile(path, Encode(h), 0o644)
+}
+
+// ReadTrace loads a .simtrace file.
+func ReadTrace(path string) (History, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return History{}, err
+	}
+	return Decode(data)
+}

@@ -108,7 +108,13 @@ func GlobalSkylineBBSChecked(chk *cancel.Checker, t *rtree.Tree, q geom.Point) (
 					}
 				}
 			}
-			sky = append(sky, skyPoint{tr: tr, canon: g})
+			// A record exactly at q (all-zero transform) is a global-skyline
+			// member but must not act as a dominator: it ties every window
+			// distance in every dimension and blocks nobody (see
+			// GlobalDominates).
+			if !zeroPoint(tr) {
+				sky = append(sky, skyPoint{tr: tr, canon: g})
+			}
 			out = append(out, it)
 			return true
 		},

@@ -94,6 +94,17 @@ func coordSum(p geom.Point) float64 {
 	return s
 }
 
+// zeroPoint reports whether every coordinate of p is zero — in transformed
+// space, whether the original record lies exactly at the centre.
+func zeroPoint(p geom.Point) bool {
+	for _, v := range p {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // DC computes the static skyline by divide & conquer: partition by the median
 // of dimension 0, recurse, then filter the high half against the low half.
 func DC(items []Item) []Item {
@@ -290,11 +301,25 @@ func DynamicBBSExcludingChecked(chk *cancel.Checker, t *rtree.Tree, c geom.Point
 // dominates |q−b|. Global dominance is the sound pruning relation for
 // reverse-skyline candidates (Dellis & Seeger, VLDB 2007): if a globally
 // dominates b then a dynamically dominates q w.r.t. b, so b ∉ RSL(q).
+//
+// The one degenerate case is a record lying exactly at q: its transformed
+// distances are all zero, so it weakly dominates everything, yet for any
+// customer b it only ties |a_i−b_i| = |q_i−b_i| in every dimension — never a
+// strict dynamic dominance — so it blocks nobody. (For a ≠ q in the same
+// closed orthant the implication is exact: |a_i−q_i| ≤ |b_i−q_i| puts a_i
+// between q_i and b_i, and the strict dimension forces a_i ≠ q_i there.)
 func GlobalDominates(q, a, b geom.Point) bool {
+	atQ := true
 	for i := range q {
 		if (a[i]-q[i])*(b[i]-q[i]) < 0 {
 			return false // strictly opposite sides of q
 		}
+		if a[i] != q[i] {
+			atQ = false
+		}
+	}
+	if atQ {
+		return false // a record at q ties every window distance
 	}
 	return geom.DynDominates(q, a, b)
 }
@@ -378,7 +403,13 @@ func GlobalSkyline(items []Item, q geom.Point) []Item {
 				}
 			}
 			if !dominated {
-				sky = append(sky, tr)
+				// A record exactly at q (all-zero transform, key 0) is a
+				// skyline member but dominates nothing: it ties every
+				// customer's window distance in every dimension, so it must
+				// not eliminate other candidates (see GlobalDominates).
+				if keys[idx] != 0 {
+					sky = append(sky, tr)
+				}
 				if canonical[idx] == g {
 					survives[idx] = true
 				}

@@ -443,3 +443,58 @@ func TestGlobalSkylineBoundaryPoints(t *testing.T) {
 		t.Fatal("axis point must dominate both neighbouring orthants")
 	}
 }
+
+// A record lying exactly at q is the one degenerate case of global
+// dominance: its transformed distances are all zero, so it weakly dominates
+// every point, yet it only ties window distances and blocks no customer.
+// Before the fix it pruned every other candidate, collapsing RSL(q) to just
+// itself; the sim harness caught this when a safe-region probe landed a
+// query exactly on a surviving record.
+func TestGlobalDominanceRecordAtQuery(t *testing.T) {
+	q := geom.NewPoint(3, 4)
+	atQ := geom.NewPoint(3, 4)
+	other := geom.NewPoint(5, 9)
+	if GlobalDominates(q, atQ, other) {
+		t.Error("a record at q must not globally dominate: it ties every window distance")
+	}
+	if !GlobalDominates(q, other, geom.NewPoint(7, 11)) {
+		t.Error("ordinary same-orthant dominance must still hold")
+	}
+
+	// RSL semantics: with a record at q present, every customer whose window
+	// membership is unaffected must stay a candidate. Compare the global
+	// skyline (scan and BBS) against the brute-force reverse skyline.
+	items := randItems(200, 2, 77)
+	items = append(items, Item{ID: 9999, Point: append(geom.Point(nil), q...)})
+	inRSL := func(c Item) bool {
+		for _, p := range items {
+			if p.ID != c.ID && geom.DynDominates(c.Point, p.Point, q) {
+				return false
+			}
+		}
+		return true
+	}
+	gs := idSet(GlobalSkyline(items, q))
+	bbs := idSet(GlobalSkylineBBS(rtree.BulkLoad(2, items, rtree.Config{}), q))
+	members := 0
+	for _, c := range items {
+		if !inRSL(c) {
+			continue
+		}
+		members++
+		if !gs[c.ID] {
+			t.Errorf("RSL member %d pruned from GlobalSkyline by the record at q", c.ID)
+		}
+		if !bbs[c.ID] {
+			t.Errorf("RSL member %d pruned from GlobalSkylineBBS by the record at q", c.ID)
+		}
+		for _, p := range items {
+			if p.ID != c.ID && GlobalDominates(q, p.Point, c.Point) {
+				t.Errorf("GlobalDominates prunes RSL member %d via product %d", c.ID, p.ID)
+			}
+		}
+	}
+	if members < 2 {
+		t.Fatalf("test vacuous: only %d RSL members (need the record at q plus others)", members)
+	}
+}

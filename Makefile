@@ -10,7 +10,7 @@ GO ?= go
 # detection on fresh mutations of the seed corpus, not deep exploration.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet vet-obs vet-wal test race race-core bench-smoke fuzz-smoke crash-smoke sim-smoke bench
+.PHONY: check build vet vet-obs vet-wal test race race-core bench-smoke fuzz-smoke crash-smoke sim-smoke chaos bench
 
 check: vet-obs vet-wal build test race race-core bench-smoke fuzz-smoke crash-smoke sim-smoke
 	@echo "tier-1 gate: OK"
@@ -34,6 +34,18 @@ vet-obs: vet
 	@bad=$$(grep -rn 'time\.Now()' $(OBS_LINT_PKGS) --include='*.go' | grep -v _test.go || true); \
 	if [ -n "$$bad" ]; then \
 		echo "vet-obs: raw time.Now() on the query path (use internal/obs):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -rn 'time\.Now()' internal/obs/flight --include='*.go' | grep -v _test.go || true); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-obs: raw time.Now() in the flight recorder (timestamps come from obs.Now; callers supply Epoch):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(for f in $$(grep -rl 'go func' internal/exec internal/engine --include='*.go' | grep -v _test.go); do \
+		grep -q 'pprof\.Do' $$f || echo $$f; \
+	done); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-obs: worker-goroutine file without pprof.Do labels (profiles would attribute the hot path to anonymous funcs):"; \
 		echo "$$bad"; exit 1; \
 	fi
 	@echo "vet-obs: OK"
@@ -92,8 +104,16 @@ crash-smoke:
 # DB and the in-process server, with the metamorphic transforms, checked
 # op-by-op against the brute-force oracle model. A divergence shrinks to a
 # replayable .simtrace and fails the target. Appends to BENCH_sim.json.
+# With SIM_ARTIFACT_DIR set (as CI does), the embedded server also writes
+# its slow-query log (sampled flight records) there for artifact upload.
 sim-smoke:
 	$(GO) run ./cmd/sim -seeds 2 -ops 400 -out BENCH_sim.json
+
+# Chaos smoke at soak length: fault window + recovery against a live server,
+# with the flight-ledger accounting invariants checked at the end. The slow
+# -query log defaults into $$SIM_ARTIFACT_DIR when set.
+chaos:
+	$(GO) run ./cmd/chaos -fault 5s -cool 5s -out BENCH_chaos.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

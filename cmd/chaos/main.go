@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/server/chaostest"
@@ -33,16 +34,18 @@ func main() {
 		datasetN  = flag.Int("n", 300, "synthetic dataset size")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		out       = flag.String("out", "BENCH_chaos.json", "summary JSON path (appended)")
+		slowlog   = flag.String("slowlog", defaultSlowlog(), "server slow-query log path (default derives from $SIM_ARTIFACT_DIR; empty disables)")
 	)
 	flag.Parse()
 
 	sum, err := chaostest.Run(context.Background(), chaostest.Options{
-		FaultFor:  *faultFor,
-		CoolFor:   *coolFor,
-		Clients:   *clients,
-		Reloaders: *reloaders,
-		DatasetN:  *datasetN,
-		Seed:      *seed,
+		FaultFor:    *faultFor,
+		CoolFor:     *coolFor,
+		Clients:     *clients,
+		Reloaders:   *reloaders,
+		DatasetN:    *datasetN,
+		Seed:        *seed,
+		SlowlogPath: *slowlog,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
@@ -65,6 +68,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("all service-level invariants held")
+}
+
+// defaultSlowlog places the server's slow-query log in $SIM_ARTIFACT_DIR when
+// CI sets it (the same directory the sim harness uploads on failure), so a
+// broken soak leaves the sampled flight records behind as an artifact.
+func defaultSlowlog() string {
+	dir := os.Getenv("SIM_ARTIFACT_DIR")
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	return filepath.Join(dir, "chaos-slowlog.jsonl")
 }
 
 // appendRecord appends one summary to the output file, which is an array of

@@ -11,7 +11,8 @@
 //	POST /v1/admin/reload  — atomically hot-swap the serving dataset
 //	POST /v1/admin/insert  — add one item (WAL-committed when -wal-dir is set)
 //	POST /v1/admin/delete  — remove one item (WAL-committed when -wal-dir is set)
-//	GET  /v1/admin/status  — admission/breaker/snapshot/WAL introspection
+//	GET  /v1/admin/status  — admission/breaker/snapshot/WAL/flight/SLO introspection
+//	GET  /v1/debug/queries — in-flight inspector + recent flight records
 //	GET  /metrics          — Prometheus text format (also /metrics.json)
 package main
 
@@ -25,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs/flight"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -59,18 +61,30 @@ func run(args []string, out *os.File) error {
 		fsync      = fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
 		fsyncEvery = fs.Duration("fsync-interval", 50*time.Millisecond, "max unsynced window under -fsync=interval")
 		walSegment = fs.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
+		flightSize = fs.Int("flight-size", 0, "flight-recorder ring size (0 = default 256, negative disables the ledger)")
+		slowlog    = fs.String("slowlog", "", "slow-query log path: sampled flight records as JSON lines (empty disables)")
+		slowlogMax = fs.Int64("slowlog-max-bytes", 0, "slow-query log rotation threshold (0 = default 8 MiB)")
+		sloSpec    = fs.String("slo", "", "latency/error objectives as op:latency:target%, comma-separated (e.g. whynot:500ms:99%,*:2s:99.9%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	slos, err := flight.ParseObjectives(*sloSpec)
+	if err != nil {
+		return err
+	}
 
 	cfg := server.Config{
-		Workers:        *workers,
-		CacheSize:      *cacheSize,
-		Admission:      server.AdmissionConfig{MaxConcurrent: *maxConc, MaxQueue: *maxQueue},
-		Breaker:        server.BreakerConfig{OpenFor: *breakerFor},
-		RungTimeout:    *rungTO,
-		RequestTimeout: *reqTO,
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		Admission:       server.AdmissionConfig{MaxConcurrent: *maxConc, MaxQueue: *maxQueue},
+		Breaker:         server.BreakerConfig{OpenFor: *breakerFor},
+		RungTimeout:     *rungTO,
+		RequestTimeout:  *reqTO,
+		FlightSize:      *flightSize,
+		SlowlogPath:     *slowlog,
+		SlowlogMaxBytes: *slowlogMax,
+		SLOs:            slos,
 	}
 	if *csv != "" {
 		cfg.Dataset = server.DatasetSpec{Path: *csv, BuildStore: *store, K: *storeK}

@@ -30,6 +30,7 @@ func TestExitCodes(t *testing.T) {
 		args   []string
 		want   int
 		stderr string // required substring of stderr when non-empty
+		stdout string // required substring of stdout when non-empty
 	}{
 		{name: "rsl on the paper example",
 			args: []string{"-q", "8.5,55", "rsl"}, want: 0},
@@ -48,6 +49,12 @@ func TestExitCodes(t *testing.T) {
 		{name: "blown deadline",
 			args: []string{"-timeout", "1ns", "-q", "8.5,55", "rsl"}, want: 3,
 			stderr: "deadline"},
+		{name: "-stats prints the run's flight record",
+			args: []string{"-q", "8.5,55", "-c", "1", "-stats", "mwq"}, want: 0,
+			stdout: `"schema_version":1`},
+		{name: "flight record names the blown deadline",
+			args: []string{"-timeout", "1ns", "-q", "8.5,55", "-c", "1", "-stats", "mwq"},
+			want: 3, stderr: "deadline", stdout: `"outcome":"deadline"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -59,7 +66,8 @@ func TestExitCodes(t *testing.T) {
 				args[i] = a
 			}
 			cmd := exec.Command(bin, args...)
-			var stderr strings.Builder
+			var stdout, stderr strings.Builder
+			cmd.Stdout = &stdout
 			cmd.Stderr = &stderr
 			err := cmd.Run()
 			got := 0
@@ -73,6 +81,9 @@ func TestExitCodes(t *testing.T) {
 			}
 			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
 				t.Fatalf("stderr %q does not mention %q", stderr.String(), tc.stderr)
+			}
+			if tc.stdout != "" && !strings.Contains(stdout.String(), tc.stdout) {
+				t.Fatalf("stdout %q does not contain %q", stdout.String(), tc.stdout)
 			}
 		})
 	}

@@ -39,6 +39,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -55,6 +56,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Exit codes (documented in -h): 0 success, 1 internal failure, 2 usage
@@ -110,7 +112,7 @@ var knownCommands = map[string]bool{
 // needsWAL lists the commands that mutate and therefore require -wal-dir.
 var needsWAL = map[string]bool{"insert": true, "delete": true}
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("whynot", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	fs.Usage = func() { usage(os.Stderr) }
@@ -125,8 +127,10 @@ func run(args []string, out io.Writer) error {
 	degrade := fs.Bool("degrade", false, "on deadline/fault, fall back to cheaper algorithms (mwq)")
 	workers := fs.Int("workers", 1, "parallelism for per-customer loops (1 = sequential, 0 or <0 = all CPUs)")
 	cacheSize := fs.Int("cache", 0, "per-customer memoisation cache entries (0 = disabled)")
-	stats := fs.Bool("stats", false, "print the paper's cost counters (node accesses, dominance tests, ...) after the answer")
+	stats := fs.Bool("stats", false, "print the paper's cost counters (node accesses, dominance tests, ...) and this run's flight QueryRecord after the answer")
 	traceFlag := fs.Bool("trace", false, "print the per-query span/event trace after the answer")
+	slowlogPath := fs.String("slowlog", "", "append this run's flight QueryRecord as a JSON line to the given file (same schema as the server's slow-query log)")
+	flightSize := fs.Int("flight-size", 16, "flight-recorder ring size for this run's records (with -stats or -slowlog)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address and wait for SIGINT/SIGTERM")
 	walDir := fs.String("wal-dir", "", "durability directory: recover -data plus logged mutations, and enable insert/delete")
 	fsyncPolicy := fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
@@ -239,12 +243,60 @@ func run(args []string, out io.Writer) error {
 		db = repro.NewDBWithOptions(dims, items, dbOpts)
 	}
 
+	// With -stats or -slowlog the run keeps a flight QueryRecord — the same
+	// schema the server's ledger and slow log use, so one CLI reproduction of
+	// a production query is directly diffable against the server's record.
+	// HeadSampleEvery 1 means the single record always retains its trace.
+	var act *flight.Active
+	if *stats || *slowlogPath != "" {
+		var sl *flight.SlowLog
+		if *slowlogPath != "" {
+			sl, err = flight.OpenSlowLog(*slowlogPath, 0)
+			if err != nil {
+				return err
+			}
+		}
+		led := flight.New(flight.Config{
+			Size:            *flightSize,
+			HeadSampleEvery: 1,
+			Slowlog:         sl,
+			Epoch:           time.Now().Add(-time.Duration(obs.Now())),
+		})
+		act = led.Begin(cmd, "cli", fmt.Sprintf("cmd=%s q=%s c=%d", cmd, *qSpec, *cid), par)
+		defer func() {
+			// A degraded answer is still a served answer: the record says
+			// outcome ok with the degraded flag set (and keeps the exit-3
+			// message), matching how the server classifies fallback rungs.
+			outcome := flight.OutcomeOK
+			msg := ""
+			if retErr != nil {
+				msg = retErr.Error()
+				if !errors.Is(retErr, errDegradedAnswer) {
+					outcome = flight.ClassifyErr(retErr)
+				}
+			}
+			rec, done := act.Finish(outcome, msg)
+			if done && *stats {
+				if b, jerr := json.Marshal(rec); jerr == nil {
+					fmt.Fprintln(out, "--- record ---")
+					fmt.Fprintln(out, string(b))
+				}
+			}
+			if cerr := sl.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
+	}
+
 	// baseCtx carries the per-query trace (no deadline: the mwq ladder
 	// budgets each rung itself); ctx adds the -timeout bound for every
 	// non-ladder query.
 	baseCtx := context.Background()
 	var tr *repro.QueryTrace
-	if observe {
+	if act != nil {
+		tr = act.Trace()
+		baseCtx = obs.WithTrace(baseCtx, tr)
+	} else if observe {
 		baseCtx, tr = db.StartTrace(baseCtx, cmd)
 	}
 	ctx := baseCtx
@@ -270,6 +322,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		act.SetWALSeq(seq)
 		fmt.Fprintf(out, "inserted customer %d at %v (wal seq %d)\n", *cid, q, seq)
 	case "delete":
 		stored, ok := find(items, *cid)
@@ -280,6 +333,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		act.SetWALSeq(seq)
 		fmt.Fprintf(out, "deleted customer %d at %v (wal seq %d)\n", stored.ID, stored.Point, seq)
 	case "rsl":
 		rsl, err := db.ReverseSkylineContext(ctx, items, q)
@@ -408,6 +462,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		act.SetRung(ans.Rung.String(), ans.Degraded)
 		if ans.Degraded {
 			fmt.Fprintf(out, "(degraded answer from the %s rung)\n", ans.Rung)
 			deferred = fmt.Errorf("%w: served by the %s rung", errDegradedAnswer, ans.Rung)
@@ -630,7 +685,12 @@ performance flags:
 
 observability flags:
   -stats            print the paper's cost counters (node accesses, dominance tests, ...)
+                    and this run's flight QueryRecord (one JSON line, the same
+                    schema as the server ledger — diffable against it)
   -trace            print the per-query span/event trace
+  -slowlog f        append the run's QueryRecord to f as a JSON line (same
+                    format as the server's -slowlog slow-query log)
+  -flight-size n    flight-recorder ring size for this run's records
   -metrics-addr a   serve /metrics (Prometheus), /metrics.json, /debug/vars and
                     /debug/pprof on address a, then wait for SIGINT/SIGTERM
 

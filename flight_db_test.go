@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs/flight"
+)
+
+// TestDBFlightRecorder pins the embedded-use recorder: DBOptions.FlightSize
+// turns on a per-DB ledger that records one QueryRecord per Context entry
+// point with Source "db", and the tail sampler keeps failed queries' traces
+// exactly as the server's recorder does.
+func TestDBFlightRecorder(t *testing.T) {
+	items := fig1()
+	q := NewPoint(8.5, 55)
+
+	if NewDB(2, items).FlightRecorder() != nil {
+		t.Fatal("flight recorder must be off unless DBOptions.FlightSize > 0")
+	}
+
+	db := NewDBWithOptions(2, items, DBOptions{FlightSize: 8})
+	led := db.FlightRecorder()
+	if led == nil {
+		t.Fatal("FlightSize 8 left the recorder off")
+	}
+	if _, err := db.ReverseSkylineContext(context.Background(), items, q); err != nil {
+		t.Fatalf("ReverseSkylineContext: %v", err)
+	}
+	tot := led.Totals()
+	if tot.Started != 1 || tot.Finished != 1 || tot.InFlight != 0 {
+		t.Fatalf("totals after one query = %+v, want 1 started / 1 finished", tot)
+	}
+	rec := led.Recent(1)[0]
+	if rec.Source != "db" || rec.Op != "rsl" {
+		t.Errorf("record source/op = %s/%s, want db/rsl", rec.Source, rec.Op)
+	}
+	if rec.Outcome != flight.OutcomeOK {
+		t.Errorf("outcome = %q, want ok", rec.Outcome)
+	}
+
+	// A query entering with a dead deadline fails at the boundary; its record
+	// must classify the outcome and the tail sampler must keep it.
+	ctx, cancelCtx := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelCtx()
+	if _, err := db.ReverseSkylineContext(ctx, items, q); err == nil {
+		t.Fatal("expired deadline accepted")
+	}
+	rec = led.Recent(1)[0]
+	if rec.Outcome != flight.OutcomeDeadline {
+		t.Errorf("outcome = %q, want deadline", rec.Outcome)
+	}
+	if !rec.Sampled {
+		t.Error("failed query's record was not tail-sampled")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/geom"
@@ -374,7 +375,14 @@ func (r *Runner) runRung(ctx context.Context, op, rung string, fn func(context.C
 		endSpan()
 		done(err)
 	}()
-	if e := fn(rctx); e != nil {
+	// pprof.Do labels this goroutine (and, via the context, the exec workers
+	// it fans out to) for the duration of the rung, so CPU profiles from the
+	// DebugMux segment by operation and ladder rung.
+	var e error
+	pprof.Do(rctx, pprof.Labels("op", op, "rung", rung), func(lctx context.Context) {
+		e = fn(lctx)
+	})
+	if e != nil {
 		var qe *QueryError
 		if errors.As(e, &qe) {
 			return e

@@ -25,6 +25,7 @@ package exec
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/cancel"
 	"repro/internal/obs"
@@ -58,6 +59,11 @@ func Resolve(workers, n int) int {
 func ForEach(ctx context.Context, n, workers int, site string, fn func(chk *cancel.Checker, i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		// The context-free public API funnels here with a nil context;
+		// pprof.Do (unlike the cancel/obs lookups) requires a real one.
+		ctx = context.Background()
 	}
 	m := obs.ExecFrom(ctx)
 	workers = Resolve(workers, n)
@@ -97,26 +103,32 @@ func ForEach(ctx context.Context, n, workers int, site string, fn func(chk *canc
 		pool.wg.Add(1)
 		go func() {
 			defer pool.wg.Done()
-			// One checker per goroutine: Checker has no atomics on its hot
-			// path and must not be shared.
-			chk := cancel.FromContext(ctx)
-			if m != nil {
-				before := chk.Visits()
-				defer func() { m.Checkpoints.Add(chk.Visits() - before) }()
-			}
-			for i := range jobs {
-				if pool.stopped() {
-					continue // drain remaining jobs without working
+			// pprof goroutine labels do not cross `go`: re-apply the parent's
+			// label set (op/rung from the engine ladder) plus this fan-out's
+			// site as the phase, so worker CPU shows up attributed in profiles
+			// rather than as anonymous pool goroutines.
+			pprof.Do(ctx, pprof.Labels("phase", site), func(ctx context.Context) {
+				// One checker per goroutine: Checker has no atomics on its hot
+				// path and must not be shared.
+				chk := cancel.FromContext(ctx)
+				if m != nil {
+					before := chk.Visits()
+					defer func() { m.Checkpoints.Add(chk.Visits() - before) }()
 				}
-				if m == nil {
+				for i := range jobs {
+					if pool.stopped() {
+						continue // drain remaining jobs without working
+					}
+					if m == nil {
+						pool.run(chk, i, site, fn)
+						continue
+					}
+					start := obs.Now()
+					m.QueueWait.Observe(obs.SecondsSince(enq[i]))
 					pool.run(chk, i, site, fn)
-					continue
+					m.JobDuration.ObserveSince(start)
 				}
-				start := obs.Now()
-				m.QueueWait.Observe(obs.SecondsSince(enq[i]))
-				pool.run(chk, i, site, fn)
-				m.JobDuration.ObserveSince(start)
-			}
+			})
 		}()
 	}
 	for i := 0; i < n; i++ {

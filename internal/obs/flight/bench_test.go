@@ -1,0 +1,69 @@
+package flight_test
+
+import (
+	"context"
+	"testing"
+
+	"repro"
+)
+
+// paperExample is the paper's 8-point running example (Fig. 1a; price in K$,
+// mileage in Kmi) — the README's worked query runs against it.
+func paperExample() []repro.Item {
+	coords := [][2]float64{
+		{5, 30}, {7.5, 42}, {2.5, 70}, {7.5, 90},
+		{24, 20}, {20, 50}, {26, 70}, {16, 80},
+	}
+	items := make([]repro.Item, len(coords))
+	for i, c := range coords {
+		items[i] = repro.Item{ID: i + 1, Point: repro.NewPoint(c[0], c[1])}
+	}
+	return items
+}
+
+// workedExampleQuery is one full request's work for the README's worked
+// example (q = (8.5, 55), customer 1): the membership probe, the reverse
+// skyline, and the exact MWQ answer — the same sequence the mwq command and
+// the /v1/whynot handler run.
+func workedExampleQuery(b *testing.B, db *repro.DB, items []repro.Item) {
+	ctx := context.Background()
+	q := repro.NewPoint(8.5, 55)
+	ct := items[0]
+	if _, err := db.IsReverseSkylineContext(ctx, ct, q); err != nil {
+		b.Fatal(err)
+	}
+	rsl, err := db.ReverseSkylineContext(ctx, items, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.MWQExactContext(ctx, ct, q, rsl, repro.Options{}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFlightRecorderOverhead measures the per-query cost of the flight
+// recorder on the worked-example query: the bare configuration against one
+// with a ledger recording every DB call. Compare the two with benchstat; the
+// recorder's budget is <5% on the p50 latency of this query.
+func BenchmarkFlightRecorderOverhead(b *testing.B) {
+	items := paperExample()
+	b.Run("bare", func(b *testing.B) {
+		db := repro.NewDBWithOptions(2, items, repro.DBOptions{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			workedExampleQuery(b, db, items)
+		}
+	})
+	b.Run("recorded", func(b *testing.B) {
+		db := repro.NewDBWithOptions(2, items, repro.DBOptions{FlightSize: 256})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			workedExampleQuery(b, db, items)
+		}
+		if tot := db.FlightRecorder().Totals(); tot.Finished == 0 {
+			b.Fatal("recorded run produced no flight records")
+		}
+	})
+}

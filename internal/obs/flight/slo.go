@@ -1,0 +1,228 @@
+package flight
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SLO window geometry: 10-second buckets, 360 of them = a 1-hour long
+// window; the newest 30 form the 5-minute short window. Two windows because
+// a burn rate needs both a fast page signal (5m catches an acute outage) and
+// a slow one (1h catches the steady leak the 5m window forgives).
+const (
+	sloBucketDur   = 10 * time.Second
+	sloBucketCount = 360
+	sloShortCount  = 30
+)
+
+// Objective is one per-op service level objective: Target fraction of "good"
+// requests, where a request is bad if it failed (outcome error, deadline,
+// unavailable or shed) or exceeded Latency. Op "*" matches every op.
+type Objective struct {
+	Op      string        `json:"op"`
+	Latency time.Duration `json:"latency"`
+	Target  float64       `json:"target"` // good-fraction objective in (0,1), e.g. 0.999
+}
+
+// ParseObjectives parses the CLI/-slo syntax: a comma-separated list of
+// op:latency:target, where latency is a Go duration and target a percentage
+// — "whynot:250ms:99.9,rskyline:100ms:99". Returns nil for the empty string.
+func ParseObjectives(s string) ([]Objective, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Objective
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("flight: SLO %q: want op:latency:target%%", part)
+		}
+		op := strings.TrimSpace(fields[0])
+		if op == "" {
+			return nil, fmt.Errorf("flight: SLO %q: empty op", part)
+		}
+		lat, err := time.ParseDuration(strings.TrimSpace(fields[1]))
+		if err != nil || lat <= 0 {
+			return nil, fmt.Errorf("flight: SLO %q: bad latency %q", part, fields[1])
+		}
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(fields[2]), "%"), 64)
+		if err != nil || pct <= 0 || pct >= 100 {
+			return nil, fmt.Errorf("flight: SLO %q: target must be a percentage in (0,100)", part)
+		}
+		out = append(out, Objective{Op: op, Latency: lat, Target: pct / 100})
+	}
+	return out, nil
+}
+
+// sloState is one objective's pair of rotating bucket arrays. cur is the
+// absolute bucket number (obs.Now / sloBucketDur) the write cursor sits on;
+// advancing zeroes the buckets it rotates through.
+type sloState struct {
+	obj  Objective
+	good [sloBucketCount]uint64
+	bad  [sloBucketCount]uint64
+	cur  int64
+}
+
+func (st *sloState) advance(now int64) {
+	b := now / int64(sloBucketDur)
+	if b <= st.cur {
+		return
+	}
+	if b-st.cur >= sloBucketCount {
+		st.good = [sloBucketCount]uint64{}
+		st.bad = [sloBucketCount]uint64{}
+		st.cur = b
+		return
+	}
+	for st.cur < b {
+		st.cur++
+		i := int(st.cur % sloBucketCount)
+		st.good[i], st.bad[i] = 0, 0
+	}
+}
+
+func (st *sloState) window(buckets int) (good, bad uint64) {
+	for i := 0; i < buckets; i++ {
+		idx := int((st.cur - int64(i)) % sloBucketCount)
+		if idx < 0 {
+			idx += sloBucketCount
+		}
+		good += st.good[idx]
+		bad += st.bad[idx]
+	}
+	return good, bad
+}
+
+// burnRate is the classic SLO burn: the observed bad fraction divided by the
+// error budget (1 − target). 1.0 means the budget is being spent exactly at
+// the rate that exhausts it at the window's end; 0 means a clean window.
+func (st *sloState) burnRate(buckets int) float64 {
+	good, bad := st.window(buckets)
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - st.obj.Target)
+}
+
+// SLOTracker evaluates declared objectives over rotating 5m/1h windows and
+// publishes the burn rates as labelled gauges. A nil tracker (no objectives
+// declared) is valid and free.
+type SLOTracker struct {
+	mu     sync.Mutex
+	states []*sloState
+	g5m    *obs.LabeledGauge
+	g1h    *obs.LabeledGauge
+}
+
+// NewSLOTracker builds a tracker for the given objectives, registering
+// slo_burn_rate_5m / slo_burn_rate_1h gauges when reg is non-nil. Returns
+// nil when no objectives are declared.
+func NewSLOTracker(objs []Objective, reg *obs.Registry) *SLOTracker {
+	if len(objs) == 0 {
+		return nil
+	}
+	t := &SLOTracker{}
+	cur := obs.Now() / int64(sloBucketDur)
+	for _, o := range objs {
+		t.states = append(t.states, &sloState{obj: o, cur: cur})
+	}
+	if reg != nil {
+		t.g5m = reg.LabeledGauge("slo_burn_rate_5m", "SLO error-budget burn rate over the last 5 minutes (1.0 = spending exactly the budget).", "op")
+		t.g1h = reg.LabeledGauge("slo_burn_rate_1h", "SLO error-budget burn rate over the last hour.", "op")
+	} else {
+		t.g5m = obs.NewLabeledGauge("op")
+		t.g1h = obs.NewLabeledGauge("op")
+	}
+	return t
+}
+
+// Observe feeds one finished request into every objective matching op.
+// failed should be true for outcomes that count against the SLO (the server
+// maps error/deadline/unavailable/shed to failed and treats cancellation as
+// the client's choice); a slow-but-successful request goes bad via Latency.
+func (t *SLOTracker) Observe(op string, dur time.Duration, failed bool) {
+	if t == nil {
+		return
+	}
+	now := obs.Now()
+	t.mu.Lock()
+	for _, st := range t.states {
+		if st.obj.Op != op && st.obj.Op != "*" {
+			continue
+		}
+		st.advance(now)
+		idx := int(st.cur % sloBucketCount)
+		if failed || dur > st.obj.Latency {
+			st.bad[idx]++
+		} else {
+			st.good[idx]++
+		}
+	}
+	t.publishLocked()
+	t.mu.Unlock()
+}
+
+func (t *SLOTracker) publishLocked() {
+	for _, st := range t.states {
+		t.g5m.With(st.obj.Op).Set(st.burnRate(sloShortCount))
+		t.g1h.With(st.obj.Op).Set(st.burnRate(sloBucketCount))
+	}
+}
+
+// WindowStatus is one window's tally for status output.
+type WindowStatus struct {
+	Good        uint64  `json:"good"`
+	Bad         uint64  `json:"bad"`
+	BadFraction float64 `json:"bad_fraction"`
+	BurnRate    float64 `json:"burn_rate"`
+}
+
+// SLOStatus is one objective's current standing for /v1/admin/status.
+type SLOStatus struct {
+	Op        string       `json:"op"`
+	LatencyMS float64      `json:"latency_ms"`
+	Target    float64      `json:"target"`
+	Window5m  WindowStatus `json:"window_5m"`
+	Window1h  WindowStatus `json:"window_1h"`
+}
+
+// Status advances the windows to now and reports every objective.
+func (t *SLOTracker) Status() []SLOStatus {
+	if t == nil {
+		return nil
+	}
+	now := obs.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SLOStatus, 0, len(t.states))
+	for _, st := range t.states {
+		st.advance(now)
+		s := SLOStatus{
+			Op:        st.obj.Op,
+			LatencyMS: float64(st.obj.Latency) / 1e6,
+			Target:    st.obj.Target,
+		}
+		s.Window5m = windowStatus(st, sloShortCount)
+		s.Window1h = windowStatus(st, sloBucketCount)
+		out = append(out, s)
+	}
+	t.publishLocked()
+	return out
+}
+
+func windowStatus(st *sloState, buckets int) WindowStatus {
+	good, bad := st.window(buckets)
+	w := WindowStatus{Good: good, Bad: bad, BurnRate: st.burnRate(buckets)}
+	if total := good + bad; total > 0 {
+		w.BadFraction = float64(bad) / float64(total)
+	}
+	return w
+}

@@ -1,0 +1,114 @@
+package flight
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DefaultSlowLogMaxBytes is the rotation threshold when none is given.
+const DefaultSlowLogMaxBytes = 8 << 20
+
+// SlowLog appends sampled QueryRecords as JSON lines (one record per line,
+// each self-describing via schema_version). When the file would exceed
+// maxBytes the current file is renamed to <path>.1 (replacing any previous
+// rotation) and a fresh file is started — at most two files ever exist, so
+// disk use is bounded without a log-management dependency.
+type SlowLog struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+}
+
+// OpenSlowLog opens (appending) or creates the slow-query log at path.
+// maxBytes ≤ 0 selects DefaultSlowLogMaxBytes.
+func OpenSlowLog(path string, maxBytes int64) (*SlowLog, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSlowLogMaxBytes
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("flight: open slowlog: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("flight: stat slowlog: %w", err)
+	}
+	return &SlowLog{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Path returns the log file path.
+func (s *SlowLog) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// Write appends one record as a JSON line, rotating first if the line would
+// push the file past the size limit.
+func (s *SlowLog) Write(rec *QueryRecord) error {
+	if s == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("flight: marshal record: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("flight: slowlog closed")
+	}
+	if s.size > 0 && s.size+int64(len(line)) > s.maxBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := s.f.Write(line)
+	s.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("flight: slowlog write: %w", err)
+	}
+	return nil
+}
+
+func (s *SlowLog) rotateLocked() error {
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("flight: slowlog close for rotation: %w", err)
+	}
+	s.f = nil
+	if err := os.Rename(s.path, s.path+".1"); err != nil {
+		return fmt.Errorf("flight: slowlog rotate: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("flight: slowlog reopen: %w", err)
+	}
+	s.f, s.size = f, 0
+	return nil
+}
+
+// Close flushes and closes the log. Idempotent; Writes after Close fail.
+func (s *SlowLog) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	if err != nil {
+		return fmt.Errorf("flight: slowlog close: %w", err)
+	}
+	return nil
+}

@@ -146,6 +146,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 		return 0
 	}
 	target := q * float64(total)
+	// q*total for a rank that is mathematically an integer can land a hair
+	// above it in floating point (0.07*100 = 7.000000000000001), pushing the
+	// scan past the bucket that exactly holds the target rank — an
+	// observation sitting on a bucket's upper edge then reports the next
+	// bucket's bound. Snap near-integer targets back to the integer.
+	if r := math.Round(target); r != target && math.Abs(target-r) <= 1e-9*math.Max(1, math.Abs(target)) {
+		target = r
+	}
 	var cum uint64
 	for i, b := range h.bounds {
 		n := h.counts[i].Load()

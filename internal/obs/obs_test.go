@@ -112,6 +112,31 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileBoundary pins the exact-rank case at a bucket's upper
+// edge: with 7 of 100 observations in the first bucket, q=0.07 has its rank
+// exactly at that bucket's boundary. The target 0.07×100 evaluates to
+// 7.000000000000001 in IEEE754, which used to push the scan past the first
+// bucket (7 >= 7.000000000000001 is false) and report ≈2.0 instead of 1.0.
+func TestHistogramQuantileBoundary(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 7; i++ {
+		h.Observe(1.0) // on the first bucket's upper edge (v <= 1)
+	}
+	for i := 0; i < 93; i++ {
+		h.Observe(4.0)
+	}
+	if got := h.Quantile(0.07); got != 1.0 {
+		t.Fatalf("Quantile(0.07) = %v, want exactly 1.0 (the first bucket's upper edge)", got)
+	}
+	// The neighbouring quantiles still land where they should.
+	if got := h.Quantile(0.06); got < 0 || got > 1 {
+		t.Fatalf("Quantile(0.06) = %v, want within the first bucket [0,1]", got)
+	}
+	if got := h.Quantile(0.5); got <= 2 || got > 4 {
+		t.Fatalf("Quantile(0.5) = %v, want within (2,4]", got)
+	}
+}
+
 func TestPrometheusRendering(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("node_accesses_total", "nodes visited").Add(7)

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// StartPhase opens a named query phase twice over: as a span on the
+// context's trace (nil-safe, like StartSpan) and as a pprof goroutine label
+// ("phase"), so CPU profiles taken through the DebugMux segment by the same
+// phase names the traces and the flight recorder use. The returned context
+// carries the label for work handed to child goroutines (internal/exec
+// workers re-apply it with pprof.Do); the returned func ends the span and
+// restores the previous label set — call it on the same goroutine,
+// typically deferred.
+func StartPhase(ctx context.Context, name string) (context.Context, func()) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	endSpan := TraceFrom(ctx).StartSpan(name)
+	lctx := pprof.WithLabels(ctx, pprof.Labels("phase", name))
+	pprof.SetGoroutineLabels(lctx)
+	return lctx, func() {
+		pprof.SetGoroutineLabels(ctx)
+		endSpan()
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro"
 	"repro/internal/cancel"
 	"repro/internal/engine/faultinject"
+	"repro/internal/obs/flight"
 	"repro/internal/server"
 )
 
@@ -57,6 +58,9 @@ type Options struct {
 	DatasetN int
 	// Seed drives the workload mix. Default 1.
 	Seed int64
+	// SlowlogPath, when set, writes the server's slow-query log there so a
+	// failing run leaves its sampled flight records behind as an artifact.
+	SlowlogPath string
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +110,14 @@ type Summary struct {
 	BreakerRecloses    int64             `json:"breaker_recloses"`
 	FinalBreakerStates map[string]string `json:"final_breaker_states"`
 
+	// Flight-recorder accounting: every admitted request must leave exactly
+	// one terminal record, and every bad or degraded record must have kept
+	// its trace (the tail sampler's contract).
+	FlightStarted      int64 `json:"flight_started"`
+	FlightFinished     int64 `json:"flight_finished"`
+	FlightInFlightEnd  int64 `json:"flight_in_flight_end"`
+	FlightUnsampledBad int64 `json:"flight_unsampled_bad"`
+
 	P50MS float64 `json:"latency_p50_ms"`
 	P99MS float64 `json:"latency_p99_ms"`
 
@@ -136,6 +148,14 @@ func (s *Summary) Violations() []string {
 	if s.BreakerRecloses == 0 || s.FinalBreakerStates["exact"] != "closed" {
 		v = append(v, fmt.Sprintf("exact breaker did not re-close after the fault window (state %q, %d re-closes)",
 			s.FinalBreakerStates["exact"], s.BreakerRecloses))
+	}
+	if s.FlightStarted != s.FlightFinished || s.FlightInFlightEnd != 0 {
+		v = append(v, fmt.Sprintf("flight ledger leaked records: %d started, %d finished, %d still in flight",
+			s.FlightStarted, s.FlightFinished, s.FlightInFlightEnd))
+	}
+	if s.FlightUnsampledBad != 0 {
+		v = append(v, fmt.Sprintf("%d bad/degraded flight records lost their trace (tail sampler must keep them)",
+			s.FlightUnsampledBad))
 	}
 	return v
 }
@@ -168,6 +188,7 @@ func Run(ctx context.Context, opts Options) (*Summary, error) {
 		RungTimeout:    time.Second,
 		RequestTimeout: 5 * time.Second,
 		Hook:           window,
+		SlowlogPath:    opts.SlowlogPath,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: boot server: %w", err)
@@ -240,6 +261,26 @@ func Run(ctx context.Context, opts Options) (*Summary, error) {
 	stop()
 	wg.Wait()
 
+	// Every client saw a terminal response, but a handler's deferred record
+	// finish can land just after the response bytes — give the ledger a
+	// moment to quiesce before reading its accounting.
+	var flightTotals flight.Totals
+	var unsampledBad int64
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		flightTotals = srv.FlightRecorder().Totals()
+		if flightTotals.Started == flightTotals.Finished || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, rec := range srv.FlightRecorder().Recent(0) {
+		bad := rec.Outcome != flight.OutcomeOK && rec.Outcome != flight.OutcomeCanceled
+		if (bad || rec.Degraded) && !rec.Sampled {
+			unsampledBad++
+		}
+	}
+
 	shutCtx, cancelShut := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancelShut()
 	if err := srv.Shutdown(shutCtx); err != nil {
@@ -257,6 +298,10 @@ func Run(ctx context.Context, opts Options) (*Summary, error) {
 		sum.BreakerRecloses += int64(st.Recloses)
 	}
 	sum.ServerPanics = int64(srv.ServerPanics())
+	sum.FlightStarted = int64(flightTotals.Started)
+	sum.FlightFinished = int64(flightTotals.Finished)
+	sum.FlightInFlightEnd = int64(flightTotals.InFlight)
+	sum.FlightUnsampledBad = unsampledBad
 	sum.P50MS, sum.P99MS = percentiles(latency)
 	return sum, nil
 }

@@ -1,0 +1,375 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cancel"
+	"repro/internal/engine/faultinject"
+	"repro/internal/obs/flight"
+)
+
+// waitFlightQuiesce polls until every begun record has finished (handlers
+// close records in deferred functions that can run just after the response
+// bytes are visible to the client).
+func waitFlightQuiesce(t *testing.T, s *Server) flight.Totals {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		tot := s.FlightRecorder().Totals()
+		if tot.Started == tot.Finished && tot.InFlight == 0 {
+			return tot
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight ledger did not quiesce: %+v", tot)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFlightDegradedAttribution is the acceptance check for the recorder's
+// attribution: a fault-injected degraded query must leave one record naming
+// the rung that answered, the rungs that were attempted, why the ladder fell
+// through, and must be tail-sampled with its trace attached.
+func TestFlightDegradedAttribution(t *testing.T) {
+	inj := faultinject.New(faultinject.Rule{Site: cancel.SiteSafeRegion, Panic: "injected exact-rung bug"})
+	s := newTestServer(t, func(c *Config) { c.Hook = inj })
+	db, items := testDB(t, testDatasetN)
+	q, ct, _ := testQuery(t, db, items)
+
+	w, body := do(t, s, "POST", "/v1/whynot",
+		fmt.Sprintf(`{"q":[%g,%g],"customer_id":%d}`, q[0], q[1], ct.ID))
+	if w.Code != 200 || body["degraded"] != true {
+		t.Fatalf("faulted request = %d %v, want 200 degraded", w.Code, body)
+	}
+	waitFlightQuiesce(t, s)
+
+	recent := s.FlightRecorder().Recent(1)
+	if len(recent) != 1 {
+		t.Fatalf("ledger holds %d records, want 1", len(recent))
+	}
+	rec := recent[0]
+	if rec.Op != "whynot" || rec.Source != "http" {
+		t.Errorf("record op/source = %s/%s, want whynot/http", rec.Op, rec.Source)
+	}
+	if rec.Outcome != flight.OutcomeOK {
+		t.Errorf("outcome = %q, want ok (a degraded answer is still an answer)", rec.Outcome)
+	}
+	if !rec.Degraded || rec.Rung != "mwp" {
+		t.Errorf("degraded=%v rung=%q, want degraded mwp", rec.Degraded, rec.Rung)
+	}
+	if rec.Admission != "admitted" {
+		t.Errorf("admission = %q, want admitted", rec.Admission)
+	}
+	var attempted []string
+	for _, a := range rec.Attempts {
+		attempted = append(attempted, a.Rung)
+	}
+	if len(attempted) < 2 || attempted[0] != "exact" || attempted[len(attempted)-1] != "mwp" {
+		t.Errorf("rung attempts = %v, want exact first and mwp last", attempted)
+	}
+	if len(rec.DegradeReasons) == 0 || !strings.Contains(strings.Join(rec.DegradeReasons, " "), "panic") {
+		t.Errorf("degrade reasons = %v, want the injected panic", rec.DegradeReasons)
+	}
+	if !rec.Sampled || rec.SampleReason != flight.SampleDegraded {
+		t.Errorf("sampled=%v reason=%q, want sampled as degraded", rec.Sampled, rec.SampleReason)
+	}
+	if len(rec.Trace) == 0 {
+		t.Error("sampled degraded record has no trace spans")
+	}
+	if rec.Cost.DominanceTests == 0 {
+		t.Errorf("cost delta = %+v, want non-zero dominance tests for an MWQ", rec.Cost)
+	}
+	if rec.SnapshotSeq == 0 {
+		t.Error("record lacks the serving snapshot seq")
+	}
+	if rec.ParamsDigest == "" {
+		t.Error("record lacks a params digest")
+	}
+
+	// The debug endpoint redacts raw parameters by default and returns them
+	// only under ?raw=1.
+	w, body = do(t, s, "GET", "/v1/debug/queries", "")
+	if w.Code != 200 || body["redacted"] != true {
+		t.Fatalf("debug queries = %d %v, want 200 redacted", w.Code, body)
+	}
+	first := body["recent"].([]any)[0].(map[string]any)
+	if _, leaked := first["params"]; leaked {
+		t.Error("default debug rendering leaked raw params")
+	}
+	if first["params_digest"] == "" {
+		t.Error("redacted record lost its params digest")
+	}
+	if first["sample_reason"] != "degraded" {
+		t.Errorf("debug record sample_reason = %v, want degraded", first["sample_reason"])
+	}
+	w, body = do(t, s, "GET", "/v1/debug/queries?raw=1", "")
+	first = body["recent"].([]any)[0].(map[string]any)
+	if w.Code != 200 || !strings.Contains(first["params"].(string), "customer=") {
+		t.Errorf("?raw=1 record params = %v, want the raw parameter string", first["params"])
+	}
+}
+
+// TestFlightInFlightInspector holds a query inside the exact rung via an
+// injected stall and watches it through GET /v1/debug/queries while it runs.
+func TestFlightInFlightInspector(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	inj := faultinject.New(faultinject.Rule{Site: cancel.SiteSafeRegion, Do: func() {
+		once.Do(func() { <-release })
+	}})
+	s := newTestServer(t, func(c *Config) { c.Hook = inj })
+	db, items := testDB(t, testDatasetN)
+	q, ct, _ := testQuery(t, db, items)
+
+	done := make(chan int, 1)
+	go func() {
+		w, _ := do(t, s, "POST", "/v1/whynot",
+			fmt.Sprintf(`{"q":[%g,%g],"customer_id":%d}`, q[0], q[1], ct.ID))
+		done <- w.Code
+	}()
+
+	// The query is parked at the safe-region checkpoint; the inspector must
+	// show it in flight with its identity (but only the params digest).
+	var seen map[string]any
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		_, body := do(t, s, "GET", "/v1/debug/queries", "")
+		if inflight, ok := body["in_flight"].([]any); ok && len(inflight) == 1 {
+			seen = inflight[0].(map[string]any)
+			break
+		}
+		if time.Now().After(deadline) {
+			close(release)
+			t.Fatal("stalled query never appeared in the in-flight inspector")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if seen["op"] != "whynot" || seen["source"] != "http" {
+		t.Errorf("in-flight entry = %v, want op whynot source http", seen)
+	}
+	if seen["params_digest"] == "" {
+		t.Error("in-flight entry lacks the params digest")
+	}
+	if seen["age_ms"].(float64) < 0 {
+		t.Errorf("in-flight age = %v, want ≥ 0", seen["age_ms"])
+	}
+
+	// The text rendering serves the same view for humans.
+	req := httptest.NewRequest("GET", "/v1/debug/queries?format=text", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "whynot") {
+		t.Errorf("text inspector = %d %q, want the in-flight query listed", w.Code, w.Body.String())
+	}
+
+	close(release)
+	if code := <-done; code != 200 {
+		t.Fatalf("stalled query finished with %d, want 200", code)
+	}
+	waitFlightQuiesce(t, s)
+	if got := len(s.FlightRecorder().InFlight()); got != 0 {
+		t.Fatalf("%d queries still in flight after completion", got)
+	}
+}
+
+// TestFlightStatusAndMetricsSurfaces: the ledger and SLO tracker publish into
+// /v1/admin/status and /metrics; disabling the recorder turns the debug
+// endpoint into a 404 while SLO tracking stays alive.
+func TestFlightStatusAndMetricsSurfaces(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.SLOs = []flight.Objective{{Op: "*", Latency: time.Second, Target: 0.99}}
+	})
+	db, items := testDB(t, testDatasetN)
+	q, ct, _ := testQuery(t, db, items)
+	if w, _ := do(t, s, "POST", "/v1/whynot",
+		fmt.Sprintf(`{"q":[%g,%g],"customer_id":%d}`, q[0], q[1], ct.ID)); w.Code != 200 {
+		t.Fatalf("whynot = %d", w.Code)
+	}
+	waitFlightQuiesce(t, s)
+
+	_, body := do(t, s, "GET", "/v1/admin/status", "")
+	fl, ok := body["flight"].(map[string]any)
+	if !ok {
+		t.Fatalf("status has no flight section: %v", body)
+	}
+	totals := fl["totals"].(map[string]any)
+	if totals["started"].(float64) != 1 || totals["finished"].(float64) != 1 {
+		t.Errorf("status flight totals = %v, want 1 started / 1 finished", totals)
+	}
+	slo, ok := body["slo"].([]any)
+	if !ok || len(slo) != 1 {
+		t.Fatalf("status has no slo section: %v", body["slo"])
+	}
+	w5 := slo[0].(map[string]any)["window_5m"].(map[string]any)
+	if w5["good"].(float64) != 1 || w5["bad"].(float64) != 0 {
+		t.Errorf("slo 5m window = %v, want 1 good / 0 bad", w5)
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rw, req)
+	metrics := rw.Body.String()
+	for _, name := range []string{"flight_started_total", "flight_records_total", "slo_burn_rate_5m", "slo_burn_rate_1h"} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics lacks %s", name)
+		}
+	}
+
+	// FlightSize < 0 disables the recorder; SLOs still work.
+	off := newTestServer(t, func(c *Config) {
+		c.FlightSize = -1
+		c.SLOs = []flight.Objective{{Op: "*", Latency: time.Second, Target: 0.99}}
+	})
+	if off.FlightRecorder() != nil {
+		t.Fatal("FlightSize -1 left the recorder enabled")
+	}
+	if w, _ := do(t, off, "GET", "/v1/debug/queries", ""); w.Code != 404 {
+		t.Errorf("debug queries with recorder disabled = %d, want 404", w.Code)
+	}
+	if w, _ := do(t, off, "POST", "/v1/whynot",
+		fmt.Sprintf(`{"q":[%g,%g],"customer_id":%d}`, q[0], q[1], ct.ID)); w.Code != 200 {
+		t.Fatalf("whynot with recorder disabled = %d, want 200", w.Code)
+	}
+	_, body = do(t, off, "GET", "/v1/admin/status", "")
+	if _, has := body["flight"]; has {
+		t.Error("disabled recorder still renders a flight section")
+	}
+	if slo := body["slo"].([]any); len(slo) != 1 {
+		t.Error("SLO tracking died with the recorder")
+	}
+}
+
+// TestFlightLedgerConcurrency drives mixed valid and invalid queries,
+// mutations, reloads and debug scrapes concurrently (run under -race via
+// race-core), then checks the ledger's books: exactly one terminal record per
+// request that passed validation, none for rejected requests, and no bad or
+// degraded record without its trace.
+func TestFlightLedgerConcurrency(t *testing.T) {
+	dir := t.TempDir()
+	slowlog := filepath.Join(dir, "slow.jsonl")
+	s := newTestServer(t, func(c *Config) {
+		c.SlowlogPath = slowlog
+		c.SLOs = []flight.Objective{{Op: "whynot", Latency: time.Second, Target: 0.99}}
+	})
+	db, items := testDB(t, testDatasetN)
+	q, ct, _ := testQuery(t, db, items)
+
+	const (
+		workers = 6
+		rounds  = 25
+	)
+	var expectRecords atomic.Int64 // requests that pass validation → must leave a record
+	var workerWG, auxWG sync.WaitGroup
+	reloadBody := fmt.Sprintf(`{"generate":{"kind":"UN","n":%d,"dims":2,"seed":7}}`, testDatasetN)
+	for wk := 0; wk < workers; wk++ {
+		workerWG.Add(1)
+		go func(wk int) {
+			defer workerWG.Done()
+			for i := 0; i < rounds; i++ {
+				switch i % 5 {
+				case 0: // valid whynot
+					do(t, s, "POST", "/v1/whynot",
+						fmt.Sprintf(`{"q":[%g,%g],"customer_id":%d}`, q[0], q[1], ct.ID))
+					expectRecords.Add(1)
+				case 1: // unknown customer: 404 before admission, no record
+					w, _ := do(t, s, "POST", "/v1/whynot",
+						fmt.Sprintf(`{"q":[%g,%g],"customer_id":99999999}`, q[0], q[1]))
+					if w.Code != 404 {
+						t.Errorf("unknown customer = %d, want 404", w.Code)
+					}
+				case 2: // wrong dims: 400 before admission, no record
+					w, _ := do(t, s, "POST", "/v1/rskyline", `{"q":[1,2,3]}`)
+					if w.Code != 400 {
+						t.Errorf("bad dims = %d, want 400", w.Code)
+					}
+				case 3: // valid rskyline
+					do(t, s, "POST", "/v1/rskyline", fmt.Sprintf(`{"q":[%g,%g]}`, q[0], q[1]))
+					expectRecords.Add(1)
+				case 4: // memory-only insert with a unique ID (bypasses admission)
+					w, _ := do(t, s, "POST", "/v1/admin/insert",
+						fmt.Sprintf(`{"id":%d,"point":[1,2]}`, 1_000_000+wk*rounds+i))
+					if w.Code != 200 {
+						t.Errorf("insert = %d, want 200", w.Code)
+					}
+					expectRecords.Add(1)
+				}
+			}
+		}(wk)
+	}
+	// A reloader hot-swaps the (identical) dataset so snapshot seqs advance
+	// under the queries without invalidating the test customer, and scrapers
+	// read both renderings of the debug endpoint while the ledger churns —
+	// the race detector patrols these reads.
+	stop := make(chan struct{})
+	auxWG.Add(1)
+	go func() {
+		defer auxWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				do(t, s, "POST", "/v1/admin/reload", reloadBody)
+			}
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		auxWG.Add(1)
+		go func() {
+			defer auxWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					do(t, s, "GET", "/v1/debug/queries?limit=10", "")
+					req := httptest.NewRequest("GET", "/v1/debug/queries?format=text", nil)
+					s.Handler().ServeHTTP(httptest.NewRecorder(), req)
+					do(t, s, "GET", "/v1/admin/status", "")
+				}
+			}
+		}()
+	}
+
+	workerWG.Wait()
+	close(stop)
+	auxWG.Wait()
+
+	tot := waitFlightQuiesce(t, s)
+	if tot.Started != uint64(expectRecords.Load()) {
+		t.Errorf("ledger started %d records, want %d (one per request that passed validation)",
+			tot.Started, expectRecords.Load())
+	}
+	if tot.Started != tot.Finished || tot.InFlight != 0 {
+		t.Errorf("leaked records: %+v", tot)
+	}
+	for _, rec := range s.FlightRecorder().Recent(0) {
+		bad := rec.Outcome != flight.OutcomeOK && rec.Outcome != flight.OutcomeCanceled
+		if (bad || rec.Degraded) && !rec.Sampled {
+			t.Errorf("bad/degraded record #%d (%s, outcome %s) lost its trace", rec.ID, rec.Op, rec.Outcome)
+		}
+	}
+
+	// The slow log (fed by head samples here) must hold valid schema-stamped
+	// JSON lines.
+	if buf, err := os.ReadFile(slowlog); err == nil && len(buf) > 0 {
+		for _, line := range strings.Split(strings.TrimSpace(string(buf)), "\n") {
+			var rec flight.QueryRecord
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("slowlog line %q: %v", line, err)
+			}
+			if rec.Schema != flight.SchemaVersion {
+				t.Fatalf("slowlog line with schema %d, want %d", rec.Schema, flight.SchemaVersion)
+			}
+		}
+	}
+}

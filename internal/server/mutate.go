@@ -7,6 +7,7 @@ import (
 
 	"repro"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/wal"
 )
 
@@ -51,14 +52,22 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	it := repro.Item{ID: req.ID, Point: repro.NewPoint(req.Point...)}
 
+	// Mutations skip the admission controller (they hold mutMu instead), so
+	// the record says so; the WAL seq that acknowledges the write lands on it.
+	began := obs.Now()
+	act := s.flight.Begin("insert", "http", fmt.Sprintf("id=%d point=%v", req.ID, req.Point), 0)
+	act.SetAdmission("bypass")
+	defer func() { s.finishRecord(act, "insert", began, w, nil, nil, [2]uint64{}) }()
+
 	seq, ok := s.commitMutation(w, wal.OpInsert, it)
 	if !ok {
 		return
 	}
+	act.SetWALSeq(seq)
 	items := make([]repro.Item, 0, len(snap.Items)+1)
 	items = append(items, snap.Items...)
 	items = append(items, it)
-	s.publishMutated(w, snap, items, seq, len(items))
+	s.publishMutated(w, snap, items, seq, len(items), act)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -103,17 +112,23 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	began := obs.Now()
+	act := s.flight.Begin("delete", "http", fmt.Sprintf("id=%d", req.ID), 0)
+	act.SetAdmission("bypass")
+	defer func() { s.finishRecord(act, "delete", began, w, nil, nil, [2]uint64{}) }()
+
 	seq, ok := s.commitMutation(w, wal.OpDelete, stored)
 	if !ok {
 		return
 	}
+	act.SetWALSeq(seq)
 	items := make([]repro.Item, 0, len(snap.Items)-1)
 	for _, it := range snap.Items {
 		if it.ID != req.ID {
 			items = append(items, it)
 		}
 	}
-	s.publishMutated(w, snap, items, seq, len(items))
+	s.publishMutated(w, snap, items, seq, len(items), act)
 }
 
 // commitMutation appends the record to the WAL — the acknowledgement point.
@@ -147,7 +162,7 @@ func (s *Server) commitMutation(w http.ResponseWriter, op wal.Op, it repro.Item)
 // carried over or rebuilt here: it was sampled from the pre-mutation item
 // set, and serving it would answer for items that no longer exist (reload
 // with build_store to regain the approx rung after a mutation burst).
-func (s *Server) publishMutated(w http.ResponseWriter, old *Snapshot, items []repro.Item, walSeq uint64, count int) {
+func (s *Server) publishMutated(w http.ResponseWriter, old *Snapshot, items []repro.Item, walSeq uint64, count int, act *flight.Active) {
 	began := obs.Now()
 	snap, err := snapshotFromItems(context.Background(), items, old.Name, false, 0, s.dbOptions())
 	if err != nil {
@@ -164,6 +179,7 @@ func (s *Server) publishMutated(w http.ResponseWriter, old *Snapshot, items []re
 		return
 	}
 	s.publishLocked(snap)
+	act.SetSnapshotSeq(snap.Seq)
 	s.metrics.Mutations.Inc()
 	body := map[string]any{
 		"snapshot_seq": snap.Seq,

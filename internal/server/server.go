@@ -40,6 +40,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/wal"
 )
 
@@ -76,6 +77,19 @@ type Config struct {
 	// mutations), and Shutdown flushes it. Without it mutations are
 	// memory-only and lost on restart.
 	Durability *wal.Options
+	// FlightSize bounds the flight-recorder ring of per-request QueryRecords
+	// served at GET /v1/debug/queries. 0 selects the flight.Config default
+	// (256); a negative size disables the recorder entirely.
+	FlightSize int
+	// SlowlogPath, when non-empty, appends every tail-sampled QueryRecord as
+	// a schema-versioned JSON line there (rotated once at SlowlogMaxBytes);
+	// Shutdown flushes and closes it.
+	SlowlogPath string
+	// SlowlogMaxBytes is the slow-query log rotation threshold (0 = 8 MiB).
+	SlowlogMaxBytes int64
+	// SLOs declares per-op latency/error objectives; 5m/1h burn-rate gauges
+	// are rendered in /metrics and /v1/admin/status.
+	SLOs []flight.Objective
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +115,11 @@ type Server struct {
 	breakers   *BreakerSet
 	metrics    *Metrics
 	engMetrics *engine.Metrics
+
+	flight     *flight.Ledger
+	slo        *flight.SLOTracker
+	slowlog    *flight.SlowLog
+	walMetrics *wal.Metrics
 
 	snap     atomic.Pointer[Snapshot]
 	seq      atomic.Uint64
@@ -140,6 +159,9 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.breakers = NewBreakerSet(cfg.Breaker, s.metrics)
 	s.engMetrics = engine.NewMetrics(cfg.Registry)
 	obs.RegisterCost(cfg.Registry)
+	if err := s.initFlight(); err != nil {
+		return nil, err
+	}
 
 	snap, err := s.bootSnapshot(ctx)
 	if err != nil {
@@ -176,6 +198,7 @@ func (s *Server) bootSnapshot(ctx context.Context) (*Snapshot, error) {
 	if wopts.Metrics == nil {
 		wopts.Metrics = wal.NewMetrics(s.cfg.Registry)
 	}
+	s.walMetrics = wopts.Metrics
 	l, rec, err := wal.Open(wopts)
 	if err != nil {
 		return nil, fmt.Errorf("wal recovery: %w", err)
@@ -247,6 +270,7 @@ func (s *Server) buildMux() http.Handler {
 	mux.HandleFunc("POST /v1/admin/insert", s.handleInsert)
 	mux.HandleFunc("POST /v1/admin/delete", s.handleDelete)
 	mux.HandleFunc("GET /v1/admin/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/debug/queries", s.handleDebugQueries)
 	mux.Handle("GET /metrics", s.cfg.Registry.Handler())
 	mux.Handle("GET /metrics.json", s.cfg.Registry.JSONHandler())
 	return s.recoverMiddleware(mux)
@@ -366,15 +390,19 @@ func (s *Server) failQuery(w http.ResponseWriter, err error) {
 
 // queryContext derives the execution context for one query request: the
 // request deadline (client ask clamped to the server cap), the fault-
-// injection hook when configured, and an optional trace.
-func (s *Server) queryContext(r *http.Request, timeoutMS int64, trace bool, op string) (context.Context, context.CancelFunc, *obs.Trace) {
+// injection hook when configured, and a trace. With the flight recorder on,
+// the record's own trace is used (always recording, sampled at Finish);
+// without it a trace exists only when the client asked for one.
+func (s *Server) queryContext(r *http.Request, timeoutMS int64, trace bool, op string, act *flight.Active) (context.Context, context.CancelFunc, *obs.Trace) {
 	ctx := r.Context()
 	if s.cfg.Hook != nil {
 		ctx = cancel.WithHook(ctx, s.cfg.Hook)
 	}
-	var tr *obs.Trace
-	if trace {
+	tr := act.Trace()
+	if tr == nil && trace {
 		tr = obs.NewTrace(op)
+	}
+	if tr != nil {
 		ctx = obs.WithTrace(ctx, tr)
 	}
 	timeout := s.cfg.RequestTimeout
@@ -389,25 +417,30 @@ func (s *Server) queryContext(r *http.Request, timeoutMS int64, trace bool, op s
 
 // admit runs the admission controller for one query request and reports
 // whether the request may proceed; a shed is already answered when it
-// returns false. The admission wait is recorded as a span on tr.
-func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tr *obs.Trace) (func(), bool) {
+// returns false. The admission wait is recorded as a span on tr and as the
+// flight record's queue-wait; the verdict lands on the record.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter, tr *obs.Trace, act *flight.Active) (func(), bool) {
 	start := obs.Now()
 	release, err := s.adm.Acquire(ctx)
+	act.SetQueueWait(obs.Since(start))
 	if tr != nil {
 		tr.AddSpan("admission", start, obs.Now())
 	}
 	if err != nil {
 		var shed *ErrShed
 		if errors.As(err, &shed) {
+			act.SetAdmission("shed:" + shed.Reason)
 			if tr != nil {
 				tr.Eventf("shed", "%s", shed.Reason)
 			}
 			s.writeShed(w, shed)
 		} else {
+			act.SetAdmission("refused")
 			s.writeError(w, http.StatusServiceUnavailable, err.Error())
 		}
 		return nil, false
 	}
+	act.SetAdmission("admitted")
 	return release, true
 }
 
@@ -437,9 +470,23 @@ func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancelCtx, tr := s.queryContext(r, req.TimeoutMS, req.Trace, "whynot")
+	// The flight record opens only once the request is valid enough to enter
+	// admission: decode/validation rejections never admitted anything and
+	// leave no record. One terminal Finish is guaranteed by the deferred
+	// closure below — including on a handler panic (Finish precedes the
+	// recover middleware) and on every early return.
+	act := s.flight.Begin("whynot", "http",
+		fmt.Sprintf("q=%v customer=%d", req.Q, req.CustomerID), snap.DB.Workers())
+	act.SetSnapshotSeq(snap.Seq)
+	cacheBefore := cacheCounts(snap)
+	var qerr error
+	defer func() {
+		s.finishRecord(act, "whynot", began, w, qerr, snap, cacheBefore)
+	}()
+
+	ctx, cancelCtx, tr := s.queryContext(r, req.TimeoutMS, req.Trace, "whynot", act)
 	defer cancelCtx()
-	release, ok := s.admit(ctx, w, tr)
+	release, ok := s.admit(ctx, w, tr, act)
 	if !ok {
 		return
 	}
@@ -448,6 +495,7 @@ func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 	q := repro.NewPoint(req.Q...)
 	member, err := snap.DB.IsReverseSkylineContext(ctx, ct, q)
 	if err != nil {
+		qerr = err
 		s.failQuery(w, err)
 		return
 	}
@@ -461,6 +509,7 @@ func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 	}
 	rsl, err := snap.DB.ReverseSkylineContext(ctx, snap.Items, q)
 	if err != nil {
+		qerr = err
 		s.failQuery(w, err)
 		return
 	}
@@ -474,9 +523,11 @@ func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 	})
 	ans, err := runner.MWQ(ctx, ct, q, rsl)
 	if err != nil {
+		qerr = err
 		s.failQuery(w, err)
 		return
 	}
+	act.SetRung(ans.Rung.String(), ans.Degraded)
 	res := ans.Result
 	body := map[string]any{
 		"case":         res.Case,
@@ -490,7 +541,9 @@ func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 	if res.CtStar != nil {
 		body["ct_star"] = []float64(res.CtStar)
 	}
-	if tr != nil {
+	// The trace now exists for every flight-recorded request; the response
+	// embeds it only when the client asked.
+	if tr != nil && req.Trace {
 		body["trace"] = traceJSON(tr)
 	}
 	s.writeJSON(w, http.StatusOK, body)
@@ -517,9 +570,17 @@ func (s *Server) handleRSkyline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancelCtx, _ := s.queryContext(r, req.TimeoutMS, false, "rskyline")
+	act := s.flight.Begin("rskyline", "http", fmt.Sprintf("q=%v", req.Q), snap.DB.Workers())
+	act.SetSnapshotSeq(snap.Seq)
+	cacheBefore := cacheCounts(snap)
+	var qerr error
+	defer func() {
+		s.finishRecord(act, "rskyline", began, w, qerr, snap, cacheBefore)
+	}()
+
+	ctx, cancelCtx, tr := s.queryContext(r, req.TimeoutMS, false, "rskyline", act)
 	defer cancelCtx()
-	release, ok := s.admit(ctx, w, nil)
+	release, ok := s.admit(ctx, w, tr, act)
 	if !ok {
 		return
 	}
@@ -528,6 +589,7 @@ func (s *Server) handleRSkyline(w http.ResponseWriter, r *http.Request) {
 	q := repro.NewPoint(req.Q...)
 	rsl, err := snap.DB.ReverseSkylineContext(ctx, snap.Items, q)
 	if err != nil {
+		qerr = err
 		s.failQuery(w, err)
 		return
 	}
@@ -582,6 +644,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			"has_store": snap.Store != nil,
 		}
 	}
+	if s.flight != nil {
+		body["flight"] = s.flight.StatusValue()
+	}
+	if s.slo != nil {
+		body["slo"] = s.slo.Status()
+	}
 	if s.wal != nil {
 		st := s.wal.Stats()
 		body["wal"] = map[string]any{
@@ -591,6 +659,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			"segments":       st.Segments,
 			"active_bytes":   st.ActiveBytes,
 			"appended_bytes": st.AppendedBytes,
+			"fsync_p99_ms":   s.walMetrics.FsyncDur.Quantile(0.99) * 1e3,
+			"snapshot_write_p99_ms": s.walMetrics.SnapshotWriteDur.
+				Quantile(0.99) * 1e3,
 			"recovery": map[string]any{
 				"had_snapshot":      s.walRec.HaveSnapshot,
 				"snapshot_seq":      s.walRec.SnapshotSeq,
@@ -700,7 +771,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
 	if err == nil {
 		s.cancelBase()
-		return s.closeWAL()
+		return s.closeResources()
 	}
 	// Drain deadline passed with requests still in flight: cancel their
 	// contexts so the checkpoint machinery aborts them promptly, give the
@@ -709,10 +780,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	grace, cancelGrace := context.WithTimeout(context.Background(), time.Second)
 	defer cancelGrace()
 	if err2 := s.httpSrv.Shutdown(grace); err2 == nil {
-		return errors.Join(err, s.closeWAL())
+		return errors.Join(err, s.closeResources())
 	}
 	_ = s.httpSrv.Close()
-	return errors.Join(err, s.closeWAL())
+	return errors.Join(err, s.closeResources())
+}
+
+// closeResources flushes the durable and diagnostic state on the way down:
+// the WAL (checkpoint + close) and the slow-query log. Runs after the HTTP
+// drain, so every finished request's record has reached the log.
+func (s *Server) closeResources() error {
+	return errors.Join(s.closeWAL(), s.closeSlowlog())
 }
 
 // closeWAL flushes the log on the way down: checkpoint the serving item set

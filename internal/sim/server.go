@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -44,7 +46,22 @@ func (sc *serverClient) serverConfig() server.Config {
 		Workers:    sc.cfg.Workers,
 		CacheSize:  sc.cfg.CacheSize,
 		Durability: &wal.Options{Dir: sc.cfg.Dir, Policy: wal.SyncNever},
+		// Under SIM_ARTIFACT_DIR (CI) the server's slow-query log lands next
+		// to the .simtrace artifacts, so a failing seed uploads the sampled
+		// flight records of the very requests that diverged.
+		SlowlogPath: simSlowlogPath(sc.h.Seed),
 	}
+}
+
+func simSlowlogPath(seed int64) string {
+	dir := os.Getenv("SIM_ARTIFACT_DIR")
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	return filepath.Join(dir, fmt.Sprintf("sim-slowlog-seed%d.jsonl", seed))
 }
 
 func (sc *serverClient) boot() error {

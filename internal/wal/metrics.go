@@ -18,6 +18,9 @@ type Metrics struct {
 	Rotations *obs.Counter
 	// Snapshots counts completed checkpoints.
 	Snapshots *obs.Counter
+	// SnapshotWriteDur is the snapshot write+rename+dir-fsync latency
+	// distribution in seconds — the window a checkpoint blocks appends for.
+	SnapshotWriteDur *obs.Histogram
 	// CompactedSegments counts segment files deleted by compaction.
 	CompactedSegments *obs.Counter
 	// TornTailTruncations counts torn-tail repairs performed by recovery.
@@ -40,6 +43,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		FsyncDur:            reg.Histogram("wal_fsync_seconds", "WAL fsync latency in seconds.", nil),
 		Rotations:           reg.Counter("wal_rotations_total", "WAL segment rotations."),
 		Snapshots:           reg.Counter("wal_snapshots_total", "WAL checkpoints completed."),
+		SnapshotWriteDur:    reg.Histogram("wal_snapshot_write_seconds", "WAL snapshot write latency in seconds.", nil),
 		CompactedSegments:   reg.Counter("wal_compacted_segments_total", "WAL segment files deleted by compaction."),
 		TornTailTruncations: reg.Counter("wal_torn_tail_truncations_total", "Torn-tail repairs performed during recovery."),
 		RecoveredRecords:    reg.Counter("wal_recovered_records_total", "WAL tail records replayed during recovery."),

@@ -369,8 +369,12 @@ func (l *Log) Checkpoint(items []rtree.Item, appliedSeq uint64) error {
 	if err := l.syncLocked(); err != nil {
 		return err
 	}
+	snapStart := obs.Now()
 	if err := l.writeSnapshotLocked(items, appliedSeq); err != nil {
 		return err
+	}
+	if m := l.opts.Metrics; m != nil {
+		m.SnapshotWriteDur.ObserveSince(snapStart)
 	}
 	if err := l.compactLocked(); err != nil {
 		return err

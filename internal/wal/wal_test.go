@@ -200,6 +200,34 @@ func TestCheckpointAndCompaction(t *testing.T) {
 	}
 }
 
+// TestSnapshotWriteDurationObserved pins the checkpoint-latency metric: every
+// Checkpoint must land one observation in wal_snapshot_write_seconds — the
+// window a checkpoint blocks appends for, which operators watch next to the
+// fsync histogram.
+func TestSnapshotWriteDurationObserved(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	l, _ := mustOpen(t, Options{Dir: t.TempDir(), Policy: SyncNever, Metrics: m})
+	defer l.Close()
+	for i := 1; i <= 3; i++ {
+		if _, err := l.Append(OpInsert, item(i, float64(i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if got := m.SnapshotWriteDur.Count(); got != 0 {
+		t.Fatalf("snapshot-write observations before any checkpoint = %d, want 0", got)
+	}
+	if err := l.Checkpoint([]rtree.Item{item(1, 1)}, l.LastSeq()); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if got := m.SnapshotWriteDur.Count(); got != 1 {
+		t.Fatalf("snapshot-write observations after one checkpoint = %d, want 1", got)
+	}
+	if _, ok := reg.JSONValue()["wal_snapshot_write_seconds"]; !ok {
+		t.Fatal("wal_snapshot_write_seconds missing from the registry rendering")
+	}
+}
+
 func TestCheckpointBeyondLastSeqRejected(t *testing.T) {
 	l, _ := mustOpen(t, Options{Dir: t.TempDir(), Policy: SyncNever})
 	defer l.Close()

@@ -43,7 +43,8 @@ func (e *Engine) MQPCtx(ctx context.Context, ct Item, q geom.Point, opt Options)
 	if err != nil {
 		return MQPResult{}, err
 	}
-	defer obs.TraceFrom(ctx).StartSpan("mqp")()
+	_, endPhase := obs.StartPhase(ctx, "mqp")
+	defer endPhase()
 	return e.mqp(chk, ct, q, opt)
 }
 

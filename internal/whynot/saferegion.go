@@ -33,7 +33,8 @@ func (e *Engine) SafeRegionCtx(ctx context.Context, q geom.Point, rsl []Item) (r
 	if err != nil {
 		return nil, err
 	}
-	defer obs.TraceFrom(ctx).StartSpan("saferegion.exact")()
+	_, endPhase := obs.StartPhase(ctx, "saferegion.exact")
+	defer endPhase()
 	return e.safeRegion(chk, q, rsl)
 }
 
@@ -87,7 +88,8 @@ func (e *Engine) SafeRegionParallel(ctx context.Context, q geom.Point, rsl []Ite
 	if err != nil {
 		return nil, err
 	}
-	defer obs.TraceFrom(ctx).StartSpan("saferegion.parallel")()
+	_, endPhase := obs.StartPhase(ctx, "saferegion.parallel")
+	defer endPhase()
 	universe, ok := e.DB.Universe()
 	if !ok {
 		return region.Set{geom.PointRect(q)}, nil
@@ -268,7 +270,8 @@ func (e *Engine) ApproxSafeRegionCtx(ctx context.Context, q geom.Point, rsl []It
 	if err != nil {
 		return nil, err
 	}
-	defer obs.TraceFrom(ctx).StartSpan("saferegion.approx")()
+	_, endPhase := obs.StartPhase(ctx, "saferegion.approx")
+	defer endPhase()
 	return e.approxSafeRegion(chk, q, rsl, store)
 }
 

@@ -154,7 +154,8 @@ func (e *Engine) ExplainCtx(ctx context.Context, ct Item, q geom.Point) ([]Item,
 	if err != nil {
 		return nil, err
 	}
-	defer obs.TraceFrom(ctx).StartSpan("explain")()
+	_, endPhase := obs.StartPhase(ctx, "explain")
+	defer endPhase()
 	return e.DB.WindowQueryChecked(chk, ct.Point, q, e.exclude(ct))
 }
 
@@ -204,7 +205,8 @@ func (e *Engine) MWPCtx(ctx context.Context, ct Item, q geom.Point, opt Options)
 	if err != nil {
 		return MWPResult{}, err
 	}
-	defer obs.TraceFrom(ctx).StartSpan("mwp")()
+	_, endPhase := obs.StartPhase(ctx, "mwp")
+	defer endPhase()
 	return e.mwp(chk, ct, q, opt)
 }
 

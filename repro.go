@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/cancel"
 	"repro/internal/datagen"
@@ -47,6 +48,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/region"
 	"repro/internal/rskyline"
 	"repro/internal/rtree"
@@ -117,6 +119,9 @@ type DB struct {
 	pool     *obs.ExecMetrics
 	queries  *obs.LabeledCounter
 	queryDur *obs.Histogram
+	// flight is non-nil only with DBOptions.FlightSize > 0: the per-query
+	// ledger recording one flight.QueryRecord per DB entry point.
+	flight *flight.Ledger
 	// Durable-mode state (OpenDurable): the write-ahead log, the live item
 	// set it checkpoints from, and the mutation lock that keeps WAL order
 	// identical to index-apply order. All nil/zero on an in-memory DB.
@@ -151,6 +156,12 @@ type DBOptions struct {
 	// Only OpenDurable reads it; NewDBWithOptions ignores it (an in-memory DB
 	// has no log).
 	Durability *DurabilityOptions
+	// FlightSize, when positive, turns on the per-query flight recorder: a
+	// bounded ring of flight.QueryRecords (one per query entering this DB)
+	// readable via FlightRecorder(). Records carry the same schema the
+	// serving layer's ledger and `cmd/whynot -stats` use. With Observability
+	// also on, the ledger's meta-metrics join the registry.
+	FlightSize int
 }
 
 // NewDB bulk-loads products into an R*-tree (the paper's 1536-byte page
@@ -179,6 +190,14 @@ func NewDBWithOptions(dims int, products []Item, opts DBOptions) *DB {
 	db := &DB{engine: engine, workers: workers}
 	if opts.Observability {
 		db.initObservability(rdb)
+	}
+	if opts.FlightSize > 0 {
+		db.flight = flight.New(flight.Config{
+			Size:     opts.FlightSize,
+			Latency:  db.queryDur,
+			Epoch:    time.Now().Add(-time.Duration(obs.Now())),
+			Registry: db.reg,
+		})
 	}
 	return db
 }
@@ -254,15 +273,34 @@ func TraceFromContext(ctx context.Context) *QueryTrace { return obs.TraceFrom(ct
 
 // obsCtx instruments a context entering this DB: worker-pool metrics ride it
 // into every exec.ForEach fan-out below. The per-op counter and latency
-// histogram are recorded by the returned finish func (nil-safe when off).
+// histogram are recorded by the returned finish func (nil-safe when off),
+// and with the flight recorder on each entry gets its own QueryRecord whose
+// trace rides the context (unless the caller already supplied one).
 func (db *DB) obsCtx(ctx context.Context, op string) (context.Context, func()) {
-	if db.reg == nil {
+	if db.reg == nil && db.flight == nil {
 		return ctx, func() {}
 	}
 	db.queries.With(op).Inc()
 	start := obs.Now()
-	return obs.WithExecMetrics(ctx, db.pool), func() { db.queryDur.ObserveSince(start) }
+	if db.pool != nil {
+		ctx = obs.WithExecMetrics(ctx, db.pool)
+	}
+	act := db.flight.Begin(op, "db", "", db.workers)
+	if act != nil && obs.TraceFrom(ctx) == nil {
+		ctx = obs.WithTrace(ctx, act.Trace())
+	}
+	fctx := ctx
+	return ctx, func() {
+		db.queryDur.ObserveSince(start)
+		// The context's terminal state classifies the outcome: a dead
+		// context at completion means the query returned its ctx error.
+		act.Finish(flight.ClassifyErr(fctx.Err()), "")
+	}
 }
+
+// FlightRecorder returns the per-DB query ledger, nil unless
+// DBOptions.FlightSize > 0.
+func (db *DB) FlightRecorder() *flight.Ledger { return db.flight }
 
 // Cost is a point-in-time snapshot of the paper's cost metrics: the
 // process-global algorithm counters plus this DB's R-tree I/O counters.

@@ -10,9 +10,9 @@ GO ?= go
 # detection on fresh mutations of the seed corpus, not deep exploration.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet vet-obs vet-wal test race race-core bench-smoke fuzz-smoke crash-smoke sim-smoke chaos bench
+.PHONY: check build vet vet-obs vet-wal test race race-core bench-smoke fuzz-smoke crash-smoke sim-smoke fsfault-smoke fsfault-soak chaos bench
 
-check: vet-obs vet-wal build test race race-core bench-smoke fuzz-smoke crash-smoke sim-smoke
+check: vet-obs vet-wal build test race race-core bench-smoke fuzz-smoke crash-smoke sim-smoke fsfault-smoke
 	@echo "tier-1 gate: OK"
 
 build:
@@ -56,9 +56,14 @@ vet-obs: vet
 # Discarding with `_ =` is also banned there; wrap in the named helpers or
 # join the error instead.
 vet-wal: vet
-	@bad=$$(grep -nE '^[[:space:]]*(defer[[:space:]]+)?[A-Za-z_][A-Za-z0-9_.]*\.(Sync|Close)\(\)[[:space:]]*$$|_[[:space:]]*=[[:space:]]*[A-Za-z_][A-Za-z0-9_.]*\.(Sync|Close)\(\)' internal/wal/*.go | grep -v _test.go || true); \
+	@bad=$$(grep -nE '^[[:space:]]*(defer[[:space:]]+)?[A-Za-z_][A-Za-z0-9_.]*\.(Sync|Close)\(\)[[:space:]]*$$|_[[:space:]]*=[[:space:]]*[A-Za-z_][A-Za-z0-9_.]*\.(Sync|Close)\(\)' internal/wal/*.go | grep -v _test.go | grep -v 'vet-wal:allow' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "vet-wal: unchecked (*os.File).Sync/Close under internal/wal:"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -nE 'os\.(OpenFile|Open|Create|Rename|Remove|ReadFile|ReadDir|MkdirAll|Truncate|WriteFile)\(' internal/wal/*.go | grep -v _test.go || true); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-wal: direct os filesystem call under internal/wal (route it through Options.FS / internal/wal/vfs so fault injection sees it):"; \
 		echo "$$bad"; exit 1; \
 	fi
 	@echo "vet-wal: OK"
@@ -99,6 +104,18 @@ fuzz-smoke:
 # against the oracle replay. Appends to BENCH_crash.json.
 crash-smoke:
 	$(GO) run ./cmd/crash -mutations 60 -visits 2 -out BENCH_crash.json
+
+# Storage-fault smoke: the WAL filesystem-fault matrix at short length —
+# every injectable fault kind (EIO, ENOSPC, short write, fsync failure, read
+# bit flip) at every write-path call site, with degraded-mode, reopen and
+# scrubber-quarantine contracts checked per trial. Appends to
+# BENCH_fsfault.json; the nightly soak runs the same harness with
+# `-soak` (more seeds, longer workloads).
+fsfault-smoke:
+	$(GO) run ./cmd/fsfault -out BENCH_fsfault.json
+
+fsfault-soak:
+	$(GO) run ./cmd/fsfault -soak -out BENCH_fsfault.json
 
 # Simulation smoke: short seeded model-based histories against the embedded
 # DB and the in-process server, with the metamorphic transforms, checked

@@ -61,6 +61,10 @@ func run(args []string, out *os.File) error {
 		fsync      = fs.String("fsync", "always", "WAL fsync policy: always, interval, or never")
 		fsyncEvery = fs.Duration("fsync-interval", 50*time.Millisecond, "max unsynced window under -fsync=interval")
 		walSegment = fs.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
+		probeMin   = fs.Duration("reopen-probe-min", 100*time.Millisecond, "initial backoff of the storage reopen probe after a disk fault")
+		probeMax   = fs.Duration("reopen-probe-max", 5*time.Second, "backoff cap of the storage reopen probe (also the Retry-After on read-only refusals)")
+		scrubEvery = fs.Duration("scrub-every", 0, "background WAL integrity-scrub period (0 disables)")
+		scrubRate  = fs.Int64("scrub-rate", 8<<20, "scrubber read-rate limit in bytes/s (0 = unlimited)")
 		flightSize = fs.Int("flight-size", 0, "flight-recorder ring size (0 = default 256, negative disables the ledger)")
 		slowlog    = fs.String("slowlog", "", "slow-query log path: sampled flight records as JSON lines (empty disables)")
 		slowlogMax = fs.Int64("slowlog-max-bytes", 0, "slow-query log rotation threshold (0 = default 8 MiB)")
@@ -106,6 +110,10 @@ func run(args []string, out *os.File) error {
 			Interval:     *fsyncEvery,
 			SegmentBytes: *walSegment,
 		}
+		cfg.ReopenProbeMin = *probeMin
+		cfg.ReopenProbeMax = *probeMax
+		cfg.ScrubEvery = *scrubEvery
+		cfg.ScrubBytesPerSec = *scrubRate
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

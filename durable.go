@@ -47,6 +47,22 @@ var ParseSyncPolicy = wal.ParseSyncPolicy
 // opened with OpenDurable.
 var ErrNotDurable = errors.New("repro: DB has no write-ahead log (open it with OpenDurable)")
 
+// ErrReadOnly marks mutations refused because the WAL is degraded by a
+// storage fault: the DB keeps serving queries from its intact in-memory
+// state, but nothing can be made durable until the disk recovers. Errors
+// from InsertDurable/DeleteDurable/Checkpoint wrap both this sentinel and
+// the underlying *wal.StorageError; ReopenWAL clears the condition.
+var ErrReadOnly = errors.New("repro: database is read-only (storage degraded)")
+
+// StorageError is the typed WAL storage failure; see wal.StorageError.
+type StorageError = wal.StorageError
+
+// ScrubConfig tunes a WAL integrity-scrub pass; see wal.ScrubConfig.
+type ScrubConfig = wal.ScrubConfig
+
+// ScrubReport summarises a WAL integrity-scrub pass; see wal.ScrubReport.
+type ScrubReport = wal.ScrubReport
+
 // DuplicateIDError rejects an InsertDurable whose ID is already present.
 type DuplicateIDError struct{ ID int }
 
@@ -121,7 +137,7 @@ func (db *DB) InsertDurable(it Item) (uint64, error) {
 	}
 	seq, err := db.wal.Append(wal.OpInsert, it)
 	if err != nil {
-		return 0, err
+		return 0, db.readOnlyErr(err)
 	}
 	db.engine.DB.Insert(it)
 	db.engine.InvalidateCaches()
@@ -148,7 +164,7 @@ func (db *DB) DeleteDurable(it Item) (uint64, error) {
 	}
 	seq, err := db.wal.Append(wal.OpDelete, it)
 	if err != nil {
-		return 0, err
+		return 0, db.readOnlyErr(err)
 	}
 	db.engine.DB.Delete(it)
 	db.engine.InvalidateCaches()
@@ -165,7 +181,60 @@ func (db *DB) Checkpoint() error {
 	}
 	db.mutMu.Lock()
 	defer db.mutMu.Unlock()
-	return db.wal.Checkpoint(db.durableItemsLocked(), db.wal.LastSeq())
+	if err := db.wal.Checkpoint(db.durableItemsLocked(), db.wal.LastSeq()); err != nil {
+		return db.readOnlyErr(err)
+	}
+	return nil
+}
+
+// readOnlyErr wraps a WAL error that left (or found) the log degraded so
+// callers can match errors.Is(err, ErrReadOnly) and still unwrap the typed
+// *StorageError underneath. Errors that did not degrade the log (validation,
+// frame encoding) pass through unchanged.
+func (db *DB) readOnlyErr(err error) error {
+	if db.wal.Failed() == nil {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrReadOnly, err)
+}
+
+// StorageFailed returns the sticky WAL storage failure, or nil while the log
+// is healthy (always nil on an in-memory DB). Non-nil means the DB is
+// read-only: mutations fail with ErrReadOnly, queries keep serving.
+func (db *DB) StorageFailed() *StorageError {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Failed()
+}
+
+// ReopenWAL attempts to clear a degraded WAL — truncating any torn frame
+// past the acknowledged prefix and re-arming the append path for IO faults,
+// or retrying the quarantine salvage for corruption. On success the DB is
+// writable again; on failure it stays read-only and the error says why.
+// Intended to be driven by a supervised probe with backoff (the server does
+// this) or an operator.
+func (db *DB) ReopenWAL() error {
+	if db.wal == nil {
+		return ErrNotDurable
+	}
+	db.mutMu.Lock()
+	defer db.mutMu.Unlock()
+	return db.wal.Reopen()
+}
+
+// ScrubWAL runs one integrity-scrub pass over sealed segments and snapshots,
+// with Checkpoint wired in as the salvage escalation: damage no snapshot
+// covers triggers a fresh checkpoint of the live (still correct) state, and
+// the damaged file is quarantined instead of degrading the DB.
+func (db *DB) ScrubWAL(cfg ScrubConfig) (ScrubReport, error) {
+	if db.wal == nil {
+		return ScrubReport{}, ErrNotDurable
+	}
+	if cfg.Checkpoint == nil {
+		cfg.Checkpoint = db.Checkpoint
+	}
+	return db.wal.Scrub(cfg)
 }
 
 // Close flushes and closes the WAL. The DB remains queryable (the index is

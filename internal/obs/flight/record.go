@@ -51,6 +51,10 @@ const (
 	OutcomeDeadline    = "deadline"
 	OutcomeCanceled    = "canceled"
 	OutcomeUnavailable = "unavailable"
+	// OutcomeReadOnly marks a mutation refused because storage is degraded:
+	// distinguishable from overload sheds in the ledger, and it counts
+	// against the mutation SLO (the service failed to accept a write).
+	OutcomeReadOnly = "readonly"
 )
 
 // Sample reasons, in decision priority order: the first matching reason is

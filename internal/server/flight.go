@@ -103,6 +103,10 @@ func (s *Server) outcomeFor(qerr error, status int) string {
 			return flight.OutcomeCanceled
 		case errors.Is(qerr, engine.ErrRungSkipped):
 			return flight.OutcomeUnavailable
+		case errors.Is(qerr, errStorageDegraded):
+			return flight.OutcomeReadOnly
+		case errors.Is(qerr, errWALClosed):
+			return flight.OutcomeUnavailable
 		default:
 			return flight.OutcomeError
 		}

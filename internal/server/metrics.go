@@ -39,6 +39,11 @@ type Metrics struct {
 	SnapshotSeq *obs.Gauge
 	// Draining gauges drain state (0 serving, 1 draining).
 	Draining *obs.Gauge
+	// StorageDegraded gauges the read-only degraded condition by reason
+	// ("io", "corruption", "publish"): at most one reason is 1 at a time.
+	StorageDegraded *obs.LabeledGauge
+	// ReopenProbes counts supervised WAL reopen attempts (successful or not).
+	ReopenProbes *obs.Counter
 }
 
 // NewMetrics registers the server metric family in reg and wires the
@@ -73,6 +78,10 @@ func NewMetrics(reg *obs.Registry, adm func() *Admission) *Metrics {
 			"Sequence number of the snapshot currently serving."),
 		Draining: reg.Gauge("server_draining",
 			"1 while the server is draining (readyz not-ready), else 0."),
+		StorageDegraded: reg.LabeledGauge("storage_degraded",
+			"1 while storage is degraded for the labelled reason (mutations 503), else 0.", "reason"),
+		ReopenProbes: reg.Counter("server_storage_reopen_probes_total",
+			"Supervised WAL reopen attempts made by the storage probe."),
 	}
 	if adm != nil {
 		reg.GaugeFunc("server_queue_depth",

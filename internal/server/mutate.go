@@ -57,17 +57,18 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	began := obs.Now()
 	act := s.flight.Begin("insert", "http", fmt.Sprintf("id=%d point=%v", req.ID, req.Point), 0)
 	act.SetAdmission("bypass")
-	defer func() { s.finishRecord(act, "insert", began, w, nil, nil, [2]uint64{}) }()
+	var qerr error
+	defer func() { s.finishRecord(act, "insert", began, w, qerr, nil, [2]uint64{}) }()
 
-	seq, ok := s.commitMutation(w, wal.OpInsert, it)
-	if !ok {
+	seq, qerr := s.commitMutation(w, wal.OpInsert, it)
+	if qerr != nil {
 		return
 	}
 	act.SetWALSeq(seq)
 	items := make([]repro.Item, 0, len(snap.Items)+1)
 	items = append(items, snap.Items...)
 	items = append(items, it)
-	s.publishMutated(w, snap, items, seq, len(items), act)
+	qerr = s.publishMutated(w, snap, items, seq, len(items), act)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -115,10 +116,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	began := obs.Now()
 	act := s.flight.Begin("delete", "http", fmt.Sprintf("id=%d", req.ID), 0)
 	act.SetAdmission("bypass")
-	defer func() { s.finishRecord(act, "delete", began, w, nil, nil, [2]uint64{}) }()
+	var qerr error
+	defer func() { s.finishRecord(act, "delete", began, w, qerr, nil, [2]uint64{}) }()
 
-	seq, ok := s.commitMutation(w, wal.OpDelete, stored)
-	if !ok {
+	seq, qerr := s.commitMutation(w, wal.OpDelete, stored)
+	if qerr != nil {
 		return
 	}
 	act.SetWALSeq(seq)
@@ -128,33 +130,47 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			items = append(items, it)
 		}
 	}
-	s.publishMutated(w, snap, items, seq, len(items), act)
+	qerr = s.publishMutated(w, snap, items, seq, len(items), act)
 }
 
 // commitMutation appends the record to the WAL — the acknowledgement point.
-// Memory-only servers (no Durability) skip the append and report seq 0. On an
-// append failure the mutation is not acknowledged and the handler answers 500
-// (the log is poisoned fail-stop; subsequent mutations fail too, queries keep
-// serving).
-func (s *Server) commitMutation(w http.ResponseWriter, op wal.Op, it repro.Item) (uint64, bool) {
+// Memory-only servers (no Durability) skip the append and report seq 0. A
+// degraded log (prior storage fault, or one raised by this very append)
+// answers 503 with Retry-After and wakes the reopen probe; the mutation is
+// not acknowledged and queries keep serving. A non-nil error is the qerr for
+// the flight record — the response has already been written.
+func (s *Server) commitMutation(w http.ResponseWriter, op wal.Op, it repro.Item) (uint64, error) {
 	if s.wal == nil {
-		return 0, true
+		return 0, nil
 	}
 	if s.walClosed {
 		s.writeError(w, http.StatusServiceUnavailable, "write-ahead log is closed")
-		return 0, false
+		return 0, errWALClosed
 	}
-	if s.mutPoisoned {
-		s.writeError(w, http.StatusServiceUnavailable,
-			"mutations disabled: a logged mutation failed to publish (restart to recover)")
-		return 0, false
+	if se := s.wal.Failed(); se != nil {
+		s.noteStorageFault()
+		s.writeStorageUnavailable(w, fmt.Sprintf("mutations disabled: %v", se))
+		return 0, fmt.Errorf("%w: %v", errStorageDegraded, se)
+	}
+	if s.pendingPub != nil {
+		s.noteStorageFault()
+		s.writeStorageUnavailable(w, fmt.Sprintf(
+			"mutations disabled: wal seq %d logged but not yet published", s.pendingPub.seq))
+		return 0, fmt.Errorf("%w: publish pending at wal seq %d", errStorageDegraded, s.pendingPub.seq)
 	}
 	seq, err := s.wal.Append(op, it)
 	if err != nil {
+		if s.wal.Failed() != nil {
+			// This append degraded the log: flip read-only and start probing.
+			s.updateStorageLocked()
+			s.noteStorageFault()
+			s.writeStorageUnavailable(w, fmt.Sprintf("wal append: %v", err))
+			return 0, fmt.Errorf("%w: %v", errStorageDegraded, err)
+		}
 		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("wal append: %v", err))
-		return 0, false
+		return 0, err
 	}
-	return seq, true
+	return seq, nil
 }
 
 // publishMutated builds the post-mutation snapshot and publishes it. Called
@@ -162,21 +178,28 @@ func (s *Server) commitMutation(w http.ResponseWriter, op wal.Op, it repro.Item)
 // carried over or rebuilt here: it was sampled from the pre-mutation item
 // set, and serving it would answer for items that no longer exist (reload
 // with build_store to regain the approx rung after a mutation burst).
-func (s *Server) publishMutated(w http.ResponseWriter, old *Snapshot, items []repro.Item, walSeq uint64, count int, act *flight.Active) {
+func (s *Server) publishMutated(w http.ResponseWriter, old *Snapshot, items []repro.Item, walSeq uint64, count int, act *flight.Active) error {
 	began := obs.Now()
 	snap, err := snapshotFromItems(context.Background(), items, old.Name, false, 0, s.dbOptions())
 	if err != nil {
 		// Unreachable in practice (no store build, items pre-validated), but
 		// if it happens the WAL record is durable while the serving state is
-		// not: recovery on restart will apply it. Poison the mutation path so
-		// later mutations cannot build on the stale snapshot while WAL seqs
-		// advance past the unapplied record; queries keep serving.
+		// not: recovery on restart will apply it. Park the logged item set as
+		// the pending publish — further mutations are refused so WAL seqs
+		// cannot advance past the unapplied record, queries keep serving, and
+		// the storage probe retries the publish until it lands (or a reload
+		// checkpoint supersedes it).
 		if s.wal != nil {
-			s.mutPoisoned = true
+			s.pendingPub = &pendingPublish{items: items, seq: walSeq, name: old.Name}
+			s.updateStorageLocked()
+			s.noteStorageFault()
+			s.writeStorageUnavailable(w, fmt.Sprintf(
+				"mutation logged (wal seq %d) but snapshot rebuild failed: %v; publish retry scheduled", walSeq, err))
+			return fmt.Errorf("%w: publish of wal seq %d failed: %v", errStorageDegraded, walSeq, err)
 		}
 		s.writeError(w, http.StatusInternalServerError,
 			fmt.Sprintf("mutation logged (wal seq %d) but snapshot rebuild failed: %v", walSeq, err))
-		return
+		return err
 	}
 	s.publishLocked(snap)
 	act.SetSnapshotSeq(snap.Seq)
@@ -190,4 +213,5 @@ func (s *Server) publishMutated(w http.ResponseWriter, old *Snapshot, items []re
 		body["wal_seq"] = walSeq
 	}
 	s.writeJSON(w, http.StatusOK, body)
+	return nil
 }

@@ -77,6 +77,18 @@ type Config struct {
 	// mutations), and Shutdown flushes it. Without it mutations are
 	// memory-only and lost on restart.
 	Durability *wal.Options
+	// ReopenProbeMin/Max bound the storage reopen probe's exponential
+	// backoff: after a storage fault degrades the WAL, the probe retries
+	// wal.Reopen starting at Min and doubling up to Max until the disk
+	// recovers. Defaults: 100ms / 5s.
+	ReopenProbeMin time.Duration
+	ReopenProbeMax time.Duration
+	// ScrubEvery, when positive, runs the background WAL integrity scrubber
+	// at this period (durable mode only). Zero disables it; RunScrub is
+	// always available for on-demand passes.
+	ScrubEvery time.Duration
+	// ScrubBytesPerSec rate-limits scrubber reads (0 = unlimited).
+	ScrubBytesPerSec int64
 	// FlightSize bounds the flight-recorder ring of per-request QueryRecords
 	// served at GET /v1/debug/queries. 0 selects the flight.Config default
 	// (256); a negative size disables the recorder entirely.
@@ -101,6 +113,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReloadTimeout <= 0 {
 		c.ReloadTimeout = 2 * time.Minute
+	}
+	if c.ReopenProbeMin <= 0 {
+		c.ReopenProbeMin = 100 * time.Millisecond
+	}
+	if c.ReopenProbeMax <= 0 {
+		c.ReopenProbeMax = 5 * time.Second
+	}
+	if c.ReopenProbeMax < c.ReopenProbeMin {
+		c.ReopenProbeMax = c.ReopenProbeMin
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -132,11 +153,17 @@ type Server struct {
 	wal       *wal.Log
 	walRec    wal.Recovery
 	walClosed bool // set under mutMu by closeWAL
-	// mutPoisoned (under mutMu) is set when a mutation was durably logged but
-	// its snapshot failed to publish: serving state now lags the WAL, and
-	// further mutations would compound the divergence. Queries keep serving;
-	// restart recovery replays the log and converges.
-	mutPoisoned bool
+	// pendingPub (under mutMu) holds a mutation that was durably logged but
+	// whose snapshot failed to publish: serving state lags the WAL, further
+	// mutations are refused (503) so the divergence cannot compound, and the
+	// storage probe retries the publish until it lands. Queries keep serving.
+	pendingPub *pendingPublish
+
+	// storageNotify wakes the reopen probe after a storage fault; storageSt
+	// and lastScrub are the lock-free views readyz/status read.
+	storageNotify chan struct{}
+	storageSt     atomic.Value // storageState
+	lastScrub     atomic.Pointer[wal.ScrubReport]
 
 	draining atomic.Bool
 
@@ -172,6 +199,14 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.mutMu.Unlock()
 
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.storageSt.Store(storageState{})
+	if s.wal != nil {
+		s.storageNotify = make(chan struct{}, 1)
+		go s.storageProbeLoop()
+		if cfg.ScrubEvery > 0 {
+			go s.scrubLoop()
+		}
+	}
 	s.handler = s.buildMux()
 	s.httpSrv = &http.Server{
 		Handler:           s.handler,
@@ -617,7 +652,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	case s.snap.Load() == nil:
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "no dataset"})
 	default:
-		s.writeJSON(w, http.StatusOK, map[string]any{"ready": true, "snapshot_seq": s.snap.Load().Seq})
+		// A storage-degraded server stays ready: queries serve normally, only
+		// mutations refuse. The field tells load balancers and operators the
+		// truth without pulling query traffic.
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"ready":        true,
+			"snapshot_seq": s.snap.Load().Seq,
+			"storage":      s.storageState().String(),
+		})
 	}
 }
 
@@ -663,14 +705,28 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			"snapshot_write_p99_ms": s.walMetrics.SnapshotWriteDur.
 				Quantile(0.99) * 1e3,
 			"recovery": map[string]any{
-				"had_snapshot":      s.walRec.HaveSnapshot,
-				"snapshot_seq":      s.walRec.SnapshotSeq,
-				"replayed_records":  len(s.walRec.Tail),
-				"torn_tail":         s.walRec.TornTail,
-				"corrupt_snapshots": s.walRec.CorruptSnapshots,
-				"duration_ms":       float64(s.walRec.Duration) / 1e6,
+				"had_snapshot":         s.walRec.HaveSnapshot,
+				"snapshot_seq":         s.walRec.SnapshotSeq,
+				"replayed_records":     len(s.walRec.Tail),
+				"torn_tail":            s.walRec.TornTail,
+				"corrupt_snapshots":    s.walRec.CorruptSnapshots,
+				"quarantined_segments": s.walRec.QuarantinedSegments,
+				"duration_ms":          float64(s.walRec.Duration) / 1e6,
 			},
 		}
+		sst := s.storageState()
+		storage := map[string]any{
+			"state":         sst.String(),
+			"reopen_probes": s.metrics.ReopenProbes.Value(),
+		}
+		if sst.Degraded {
+			storage["reason"] = sst.Reason
+			storage["detail"] = sst.Detail
+		}
+		if rep := s.lastScrub.Load(); rep != nil {
+			storage["last_scrub"] = rep
+		}
+		body["storage"] = storage
 	}
 	s.writeJSON(w, http.StatusOK, body)
 }
@@ -717,7 +773,15 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.mutMu.Lock()
 	if s.wal != nil {
 		if err := s.wal.Checkpoint(snap.Items, s.wal.LastSeq()); err != nil {
+			s.updateStorageLocked()
 			s.mutMu.Unlock()
+			if s.wal.Failed() != nil {
+				// The checkpoint degraded (or found degraded) the log: this is
+				// a storage condition with a recovery probe, not a server bug.
+				s.noteStorageFault()
+				s.writeStorageUnavailable(w, fmt.Sprintf("reload checkpoint failed: %v", err))
+				return
+			}
 			s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("reload checkpoint failed: %v", err))
 			return
 		}
@@ -725,7 +789,8 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.publishLocked(snap)
 	// The checkpoint above superseded any logged-but-unpublished mutation:
 	// durable and serving state agree again, so the mutation path reopens.
-	s.mutPoisoned = false
+	s.pendingPub = nil
+	s.updateStorageLocked()
 	s.mutMu.Unlock()
 	s.metrics.Reloads.Inc()
 	s.writeJSON(w, http.StatusOK, map[string]any{
@@ -807,10 +872,16 @@ func (s *Server) closeWAL() error {
 	}
 	s.walClosed = true
 	var errs []error
-	// A poisoned mutation path means the serving snapshot lags the log;
+	// A pending publish means the serving snapshot lags the log;
 	// checkpointing it at LastSeq would silently discard the logged-but-
 	// unpublished record. Leave the tail for restart recovery to replay.
-	if snap := s.snap.Load(); snap != nil && !s.mutPoisoned {
+	// An IO-degraded log cannot checkpoint at all — skip rather than mask
+	// the drain result with the inevitable refusal.
+	skipCheckpoint := s.pendingPub != nil
+	if se := s.wal.Failed(); se != nil && se.Kind != wal.KindCorruption {
+		skipCheckpoint = true
+	}
+	if snap := s.snap.Load(); snap != nil && !skipCheckpoint {
 		if err := s.wal.Checkpoint(snap.Items, s.wal.LastSeq()); err != nil {
 			errs = append(errs, fmt.Errorf("server: shutdown checkpoint: %w", err))
 		}

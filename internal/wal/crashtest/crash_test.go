@@ -40,6 +40,29 @@ func TestCrashRecoverySmoke(t *testing.T) {
 		res.TornTails, res.TruncatedBytes, res.Snapshots)
 }
 
+// TestComposedStorageFaultCrashes runs the kill × storage-fault composition:
+// the child crashes while degraded read-only, inside the reopen probe, and
+// inside a scrubber quarantine. The same four recovery invariants must hold —
+// a crash in the fault machinery is still just a crash.
+func TestComposedStorageFaultCrashes(t *testing.T) {
+	res, err := Run(Options{
+		Dir:       t.TempDir(),
+		Mutations: 30,
+		Seed:      42,
+		Trials:    ComposedTrials(),
+	})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("durability violation: %s", v)
+	}
+	if res.Kills != res.Trials {
+		t.Fatalf("kills=%d trials=%d: a composed child survived its scenario (clean exits: %d)",
+			res.Kills, res.Trials, res.CleanExits)
+	}
+}
+
 // TestStreamIsDeterministic pins the property every invariant rests on: the
 // child and the oracle must derive identical mutation streams.
 func TestStreamIsDeterministic(t *testing.T) {

@@ -40,6 +40,7 @@ import (
 	"repro"
 	"repro/internal/engine/faultinject"
 	"repro/internal/wal"
+	"repro/internal/wal/vfs"
 )
 
 // Child-process configuration travels by environment: the child is this same
@@ -54,6 +55,23 @@ const (
 	envVisit        = "WAL_CRASHTEST_VISIT"
 	envSegmentBytes = "WAL_CRASHTEST_SEGMENT_BYTES"
 	envCkptEvery    = "WAL_CRASHTEST_CKPT_EVERY"
+	envMode         = "WAL_CRASHTEST_MODE"
+)
+
+// Composed modes: the child drives the log into a storage-fault scenario
+// (via the vfs fault injector) before the kill fires, so the crash lands in
+// the middle of the degraded-mode machinery instead of the happy path. The
+// recovery invariants are exactly the same four as the plain kill matrix.
+const (
+	// ModeDegraded crashes while the log is parked read-only by an injected
+	// write fault: the kill hits a process whose last mutation was refused.
+	ModeDegraded = "degraded"
+	// ModeReopen crashes inside the reopen probe, right as a degraded log is
+	// re-armed — after the repair work, before the caller sees success.
+	ModeReopen = "reopen"
+	// ModeQuarantine crashes inside the scrubber's quarantine of a rotten
+	// sealed segment, after the salvage checkpoint made the rot coverable.
+	ModeQuarantine = "quarantine"
 )
 
 // Sites is the full kill-site matrix: every boundary the log passes a
@@ -73,6 +91,10 @@ var Sites = []string{
 type Trial struct {
 	Site  string `json:"site"`
 	Visit uint64 `json:"visit"`
+	// Mode, when non-empty, composes the kill with storage-fault injection:
+	// the child runs the Mode* scenario and dies inside it (at Site/Visit for
+	// hook-placed kills, or by its own hand for ModeDegraded).
+	Mode string `json:"mode,omitempty"`
 }
 
 // Options sizes one harness run. The zero value is a small smoke; cmd/crash
@@ -124,6 +146,16 @@ func DefaultTrials(visits uint64) []Trial {
 		}
 	}
 	return ts
+}
+
+// ComposedTrials builds the storage-fault composition matrix: one trial per
+// Mode*, each killing inside the scenario's own machinery.
+func ComposedTrials() []Trial {
+	return []Trial{
+		{Mode: ModeDegraded},
+		{Mode: ModeReopen, Site: wal.SiteReopen, Visit: 1},
+		{Mode: ModeQuarantine, Site: wal.SiteScrubQuarantine, Visit: 1},
+	}
 }
 
 // Result is the schema-versioned outcome of one harness run; cmd/crash
@@ -181,8 +213,11 @@ func Run(opts Options) (*Result, error) {
 }
 
 func runTrial(exe string, opts Options, idx int, tr Trial, res *Result) error {
-	root := filepath.Join(opts.Dir, fmt.Sprintf("t%03d-%s-v%d", idx,
-		strings.ReplaceAll(tr.Site, ".", "_"), tr.Visit))
+	label := strings.ReplaceAll(tr.Site, ".", "_")
+	if tr.Mode != "" {
+		label = "mode_" + tr.Mode
+	}
+	root := filepath.Join(opts.Dir, fmt.Sprintf("t%03d-%s-v%d", idx, label, tr.Visit))
 	walDir := filepath.Join(root, "wal")
 	acksPath := filepath.Join(root, "acks")
 	if err := os.MkdirAll(root, 0o755); err != nil {
@@ -200,6 +235,7 @@ func runTrial(exe string, opts Options, idx int, tr Trial, res *Result) error {
 		envVisit+"="+strconv.FormatUint(tr.Visit, 10),
 		envSegmentBytes+"="+strconv.FormatInt(opts.SegmentBytes, 10),
 		envCkptEvery+"="+strconv.Itoa(opts.CheckpointEvery),
+		envMode+"="+tr.Mode,
 	)
 	var childErr strings.Builder
 	cmd.Stderr = &childErr
@@ -214,7 +250,7 @@ func runTrial(exe string, opts Options, idx int, tr Trial, res *Result) error {
 	default:
 		// The child failed on its own — a workload bug, not a crash. That is
 		// a harness-level failure worth surfacing loudly.
-		return fmt.Errorf("crashtest: child %s/v%d failed: %v\n%s", tr.Site, tr.Visit, err, childErr.String())
+		return fmt.Errorf("crashtest: child %s/v%d failed: %v\n%s", label, tr.Visit, err, childErr.String())
 	}
 
 	acked, err := readAcks(acksPath)
@@ -225,7 +261,7 @@ func runTrial(exe string, opts Options, idx int, tr Trial, res *Result) error {
 
 	violate := func(format string, args ...any) {
 		res.Violations = append(res.Violations,
-			fmt.Sprintf("[%s visit %d] ", tr.Site, tr.Visit)+fmt.Sprintf(format, args...))
+			fmt.Sprintf("[%s visit %d] ", label, tr.Visit)+fmt.Sprintf(format, args...))
 	}
 
 	// Recover with the production path — no hook, no special cases. A crash
@@ -511,6 +547,10 @@ func childRun() error {
 	}
 	dir, acksPath, site := os.Getenv(envDir), os.Getenv(envAcks), os.Getenv(envSite)
 
+	if mode := os.Getenv(envMode); mode != "" {
+		return childComposed(mode, dir, acksPath, site, visit, seed, mutations, segBytes)
+	}
+
 	// The kill is immediate and unconditional: SIGKILL cannot be caught, so
 	// nothing below the hook — not the WAL, not the acks file — gets a chance
 	// to clean up. The empty select parks the hook's goroutine for the
@@ -518,13 +558,7 @@ func childRun() error {
 	killer := faultinject.New(faultinject.Rule{
 		Site:    site,
 		OnVisit: visit,
-		Do: func() {
-			p, err := os.FindProcess(os.Getpid())
-			if err == nil {
-				_ = p.Kill()
-			}
-			select {}
-		},
+		Do:      selfKill,
 	})
 
 	db, _, err := repro.OpenDurable(probeDims, BaseItems(seed), repro.DBOptions{
@@ -569,4 +603,134 @@ func childRun() error {
 		return err
 	}
 	return db.Close()
+}
+
+// selfKill delivers the injected crash: SIGKILL to our own pid, then park
+// the calling goroutine so no post-kill code runs in the microseconds signal
+// delivery takes. Nothing — not the WAL, not the acks file — gets a chance
+// to clean up, exactly what a crash looks like to the filesystem.
+func selfKill() {
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		_ = p.Kill()
+	}
+	select {}
+}
+
+// childComposed drives one storage-fault composition scenario and dies
+// inside it. Every path out of this function other than the kill is an
+// error: a composed child that survives its scenario means the composition
+// no longer reaches the machinery it exists to crash.
+func childComposed(mode, dir, acksPath, site string, visit uint64, seed int64, mutations int, segBytes int64) error {
+	wopts := repro.DurabilityOptions{Dir: dir, Policy: wal.SyncAlways, SegmentBytes: segBytes}
+	if site != "" {
+		wopts.Hook = faultinject.New(faultinject.Rule{Site: site, OnVisit: visit, Do: selfKill})
+	}
+	// An unlimited write fault on segment files; armed only inside the
+	// scenario's fault window.
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Rule{Op: vfs.OpWrite, Path: "wal-", Fault: vfs.FaultEIO})
+	ffs.SetArmed(false)
+	wopts.FS = ffs
+
+	db, _, err := repro.OpenDurable(probeDims, BaseItems(seed), repro.DBOptions{Durability: &wopts})
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	acks, err := os.OpenFile(acksPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("acks file: %w", err)
+	}
+
+	stream := Stream(seed, mutations)
+	apply := func(m Mutation) (uint64, error) {
+		if m.Op == OpInsert {
+			return db.InsertDurable(m.Item)
+		}
+		return db.DeleteDurable(m.Item)
+	}
+	// Healthy prefix: acknowledged mutations the recovery invariants will
+	// demand back. ModeQuarantine applies the whole stream (the crash comes
+	// from rot, not a write fault) with a mid-stream checkpoint so sealed,
+	// snapshot-uncovered segments exist to rot; the fault-window modes stop
+	// at two thirds and fail the next mutation.
+	healthy := len(stream) * 2 / 3
+	if mode == ModeQuarantine {
+		healthy = len(stream)
+	}
+	for i, m := range stream[:healthy] {
+		seq, err := apply(m)
+		if err != nil {
+			return fmt.Errorf("healthy mutation %d: %w", i+1, err)
+		}
+		if _, err := fmt.Fprintf(acks, "%d\n", seq); err != nil {
+			return fmt.Errorf("ack %d: %w", seq, err)
+		}
+		if mode == ModeQuarantine && i+1 == len(stream)/2 {
+			if err := db.Checkpoint(); err != nil {
+				return fmt.Errorf("mid-stream checkpoint: %w", err)
+			}
+		}
+	}
+
+	switch mode {
+	case ModeDegraded, ModeReopen:
+		ffs.SetArmed(true)
+		if _, err := apply(stream[healthy]); !errors.Is(err, repro.ErrReadOnly) {
+			return fmt.Errorf("faulted mutation: got %v, want ErrReadOnly", err)
+		}
+		if mode == ModeDegraded {
+			selfKill()
+		}
+		// ModeReopen: the disk "recovers", and the reopen probe's success
+		// visit carries the kill — the crash lands after the repair work,
+		// before any caller observes a writable log.
+		ffs.SetArmed(false)
+		if err := db.ReopenWAL(); err != nil {
+			return fmt.Errorf("reopen: %w", err)
+		}
+		return errors.New("survived the reopen kill site")
+	case ModeQuarantine:
+		// Rot the first sealed segment the mid-stream checkpoint does not
+		// cover, then scrub: the salvage checkpoint covers it, and the
+		// quarantine rename carries the kill.
+		if err := rotFirstSealedSegment(dir); err != nil {
+			return err
+		}
+		if _, err := db.ScrubWAL(repro.ScrubConfig{}); err != nil {
+			return fmt.Errorf("scrub: %w", err)
+		}
+		return errors.New("survived the quarantine kill site")
+	default:
+		return fmt.Errorf("unknown composed mode %q", mode)
+	}
+}
+
+// rotFirstSealedSegment flips one bit in the middle of the oldest sealed
+// (non-active) segment file.
+func rotFirstSealedSegment(dir string) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var segs []string
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") {
+			segs = append(segs, name)
+		}
+	}
+	sort.Strings(segs)
+	if len(segs) < 2 {
+		return fmt.Errorf("no sealed segment to rot (have %v)", segs)
+	}
+	path := filepath.Join(dir, segs[0])
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(buf) == 0 {
+		return fmt.Errorf("sealed segment %s is empty", segs[0])
+	}
+	buf[len(buf)/2] ^= 1
+	return os.WriteFile(path, buf, 0o644)
 }

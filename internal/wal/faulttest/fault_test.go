@@ -1,0 +1,47 @@
+package faulttest
+
+import (
+	"testing"
+)
+
+// TestFaultMatrix runs the full default fault matrix at smoke length: every
+// fault kind at every write-path site, plus the rot-and-scrub phase and the
+// final recovery check in each trial. `make race-core` runs this under -race;
+// cmd/fsfault runs the same harness at soak length.
+func TestFaultMatrix(t *testing.T) {
+	res, err := Run(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.DegradedRecovered == 0 {
+		t.Error("no degraded→recovered transition was exercised")
+	}
+	if res.CheckpointFaults == 0 {
+		t.Error("no non-fatal checkpoint fault was exercised")
+	}
+	if res.RotFound != res.RotInjected {
+		t.Errorf("scrubber found %d of %d injected rot sites", res.RotFound, res.RotInjected)
+	}
+	if res.ScrubQuarantined == 0 || res.ScrubSalvaged == 0 {
+		t.Errorf("scrub exercised quarantined=%d salvaged=%d, want both > 0",
+			res.ScrubQuarantined, res.ScrubSalvaged)
+	}
+	if res.FaultsFired == 0 {
+		t.Error("no faults fired at all — the injector is not wired in")
+	}
+}
+
+// TestSecondSeed guards against the matrix only passing on the default seed's
+// particular stream shape.
+func TestSecondSeed(t *testing.T) {
+	res, err := Run(Options{Dir: t.TempDir(), Seed: 7, Mutations: 48})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}

@@ -1,0 +1,601 @@
+// Package faulttest is the storage-fault harness for the WAL: the proof that
+// a misbehaving disk degrades the service instead of corrupting it.
+//
+// Where crashtest kills the process at durability boundaries, faulttest keeps
+// the process alive and makes the filesystem lie: a vfs.FaultFS slides
+// between the log and the disk and injects EIO, ENOSPC, short writes, fsync
+// failures and read-time bit flips on a deterministic schedule. Each trial
+// runs a seeded mutating workload against a durable DB alongside a map-model
+// oracle, opens a fault window, and checks the storage-fault contract:
+//
+//   - a faulted mutation is refused with ErrReadOnly, never half-applied:
+//     the model omits it, the DB omits it, and they agree forever after;
+//   - while degraded, reverse-skyline probes answer identically to a fresh
+//     oracle build — queries are never collateral damage;
+//   - the degraded condition is sticky until ReopenWAL, which must succeed
+//     once the window closes (the degraded→recovered transition);
+//   - a faulted checkpoint is non-fatal and leaves no *.tmp behind;
+//   - injected media rot in sealed segments and snapshots is found by one
+//     Scrub pass (100% detection), quarantined — salvaging by checkpoint
+//     when no snapshot covers the damage — and never degrades the log;
+//   - a fresh recovery of the directory equals the model exactly.
+//
+// The same harness backs the short `go test` smoke (run under -race by
+// `make race-core`) and the cmd/fsfault soak binary; only seeds and workload
+// length differ.
+package faulttest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/wal"
+	"repro/internal/wal/crashtest"
+	"repro/internal/wal/vfs"
+)
+
+// Class says what a trial's fault window is expected to break.
+type Class int
+
+// Trial classes.
+const (
+	// ClassMutate faults the mutation path (append write, fsync, rotation):
+	// the log must degrade fail-stop and recover via Reopen.
+	ClassMutate Class = iota + 1
+	// ClassCheckpoint faults the snapshot path (temp write, rename): the
+	// checkpoint must fail cleanly — no degradation, no *.tmp residue.
+	ClassCheckpoint
+)
+
+// Trial is one fault-window experiment: the rule the window arms and the
+// contract class it must satisfy. Every trial additionally runs the rot-and-
+// scrub phase and the final recovery check.
+type Trial struct {
+	Name  string   `json:"name"`
+	Class Class    `json:"-"`
+	Rule  vfs.Rule `json:"-"`
+}
+
+// DefaultTrials is the fault matrix: every fault kind the vfs can inject, at
+// every write-path call site the WAL exercises. Read-time bit flips are
+// covered by the rot-and-scrub phase each trial runs.
+func DefaultTrials() []Trial {
+	return []Trial{
+		{Name: "append-write-eio", Class: ClassMutate,
+			Rule: vfs.Rule{Op: vfs.OpWrite, Path: "wal-", Fault: vfs.FaultEIO}},
+		{Name: "append-write-enospc", Class: ClassMutate,
+			Rule: vfs.Rule{Op: vfs.OpWrite, Path: "wal-", Fault: vfs.FaultENOSPC}},
+		{Name: "append-write-short", Class: ClassMutate,
+			Rule: vfs.Rule{Op: vfs.OpWrite, Path: "wal-", Fault: vfs.FaultShortWrite}},
+		{Name: "fsync-fail", Class: ClassMutate,
+			Rule: vfs.Rule{Op: vfs.OpSync, Path: "wal-", Fault: vfs.FaultSyncFail}},
+		{Name: "rotate-open-eio", Class: ClassMutate,
+			Rule: vfs.Rule{Op: vfs.OpOpen, Path: "wal-", Fault: vfs.FaultEIO}},
+		{Name: "snapshot-write-eio", Class: ClassCheckpoint,
+			Rule: vfs.Rule{Op: vfs.OpWrite, Path: ".tmp", Fault: vfs.FaultEIO}},
+		{Name: "snapshot-write-enospc", Class: ClassCheckpoint,
+			Rule: vfs.Rule{Op: vfs.OpWrite, Path: ".tmp", Fault: vfs.FaultENOSPC}},
+		{Name: "snapshot-rename-eio", Class: ClassCheckpoint,
+			Rule: vfs.Rule{Op: vfs.OpRename, Path: ".tmp", Fault: vfs.FaultEIO}},
+	}
+}
+
+// Options sizes one harness run. The zero value is a small smoke; cmd/fsfault
+// scales seeds and workload length up for soaking.
+type Options struct {
+	// Dir is the scratch root; every trial gets its own subdirectory.
+	// Required.
+	Dir string
+	// Mutations is the workload length per trial. Default 60, minimum 30 (the
+	// phase layout needs room for a fault window and a post-snapshot tail).
+	Mutations int
+	// Seed drives the deterministic mutation stream. Default 1.
+	Seed int64
+	// SegmentBytes forces frequent rotation so sealed segments exist for the
+	// scrubber and the rotation site is reachable. Default 256.
+	SegmentBytes int64
+	// Trials is the fault matrix; empty runs DefaultTrials.
+	Trials []Trial
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mutations < 30 {
+		o.Mutations = 60
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 256
+	}
+	if len(o.Trials) == 0 {
+		o.Trials = DefaultTrials()
+	}
+	return o
+}
+
+// Result is the schema-versioned outcome of one harness run; cmd/fsfault
+// appends it to BENCH_fsfault.json.
+type Result struct {
+	SchemaVersion int    `json:"schema_version"`
+	Harness       string `json:"harness"`
+
+	Trials       int `json:"trials"`
+	FaultsFired  int `json:"faults_fired"`
+	RotInjected  int `json:"rot_injected"`
+	RotFound     int `json:"rot_found"`
+	ReadOnlyErrs int `json:"read_only_refusals"`
+
+	// DegradedRecovered counts full degraded→writable transitions proven by a
+	// refused mutation followed by a successful ReopenWAL and re-applied
+	// mutation.
+	DegradedRecovered int `json:"degraded_recovered"`
+	// CheckpointFaults counts checkpoint failures proven non-fatal (no
+	// degradation, no temp residue, later checkpoint succeeds).
+	CheckpointFaults int `json:"checkpoint_faults_nonfatal"`
+
+	ScrubQuarantined int `json:"scrub_quarantined"`
+	ScrubSalvaged    int `json:"scrub_salvaged"`
+
+	Mutations  int   `json:"mutations_per_trial"`
+	Seed       int64 `json:"seed"`
+	DurationMS int64 `json:"duration_ms"`
+
+	// Violations lists every broken storage-fault invariant; empty means the
+	// contract held in every trial.
+	Violations []string `json:"violations"`
+}
+
+// Run executes the trial matrix and aggregates the outcome. An error means
+// the harness itself broke (unusable scratch dir); contract violations are
+// reported in Result.Violations instead.
+func Run(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("faulttest: Options.Dir is required")
+	}
+	start := time.Now()
+	res := &Result{
+		SchemaVersion: 1,
+		Harness:       "wal-faulttest/v1",
+		Trials:        len(opts.Trials),
+		Mutations:     opts.Mutations,
+		Seed:          opts.Seed,
+	}
+	for i, tr := range opts.Trials {
+		if err := runTrial(opts, i, tr, res); err != nil {
+			return nil, err
+		}
+	}
+	res.DurationMS = time.Since(start).Milliseconds()
+	return res, nil
+}
+
+const (
+	probeDims    = 2
+	probeIDBase  = 3_000_000
+	reopenIDBase = 4_000_000
+)
+
+func probePoints() []repro.Point {
+	return []repro.Point{
+		repro.NewPoint(500, 500),
+		repro.NewPoint(100, 900),
+		repro.NewPoint(900, 100),
+	}
+}
+
+// trialState carries one trial's live objects through its phases.
+type trialState struct {
+	opts    Options
+	idx     int
+	tr      Trial
+	dir     string
+	ffs     *vfs.FaultFS
+	db      *repro.DB
+	base    []repro.Item
+	stream  []crashtest.Mutation
+	applied int // stream prefix applied to both DB and model
+	extra   []repro.Item
+	res     *Result
+}
+
+func (s *trialState) violate(format string, args ...any) {
+	s.res.Violations = append(s.res.Violations,
+		fmt.Sprintf("[%s seed %d] ", s.tr.Name, s.opts.Seed)+fmt.Sprintf(format, args...))
+}
+
+// model is the oracle item set: the applied stream prefix over the base,
+// plus the harness's own probe inserts.
+func (s *trialState) model() []repro.Item {
+	items := crashtest.Replay(s.base, s.stream[:s.applied])
+	items = append(items, s.extra...)
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+	return items
+}
+
+// checkQueries compares the live DB's answers against a fresh oracle build of
+// the model — the "queries are never collateral damage" invariant.
+func (s *trialState) checkQueries(phase string) bool {
+	oracle := repro.NewDBWithOptions(probeDims, s.model(), repro.DBOptions{})
+	for _, q := range probePoints() {
+		if !sameIDs(idsOf(s.db.ReverseSkylineBBRS(q)), idsOf(oracle.ReverseSkylineBBRS(q))) {
+			s.violate("%s: RSL(%v) diverged from oracle", phase, q)
+			return false
+		}
+		if !sameIDs(idsOf(s.db.DynamicSkyline(q)), idsOf(oracle.DynamicSkyline(q))) {
+			s.violate("%s: DSL(%v) diverged from oracle", phase, q)
+			return false
+		}
+	}
+	return true
+}
+
+// apply runs one stream mutation against the DB and, on success, advances the
+// model. The bool reports success; the error is the mutation's failure.
+func (s *trialState) apply() (bool, error) {
+	m := s.stream[s.applied]
+	var err error
+	if m.Op == crashtest.OpInsert {
+		_, err = s.db.InsertDurable(m.Item)
+	} else {
+		_, err = s.db.DeleteDurable(m.Item)
+	}
+	if err != nil {
+		return false, err
+	}
+	s.applied++
+	return true, nil
+}
+
+func runTrial(opts Options, idx int, tr Trial, res *Result) error {
+	root := filepath.Join(opts.Dir, fmt.Sprintf("t%03d-%s", idx, tr.Name))
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("faulttest: scratch dir: %w", err)
+	}
+	walDir := filepath.Join(root, "wal")
+
+	// The injector starts disarmed: the trial opens the window explicitly.
+	ffs := vfs.NewFaultFS(vfs.OS, tr.Rule)
+	ffs.SetArmed(false)
+
+	base := crashtest.BaseItems(opts.Seed)
+	db, _, err := repro.OpenDurable(probeDims, base, repro.DBOptions{
+		Durability: &repro.DurabilityOptions{
+			Dir:          walDir,
+			Policy:       wal.SyncAlways,
+			SegmentBytes: opts.SegmentBytes,
+			FS:           ffs,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("faulttest: open %s: %w", tr.Name, err)
+	}
+	s := &trialState{
+		opts: opts, idx: idx, tr: tr, dir: walDir, ffs: ffs, db: db,
+		base: base, stream: crashtest.Stream(opts.Seed, opts.Mutations), res: res,
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			_ = db.Close()
+		}
+	}()
+
+	// Phase A — healthy prefix: the first third of the stream, no faults.
+	healthy := opts.Mutations / 3
+	for s.applied < healthy {
+		if _, err := s.apply(); err != nil {
+			s.violate("healthy mutation %d failed: %v", s.applied+1, err)
+			return nil
+		}
+	}
+	if !s.checkQueries("healthy") {
+		return nil
+	}
+
+	// Phase B — the fault window.
+	switch tr.Class {
+	case ClassMutate:
+		if !s.mutateWindow() {
+			return nil
+		}
+	case ClassCheckpoint:
+		if !s.checkpointWindow() {
+			return nil
+		}
+	}
+
+	// Phase C — the rest of the stream, healthy again, ending with a real
+	// snapshot and a post-snapshot tail of sealed segments for the scrubber.
+	tail := 8
+	for s.applied < len(s.stream)-tail {
+		if _, err := s.apply(); err != nil {
+			s.violate("post-window mutation %d failed: %v", s.applied+1, err)
+			return nil
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		s.violate("pre-rot checkpoint failed: %v", err)
+		return nil
+	}
+	for s.applied < len(s.stream) {
+		if _, err := s.apply(); err != nil {
+			s.violate("post-snapshot mutation %d failed: %v", s.applied+1, err)
+			return nil
+		}
+	}
+
+	// Phase D — inject rot on disk and scrub it out.
+	if !s.rotAndScrub() {
+		return nil
+	}
+
+	// Phase E — the directory must recover to exactly the model with the
+	// production filesystem, no injector in sight.
+	if err := db.Close(); err != nil {
+		s.violate("close: %v", err)
+		return nil
+	}
+	closed = true
+	db2, rec, err := repro.OpenDurable(probeDims, base, repro.DBOptions{
+		Durability: &repro.DurabilityOptions{Dir: walDir, Policy: wal.SyncAlways},
+	})
+	if err != nil {
+		s.violate("fresh recovery failed: %v", err)
+		return nil
+	}
+	defer func() { _ = db2.Close() }()
+	if rec.TornTail {
+		s.violate("fresh recovery repaired a torn tail in a cleanly closed log")
+	}
+	if got, want := db2.DurableItems(), s.model(); !sameItems(got, want) {
+		s.violate("recovered %d items != model %d items", len(got), len(want))
+		return nil
+	}
+	oracle := repro.NewDBWithOptions(probeDims, s.model(), repro.DBOptions{})
+	for _, q := range probePoints() {
+		if !sameIDs(idsOf(db2.ReverseSkylineBBRS(q)), idsOf(oracle.ReverseSkylineBBRS(q))) {
+			s.violate("recovered RSL(%v) diverged from oracle", q)
+			return nil
+		}
+	}
+	if _, err := db2.InsertDurable(repro.Item{ID: reopenIDBase + idx, Point: repro.NewPoint(2, 2)}); err != nil {
+		s.violate("post-recovery append failed: %v", err)
+	}
+	res.FaultsFired += ffs.Fired()
+	return nil
+}
+
+// mutateWindow arms the rule and drives mutations into it: the faulted
+// mutation must be refused read-only, the condition must be sticky, queries
+// must keep answering, and Reopen must clear it once the window closes.
+func (s *trialState) mutateWindow() bool {
+	s.ffs.SetArmed(true)
+	faulted := false
+	for s.applied < len(s.stream)*2/3 {
+		ok, err := s.apply()
+		if ok {
+			continue
+		}
+		if !errors.Is(err, repro.ErrReadOnly) {
+			s.violate("faulted mutation returned %v, want ErrReadOnly", err)
+			return false
+		}
+		s.res.ReadOnlyErrs++
+		faulted = true
+		break
+	}
+	if !faulted {
+		s.violate("fault window closed without firing (%d faultable calls seen)", s.ffs.Fired())
+		return false
+	}
+	if s.db.StorageFailed() == nil {
+		s.violate("mutation refused read-only but StorageFailed() is nil")
+		return false
+	}
+	// Sticky: the next attempt must be refused before touching the disk.
+	if _, err := s.apply(); !errors.Is(err, repro.ErrReadOnly) {
+		s.violate("degraded log accepted a mutation (err=%v)", err)
+		return false
+	}
+	s.res.ReadOnlyErrs++
+	// Queries serve the intact in-memory state throughout.
+	if !s.checkQueries("degraded") {
+		return false
+	}
+	// Window closes; the probe path must bring the log back.
+	s.ffs.SetArmed(false)
+	if err := s.db.ReopenWAL(); err != nil {
+		s.violate("ReopenWAL after window closed: %v", err)
+		return false
+	}
+	if s.db.StorageFailed() != nil {
+		s.violate("StorageFailed() still set after successful Reopen")
+		return false
+	}
+	// The refused mutation is re-applied — nothing acked was lost, nothing
+	// refused leaked in.
+	if _, err := s.apply(); err != nil {
+		s.violate("re-applying refused mutation after recovery: %v", err)
+		return false
+	}
+	s.res.DegradedRecovered++
+	return s.checkQueries("recovered")
+}
+
+// checkpointWindow arms the rule and checkpoints into it: the failure must be
+// non-fatal — mutations keep flowing, no *.tmp residue, and the next
+// checkpoint succeeds once the window closes.
+func (s *trialState) checkpointWindow() bool {
+	s.ffs.SetArmed(true)
+	err := s.db.Checkpoint()
+	s.ffs.SetArmed(false)
+	if err == nil {
+		s.violate("checkpoint succeeded inside the fault window")
+		return false
+	}
+	if s.db.StorageFailed() != nil {
+		s.violate("failed checkpoint degraded the log: %v", s.db.StorageFailed())
+		return false
+	}
+	if errors.Is(err, repro.ErrReadOnly) {
+		s.violate("failed checkpoint reported read-only: %v", err)
+		return false
+	}
+	tmps, globErr := filepath.Glob(filepath.Join(s.dir, "*.tmp"))
+	if globErr == nil && len(tmps) > 0 {
+		s.violate("failed checkpoint left temp files behind: %v", tmps)
+		return false
+	}
+	// Mutations are unaffected by a failed checkpoint.
+	if _, err := s.apply(); err != nil {
+		s.violate("mutation after failed checkpoint: %v", err)
+		return false
+	}
+	// And the retry lands once the fault clears.
+	if err := s.db.Checkpoint(); err != nil {
+		s.violate("checkpoint retry after window closed: %v", err)
+		return false
+	}
+	s.res.CheckpointFaults++
+	return true
+}
+
+// rotAndScrub flips one bit in a sealed segment and in the oldest snapshot,
+// then requires a single Scrub pass to find every rotten file, quarantine it
+// (salvaging by checkpoint where needed) and leave the log writable.
+func (s *trialState) rotAndScrub() bool {
+	segs, snaps, err := walFiles(s.dir)
+	if err != nil {
+		s.violate("listing wal dir: %v", err)
+		return false
+	}
+	if len(segs) < 2 {
+		s.violate("phase layout bug: no sealed segment to rot (have %d)", len(segs))
+		return false
+	}
+	if len(snaps) == 0 {
+		s.violate("phase layout bug: no snapshot to rot")
+		return false
+	}
+	// segs is name-sorted and the sequence numbers are zero-padded hex, so
+	// the last entry is the active segment; everything before it is sealed.
+	rotted := []string{segs[0], snaps[0]}
+	for _, name := range rotted {
+		if err := flipBit(filepath.Join(s.dir, name)); err != nil {
+			s.violate("injecting rot into %s: %v", name, err)
+			return false
+		}
+	}
+	s.res.RotInjected += len(rotted)
+
+	rep, err := s.db.ScrubWAL(repro.ScrubConfig{})
+	if err != nil {
+		s.violate("scrub failed: %v (report %+v)", err, rep)
+		return false
+	}
+	s.res.RotFound += rep.Corruptions
+	s.res.ScrubQuarantined += rep.Quarantined
+	s.res.ScrubSalvaged += rep.Salvaged
+	if rep.Corruptions != len(rotted) {
+		s.violate("scrub found %d corruptions, injected %d", rep.Corruptions, len(rotted))
+		return false
+	}
+	if rep.Quarantined != len(rotted) {
+		s.violate("scrub quarantined %d files, want %d", rep.Quarantined, len(rotted))
+		return false
+	}
+	if rep.Degraded || s.db.StorageFailed() != nil {
+		s.violate("scrub degraded the log despite salvage: %+v", rep)
+		return false
+	}
+	// The rotten files must be out of the recovery namespace.
+	for _, name := range rotted {
+		if _, err := os.Stat(filepath.Join(s.dir, name)); err == nil {
+			s.violate("rotten file %s still in place after quarantine", name)
+			return false
+		}
+	}
+	// The log is writable and correct after the scrub.
+	probe := repro.Item{ID: probeIDBase + s.idx, Point: repro.NewPoint(3, 3)}
+	if _, err := s.db.InsertDurable(probe); err != nil {
+		s.violate("mutation after scrub: %v", err)
+		return false
+	}
+	s.extra = append(s.extra, probe)
+	return s.checkQueries("post-scrub")
+}
+
+// walFiles lists segment and snapshot file names in dir, name-sorted.
+func walFiles(dir string) (segs, snaps []string, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			segs = append(segs, name)
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			snaps = append(snaps, name)
+		}
+	}
+	sort.Strings(segs)
+	sort.Strings(snaps)
+	return segs, snaps, nil
+}
+
+// flipBit flips the low bit of the middle byte of a file — one bit of silent
+// media rot, exactly what the CRCs exist to catch.
+func flipBit(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(buf) == 0 {
+		return fmt.Errorf("%s is empty", path)
+	}
+	buf[len(buf)/2] ^= 1
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func idsOf(items []repro.Item) []int {
+	ids := make([]int, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameItems(a, b []repro.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || !a[i].Point.Equal(b[i].Point) {
+			return false
+		}
+	}
+	return true
+}

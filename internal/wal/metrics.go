@@ -31,6 +31,27 @@ type Metrics struct {
 	RecoveryDur *obs.Gauge
 	// LastSeq is the last acknowledged sequence number.
 	LastSeq *obs.Gauge
+	// StorageErrors counts storage faults by site (append, sync, rotate,
+	// checkpoint, compact, scrub, reopen). The first in a degraded window is
+	// the one that parked the log.
+	StorageErrors *obs.LabeledCounter
+	// Reopens counts successful Reopen re-arms (degraded → recovered).
+	Reopens *obs.Counter
+	// CheckpointFailures counts checkpoints that failed non-fatally (snapshot
+	// write or rename error) and will be retried.
+	CheckpointFailures *obs.Counter
+	// ScrubSegments counts sealed segments fully re-verified by Scrub.
+	ScrubSegments *obs.Counter
+	// ScrubFrames counts record frames re-verified by Scrub.
+	ScrubFrames *obs.Counter
+	// ScrubCorruptions counts corrupt files Scrub detected.
+	ScrubCorruptions *obs.Counter
+	// ScrubQuarantines counts damaged files renamed aside by Scrub or Reopen.
+	ScrubQuarantines *obs.Counter
+	// ScrubSnapshots counts snapshot files re-verified by Scrub.
+	ScrubSnapshots *obs.Counter
+	// RecoveryQuarantines counts corrupt covered segments quarantined by Open.
+	RecoveryQuarantines *obs.Counter
 }
 
 // NewMetrics registers the WAL metric set on reg (nil reg → all-nil metrics,
@@ -49,5 +70,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		RecoveredRecords:    reg.Counter("wal_recovered_records_total", "WAL tail records replayed during recovery."),
 		RecoveryDur:         reg.Gauge("wal_recovery_seconds", "Duration of the last WAL recovery in seconds."),
 		LastSeq:             reg.Gauge("wal_last_seq", "Last acknowledged WAL sequence number."),
+		StorageErrors:       reg.LabeledCounter("wal_storage_errors_total", "WAL storage faults by site.", "site"),
+		Reopens:             reg.Counter("wal_reopens_total", "Successful WAL reopen re-arms (degraded to recovered)."),
+		CheckpointFailures:  reg.Counter("wal_checkpoint_failures_total", "Non-fatal checkpoint failures (retried on the next checkpoint)."),
+		ScrubSegments:       reg.Counter("wal_scrub_segments_total", "Sealed WAL segments re-verified by the scrubber."),
+		ScrubFrames:         reg.Counter("wal_scrub_frames_total", "WAL record frames re-verified by the scrubber."),
+		ScrubCorruptions:    reg.Counter("wal_scrub_corruptions_total", "Corrupt files detected by the scrubber."),
+		ScrubQuarantines:    reg.Counter("wal_scrub_quarantined_total", "Damaged WAL files renamed aside (quarantined)."),
+		ScrubSnapshots:      reg.Counter("wal_scrub_snapshots_total", "Snapshot files re-verified by the scrubber."),
+		RecoveryQuarantines: reg.Counter("wal_recovery_quarantined_total", "Corrupt covered segments quarantined during recovery."),
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/rtree"
+	"repro/internal/wal/vfs"
 )
 
 // CorruptionError reports unrecoverable mid-log corruption: a bad record with
@@ -56,6 +57,11 @@ type Recovery struct {
 	TornTail bool
 	// TruncatedBytes is how many trailing bytes the torn-tail repair removed.
 	TruncatedBytes int64
+	// QuarantinedSegments counts corrupt sealed segments that were renamed
+	// aside because the loaded snapshot covers every record they could hold
+	// (salvage-by-snapshot): no acknowledged data was lost, the damaged bytes
+	// are kept for forensics.
+	QuarantinedSegments int
 	// Segments is the number of segment files after recovery.
 	Segments int
 	// Duration is the wall-clock recovery time.
@@ -73,25 +79,26 @@ func Open(opts Options) (*Log, Recovery, error) {
 		return nil, Recovery{}, errors.New("wal: Options.Dir is required")
 	}
 	start := obs.Now()
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, Recovery{}, err
 	}
 	var rec Recovery
 
 	// Stray temp files are checkpoints that died before their rename: never
 	// valid state, always safe to discard.
-	if err := removeStrayTemps(opts.Dir); err != nil {
+	if err := removeStrayTemps(fsys, opts.Dir); err != nil {
 		return nil, Recovery{}, err
 	}
 
 	// Newest snapshot that verifies wins; corrupt ones are skipped (counted),
 	// falling back to older snapshots and finally to the caller's base set.
-	snaps, err := listSnapshots(opts.Dir)
+	snaps, err := listSnapshots(fsys, opts.Dir)
 	if err != nil {
 		return nil, Recovery{}, err
 	}
 	for i := len(snaps) - 1; i >= 0; i-- {
-		items, seq, err := readSnapshotFile(filepath.Join(opts.Dir, snaps[i].name))
+		items, seq, err := readSnapshotFile(fsys, filepath.Join(opts.Dir, snaps[i].name))
 		if err != nil {
 			rec.CorruptSnapshots++
 			continue
@@ -102,7 +109,7 @@ func Open(opts Options) (*Log, Recovery, error) {
 		break
 	}
 
-	segs, err := listSegments(opts.Dir)
+	segs, err := listSegments(fsys, opts.Dir)
 	if err != nil {
 		return nil, Recovery{}, err
 	}
@@ -112,12 +119,35 @@ func Open(opts Options) (*Log, Recovery, error) {
 	for i, seg := range segs {
 		path := filepath.Join(opts.Dir, seg.name)
 		final := i == len(segs)-1
-		records, truncateAt, size, err := replaySegment(path, final)
+		records, truncateAt, size, err := replaySegment(fsys, path, final)
 		if err != nil {
-			return nil, Recovery{}, err
+			// Salvage-by-snapshot: a corrupt sealed segment whose every record
+			// the loaded snapshot already covers (the NEXT segment starts at or
+			// below snapshotSeq+1, so this one holds nothing newer) lost no
+			// acknowledged data — quarantine it and keep recovering. Anything
+			// else is real, unrecoverable corruption.
+			var cerr *CorruptionError
+			covered := errors.As(err, &cerr) && rec.HaveSnapshot && !final &&
+				segs[i+1].firstSeq <= rec.SnapshotSeq+1
+			if !covered {
+				return nil, Recovery{}, err
+			}
+			if _, qerr := quarantineFile(fsys, opts.Dir, path); qerr != nil {
+				return nil, Recovery{}, fmt.Errorf("wal: quarantining %s: %w", path, qerr)
+			}
+			rec.QuarantinedSegments++
+			rec.Segments--
+			if opts.Metrics != nil {
+				opts.Metrics.RecoveryQuarantines.Inc()
+			}
+			// Re-anchor sequence continuity: the damaged segment's records are
+			// gone, the snapshot stands in for them. The tail-hole check below
+			// still refuses if anything above the snapshot went missing.
+			expect = 0
+			continue
 		}
 		if truncateAt >= 0 {
-			if err := truncateAndSync(path, truncateAt); err != nil {
+			if err := truncateAndSync(fsys, path, truncateAt); err != nil {
 				return nil, Recovery{}, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
 			}
 			rec.TornTail = true
@@ -151,18 +181,20 @@ func Open(opts Options) (*Log, Recovery, error) {
 	rec.LastSeq = lastSeq
 
 	// Position the log for appends: reopen the last segment, or create the
-	// first one.
-	l := &Log{opts: opts, seq: lastSeq, segments: len(segs)}
+	// first one. Everything recovery validated counts as acknowledged, so the
+	// committed marks start at the reopened position.
+	l := &Log{opts: opts, seq: lastSeq, segments: rec.Segments}
 	if len(segs) == 0 {
-		f, err := createSegment(opts.Dir, lastSeq+1)
+		f, err := createSegment(fsys, opts.Dir, lastSeq+1)
 		if err != nil {
 			return nil, Recovery{}, err
 		}
 		l.f = f
+		l.activeName = segmentName(lastSeq + 1)
 		l.segments = 1
 	} else {
 		path := filepath.Join(opts.Dir, segs[len(segs)-1].name)
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, Recovery{}, err
 		}
@@ -174,8 +206,10 @@ func Open(opts Options) (*Log, Recovery, error) {
 			return nil, Recovery{}, err
 		}
 		l.f = f
+		l.activeName = segs[len(segs)-1].name
 		l.size = st.Size()
 	}
+	l.markCommitted()
 	l.lastSync = obs.Now()
 	rec.Duration = obs.Since(start)
 	if m := opts.Metrics; m != nil {
@@ -190,8 +224,8 @@ func Open(opts Options) (*Log, Recovery, error) {
 // torn tail is tolerated: the returned truncateAt (≥ 0) says where to cut.
 // For non-final segments — and for damage that valid later data proves is not
 // a torn tail — it returns a *CorruptionError.
-func replaySegment(path string, final bool) (records []Record, truncateAt int64, size int64, err error) {
-	buf, err := os.ReadFile(path)
+func replaySegment(fsys vfs.FS, path string, final bool) (records []Record, truncateAt int64, size int64, err error) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, -1, 0, err
 	}
@@ -243,8 +277,8 @@ func tornAtEOF(buf []byte, off int64) bool {
 // could resurrect the discarded torn bytes *after* newly written valid
 // records — which the next recovery would rightly classify as mid-log
 // corruption and refuse to boot.
-func truncateAndSync(path string, off int64) error {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+func truncateAndSync(fsys vfs.FS, path string, off int64) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -259,17 +293,31 @@ func truncateAndSync(path string, off int64) error {
 
 // removeStrayTemps deletes "*.tmp" leftovers from checkpoints that crashed
 // before their rename.
-func removeStrayTemps(dir string) error {
-	ents, err := os.ReadDir(dir)
+func removeStrayTemps(fsys vfs.FS, dir string) error {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return err
 	}
 	for _, e := range ents {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
-			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// quarantineFile renames a damaged file out of the log's namespace (the
+// suffix breaks the name pattern every directory listing matches) and makes
+// the rename durable. A file that already vanished counts as handled but is
+// reported as renamed=false so callers keep their segment accounting honest.
+func quarantineFile(fsys vfs.FS, dir, path string) (renamed bool, err error) {
+	if err := fsys.Rename(path, path+quarantineSuffix); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, syncDir(fsys, dir)
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/rtree"
+	"repro/internal/wal/vfs"
 )
 
 // writeLog appends n sequential insert records and returns the directory and
@@ -24,7 +25,7 @@ func writeLog(t *testing.T, n int) (dir, seg string) {
 	if err := l.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestCorruptionInNonFinalSegmentIsFatal(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestSequenceGapIsFatal(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestCorruptNewestSnapshotFallsBack(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	snaps, err := listSnapshots(dir)
+	snaps, err := listSnapshots(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestCorruptNewestSnapshotFallsBack(t *testing.T) {
 // whose first surviving record is seq 7: acknowledged seq 6 is gone.
 func TestHoleBetweenSnapshotAndTailIsFatal(t *testing.T) {
 	dir := t.TempDir()
-	if err := writeSnapshotFile(filepath.Join(dir, snapshotName(5)), []rtree.Item{item(1, 1, 1)}, 5); err != nil {
+	if err := writeSnapshotFile(vfs.OS, filepath.Join(dir, snapshotName(5)), []rtree.Item{item(1, 1, 1)}, 5); err != nil {
 		t.Fatal(err)
 	}
 	frame, err := appendFrame(nil, Record{Seq: 7, Op: OpInsert, Item: item(2, 2, 2)})

@@ -1,0 +1,238 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ScrubConfig tunes one integrity-scrub pass.
+type ScrubConfig struct {
+	// BytesPerSec rate-limits how fast the scrubber reads, so a pass over a
+	// large log does not starve foreground IO. Zero means unlimited.
+	BytesPerSec int64
+	// Checkpoint, when non-nil, is the salvage escalation: if the scrubber
+	// finds corruption that no existing valid snapshot covers, it calls
+	// Checkpoint to persist a fresh full snapshot (from the live in-memory
+	// state, which is still correct) and then quarantines the damage. The
+	// callback must capture and checkpoint the owning database — it is
+	// invoked WITHOUT the log lock held, exactly like an admin checkpoint.
+	Checkpoint func() error
+}
+
+// ScrubReport summarises one scrub pass.
+type ScrubReport struct {
+	// Segments is the number of sealed segments fully re-verified.
+	Segments int `json:"segments"`
+	// Frames is the number of record frames whose CRCs were re-checked.
+	Frames int `json:"frames"`
+	// Snapshots is the number of snapshot files re-verified.
+	Snapshots int `json:"snapshots"`
+	// Corruptions counts damaged files found this pass.
+	Corruptions int `json:"corruptions"`
+	// Quarantined counts damaged files renamed aside this pass.
+	Quarantined int `json:"quarantined"`
+	// Salvaged counts fresh checkpoints taken to cover damage before
+	// quarantining it.
+	Salvaged int `json:"salvaged"`
+	// Degraded reports that the pass found damage it could not salvage and
+	// parked the log (Failed is now non-nil).
+	Degraded bool `json:"degraded"`
+	// Duration is the wall-clock pass time.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Scrub re-verifies every sealed segment frame and every snapshot checksum
+// on disk — finding latent rot while there is still time to act, instead of
+// during the recovery that needed the bytes. Damage covered by a newer valid
+// snapshot is quarantined on the spot (salvage-by-snapshot: the snapshot
+// supersedes every record the file could hold, nothing acknowledged is
+// lost). Uncovered damage triggers the Checkpoint salvage callback when one
+// is configured; otherwise the log degrades with a corruption-kind
+// StorageError so mutations stop before the damage can spread into
+// acknowledged history. The active segment is left to the append path and
+// Reopen — scrubbing a file that is being written would only race it.
+//
+// Reads happen outside the log lock; appends, checkpoints and compaction
+// proceed concurrently. A file that vanishes mid-pass was compacted away and
+// is skipped.
+func (l *Log) Scrub(cfg ScrubConfig) (ScrubReport, error) {
+	start := time.Now()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ScrubReport{}, errors.New("wal: log is closed")
+	}
+	fsys, dir, active := l.opts.FS, l.opts.Dir, l.activeName
+	l.mu.Unlock()
+
+	var rep ScrubReport
+	lim := byteLimiter{perSec: cfg.BytesPerSec, start: start}
+
+	segs, err := listSegments(fsys, dir)
+	if err != nil {
+		return rep, fmt.Errorf("wal: scrub: %w", err)
+	}
+	snaps, err := listSnapshots(fsys, dir)
+	if err != nil {
+		return rep, fmt.Errorf("wal: scrub: %w", err)
+	}
+
+	// Snapshots first: segment-coverage decisions below need to know the
+	// newest seq a VALID snapshot reaches.
+	var maxValidSnap uint64
+	haveValidSnap := false
+	type corruptFile struct {
+		path string
+		need uint64 // snapshot seq required to cover the damage
+		seg  bool
+		err  error
+	}
+	var corrupt []corruptFile
+	for _, s := range snaps {
+		path := filepath.Join(dir, s.name)
+		buf, err := fsys.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // compacted mid-pass
+			}
+			return rep, fmt.Errorf("wal: scrub read %s: %w", s.name, err)
+		}
+		lim.take(len(buf))
+		rep.Snapshots++
+		if m := l.opts.Metrics; m != nil {
+			m.ScrubSnapshots.Inc()
+		}
+		if _, _, perr := parseSnapshot(buf, path); perr != nil {
+			rep.Corruptions++
+			if m := l.opts.Metrics; m != nil {
+				m.ScrubCorruptions.Inc()
+			}
+			// A snapshot that fails its checksum was never trustworthy;
+			// recovery already skips it. It is covered by any VALID snapshot
+			// at or above its own seq — without one, the log may have
+			// compacted segments on its word, so salvage before quarantining.
+			corrupt = append(corrupt, corruptFile{path: path, need: s.seq, seg: false, err: perr})
+			continue
+		}
+		if s.seq > maxValidSnap || !haveValidSnap {
+			maxValidSnap = s.seq
+			haveValidSnap = true
+		}
+	}
+
+	// Sealed segments: every frame must decode — a sealed segment was rotated
+	// away after a full fsync, so torn-tail tolerance does not apply.
+	for i, seg := range segs {
+		if seg.name == active {
+			continue
+		}
+		path := filepath.Join(dir, seg.name)
+		buf, err := fsys.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // compacted mid-pass
+			}
+			return rep, fmt.Errorf("wal: scrub read %s: %w", seg.name, err)
+		}
+		lim.take(len(buf))
+		rep.Segments++
+		frames, derr := countFrames(buf, path)
+		rep.Frames += frames
+		if m := l.opts.Metrics; m != nil {
+			m.ScrubSegments.Inc()
+			m.ScrubFrames.Add(uint64(frames))
+		}
+		if derr == nil {
+			continue
+		}
+		rep.Corruptions++
+		if m := l.opts.Metrics; m != nil {
+			m.ScrubCorruptions.Inc()
+		}
+		// The last seq this segment could hold is one below the next
+		// segment's first; a snapshot at or past that covers it entirely.
+		need := uint64(0)
+		if i+1 < len(segs) {
+			need = segs[i+1].firstSeq - 1
+		}
+		corrupt = append(corrupt, corruptFile{path: path, need: need, seg: true, err: derr})
+	}
+
+	// Dispose of the damage: quarantine what a valid snapshot covers,
+	// salvage-then-quarantine what the callback can cover, degrade on the
+	// rest.
+	for _, c := range corrupt {
+		if !(haveValidSnap && maxValidSnap >= c.need) {
+			if cfg.Checkpoint == nil {
+				l.mu.Lock()
+				err := l.failCorrupt(StorageSiteScrub, c.path, c.need, c.err)
+				l.mu.Unlock()
+				rep.Degraded = true
+				rep.Duration = time.Since(start)
+				return rep, err
+			}
+			if err := cfg.Checkpoint(); err != nil {
+				l.mu.Lock()
+				ferr := l.failCorrupt(StorageSiteScrub, c.path, c.need, errors.Join(c.err, err))
+				l.mu.Unlock()
+				rep.Degraded = true
+				rep.Duration = time.Since(start)
+				return rep, ferr
+			}
+			rep.Salvaged++
+			// The checkpoint persisted the full live state at the log's
+			// current seq, which is ≥ anything a sealed segment holds.
+			haveValidSnap = true
+			if c.need > maxValidSnap {
+				maxValidSnap = c.need
+			}
+		}
+		l.mu.Lock()
+		qerr := l.quarantineLocked(c.path, c.seg)
+		l.mu.Unlock()
+		if qerr != nil {
+			rep.Duration = time.Since(start)
+			return rep, fmt.Errorf("wal: scrub quarantine %s: %w", c.path, qerr)
+		}
+		rep.Quarantined++
+	}
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// countFrames strictly decodes every frame in a sealed segment, returning
+// how many verified before the first damage (and the damage, if any).
+func countFrames(buf []byte, path string) (int, error) {
+	var off int64
+	n := 0
+	for off < int64(len(buf)) {
+		_, next, ferr := decodeFrame(buf, off)
+		if ferr != nil {
+			return n, &CorruptionError{Path: path, Record: n, Offset: off, Reason: ferr.reason}
+		}
+		n++
+		off = next
+	}
+	return n, nil
+}
+
+// byteLimiter paces cumulative reads to perSec bytes per second from start.
+type byteLimiter struct {
+	perSec int64
+	start  time.Time
+	spent  int64
+}
+
+func (b *byteLimiter) take(n int) {
+	if b.perSec <= 0 {
+		return
+	}
+	b.spent += int64(n)
+	need := time.Duration(float64(b.spent) / float64(b.perSec) * float64(time.Second))
+	if elapsed := time.Since(b.start); need > elapsed {
+		time.Sleep(need - elapsed)
+	}
+}

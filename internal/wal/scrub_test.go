@@ -1,0 +1,438 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rtree"
+	"repro/internal/wal/vfs"
+)
+
+// fillSegments appends n records to force rotation under a small segment cap
+// and returns the items appended, for checkpointing.
+func fillSegments(t *testing.T, l *Log, n int) []rtree.Item {
+	t.Helper()
+	items := make([]rtree.Item, 0, n)
+	for i := 1; i <= n; i++ {
+		it := item(i, float64(i), float64(-i))
+		if _, err := l.Append(OpInsert, it); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		items = append(items, it)
+	}
+	return items
+}
+
+// corruptFirstSealed flips a bit in the middle of the oldest on-disk segment
+// (always sealed once rotation has happened) and returns its path.
+func corruptFirstSealed(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(vfs.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need a sealed segment, have %d total", len(segs))
+	}
+	path := filepath.Join(dir, segs[0].name)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 1
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScrubCleanLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 100})
+	defer l.Close()
+	items := fillSegments(t, l, 7)
+	if err := l.Checkpoint(items, l.LastSeq()); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	rep, err := l.Scrub(ScrubConfig{})
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if rep.Corruptions != 0 || rep.Quarantined != 0 || rep.Degraded {
+		t.Fatalf("clean log scrub = %+v, want no findings", rep)
+	}
+	if rep.Snapshots == 0 {
+		t.Fatalf("scrub verified no snapshots: %+v", rep)
+	}
+}
+
+func TestScrubSalvagesUncoveredSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 100})
+	defer l.Close()
+	items := fillSegments(t, l, 7) // no checkpoint: nothing covers the rot
+	corrupted := corruptFirstSealed(t, dir)
+
+	rep, err := l.Scrub(ScrubConfig{
+		Checkpoint: func() error { return l.Checkpoint(items, l.LastSeq()) },
+	})
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if rep.Corruptions != 1 || rep.Salvaged != 1 || rep.Quarantined != 1 || rep.Degraded {
+		t.Fatalf("scrub = %+v, want 1 corruption salvaged and quarantined", rep)
+	}
+	if l.Failed() != nil {
+		t.Fatalf("salvaged scrub left the log degraded: %v", l.Failed())
+	}
+	if _, err := os.Stat(corrupted); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt segment still in the recovery namespace (stat err %v)", err)
+	}
+	// The log is still writable and the directory still recovers.
+	if _, err := l.Append(OpInsert, item(100, 1, 1)); err != nil {
+		t.Fatalf("Append after scrub: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec := mustOpen(t, Options{Dir: dir})
+	if !rec.HaveSnapshot {
+		t.Fatalf("recovery after salvage found no snapshot: %+v", rec)
+	}
+}
+
+func TestScrubDegradesWithoutSalvageAndReopenClears(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 100})
+	defer l.Close()
+	items := fillSegments(t, l, 7)
+	corruptFirstSealed(t, dir)
+
+	rep, err := l.Scrub(ScrubConfig{}) // no salvage callback
+	if err == nil || !rep.Degraded {
+		t.Fatalf("scrub of uncovered rot with no salvage: err=%v rep=%+v, want degraded", err, rep)
+	}
+	se := l.Failed()
+	if se == nil || se.Kind != KindCorruption {
+		t.Fatalf("Failed() = %v, want corruption-kind", se)
+	}
+	if _, err := l.Append(OpInsert, item(101, 2, 2)); err == nil {
+		t.Fatal("degraded log accepted an append")
+	}
+	// Reopen without a covering snapshot must refuse — the damage is real.
+	if err := l.Reopen(); err == nil {
+		t.Fatal("Reopen cleared a corruption nothing covers")
+	}
+	// Checkpoint is the heal path and must be allowed while corrupt-degraded;
+	// after it, Reopen quarantines the damage and clears the condition.
+	if err := l.Checkpoint(items, l.LastSeq()); err != nil {
+		t.Fatalf("salvage checkpoint refused: %v", err)
+	}
+	if err := l.Reopen(); err != nil {
+		t.Fatalf("Reopen after salvage checkpoint: %v", err)
+	}
+	if l.Failed() != nil {
+		t.Fatalf("Failed() still set after reopen: %v", l.Failed())
+	}
+	if _, err := l.Append(OpInsert, item(102, 3, 3)); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+}
+
+func TestScrubQuarantinesCoveredSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 100, KeepSnapshots: 2})
+	defer l.Close()
+	items := fillSegments(t, l, 4)
+	if err := l.Checkpoint(items[:2], 2); err != nil {
+		t.Fatalf("Checkpoint 1: %v", err)
+	}
+	if err := l.Checkpoint(items, l.LastSeq()); err != nil {
+		t.Fatalf("Checkpoint 2: %v", err)
+	}
+	snaps, err := listSnapshots(vfs.OS, dir)
+	if err != nil || len(snaps) != 2 {
+		t.Fatalf("want 2 snapshots on disk, have %d (err %v)", len(snaps), err)
+	}
+	// Rot the older snapshot: the newer valid one covers it, so the scrubber
+	// must quarantine directly, no salvage checkpoint needed.
+	old := filepath.Join(dir, snaps[0].name)
+	buf, err := os.ReadFile(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 1
+	if err := os.WriteFile(old, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := l.Scrub(ScrubConfig{})
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if rep.Corruptions != 1 || rep.Quarantined != 1 || rep.Salvaged != 0 || rep.Degraded {
+		t.Fatalf("scrub = %+v, want 1 covered quarantine, no salvage", rep)
+	}
+	if _, err := os.Stat(old + quarantineSuffix); err != nil {
+		t.Fatalf("quarantined snapshot not found: %v", err)
+	}
+}
+
+func TestCheckpointFaultLeavesNoTemp(t *testing.T) {
+	for _, fault := range []vfs.Fault{vfs.FaultEIO, vfs.FaultENOSPC} {
+		for _, op := range []vfs.Op{vfs.OpWrite, vfs.OpRename} {
+			t.Run(fault.String()+"-"+string(op), func(t *testing.T) {
+				dir := t.TempDir()
+				ffs := vfs.NewFaultFS(vfs.OS, vfs.Rule{Op: op, Path: ".tmp", Fault: fault})
+				ffs.SetArmed(false)
+				l, _ := mustOpen(t, Options{Dir: dir, FS: ffs})
+				defer l.Close()
+				items := fillSegments(t, l, 3)
+
+				ffs.SetArmed(true)
+				err := l.Checkpoint(items, l.LastSeq())
+				ffs.SetArmed(false)
+				if err == nil {
+					t.Fatal("checkpoint succeeded inside the fault window")
+				}
+				if l.Failed() != nil {
+					t.Fatalf("failed checkpoint degraded the log: %v", l.Failed())
+				}
+				tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+				if len(tmps) > 0 {
+					t.Fatalf("failed checkpoint left temp files: %v", tmps)
+				}
+				// Mutations unaffected, retry lands.
+				if _, err := l.Append(OpInsert, item(50, 5, 5)); err != nil {
+					t.Fatalf("Append after failed checkpoint: %v", err)
+				}
+				if err := l.Checkpoint(items, l.LastSeq()); err != nil {
+					t.Fatalf("checkpoint retry: %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestAppendFaultDegradesAndReopenRearms(t *testing.T) {
+	for _, fault := range []vfs.Fault{vfs.FaultEIO, vfs.FaultENOSPC, vfs.FaultShortWrite} {
+		t.Run(fault.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := vfs.NewFaultFS(vfs.OS, vfs.Rule{Op: vfs.OpWrite, Path: "wal-", Fault: fault})
+			ffs.SetArmed(false)
+			l, _ := mustOpen(t, Options{Dir: dir, FS: ffs}) // SyncAlways default
+			defer l.Close()
+
+			if _, err := l.Append(OpInsert, item(1, 1, 1)); err != nil {
+				t.Fatalf("healthy append: %v", err)
+			}
+			ffs.SetArmed(true)
+			if _, err := l.Append(OpInsert, item(2, 2, 2)); err == nil {
+				t.Fatal("faulted append succeeded")
+			}
+			se := l.Failed()
+			if se == nil || se.Kind != KindIO {
+				t.Fatalf("Failed() = %v, want io-kind", se)
+			}
+			// Sticky until reopened, even with the window closed.
+			ffs.SetArmed(false)
+			if _, err := l.Append(OpInsert, item(3, 3, 3)); err == nil {
+				t.Fatal("degraded log accepted an append without Reopen")
+			}
+			if err := l.Reopen(); err != nil {
+				t.Fatalf("Reopen: %v", err)
+			}
+			seq, err := l.Append(OpInsert, item(4, 4, 4))
+			if err != nil {
+				t.Fatalf("append after Reopen: %v", err)
+			}
+			if seq != 2 {
+				t.Fatalf("post-reopen seq = %d, want 2 (no gap for the refused append)", seq)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			// The torn half-frame must be gone: recovery replays exactly the
+			// two acknowledged records with no torn-tail repair.
+			_, rec := mustOpen(t, Options{Dir: dir})
+			if rec.LastSeq != 2 || len(rec.Tail) != 2 || rec.TornTail {
+				t.Fatalf("recovery = LastSeq %d, %d records, torn=%v; want 2/2/false",
+					rec.LastSeq, len(rec.Tail), rec.TornTail)
+			}
+		})
+	}
+}
+
+func TestSyncFaultDoesNotAcknowledge(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Rule{Op: vfs.OpSync, Path: "wal-", Fault: vfs.FaultSyncFail})
+	ffs.SetArmed(false)
+	l, _ := mustOpen(t, Options{Dir: dir, FS: ffs}) // SyncAlways
+	defer l.Close()
+	if _, err := l.Append(OpInsert, item(1, 1, 1)); err != nil {
+		t.Fatalf("healthy append: %v", err)
+	}
+	ffs.SetArmed(true)
+	if _, err := l.Append(OpInsert, item(2, 2, 2)); err == nil {
+		t.Fatal("append with failed fsync was acknowledged")
+	}
+	ffs.SetArmed(false)
+	if err := l.Reopen(); err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	// The written-but-unsynced frame was truncated: the refused mutation
+	// leaves no durable trace, and the next append reuses its sequence.
+	seq, err := l.Append(OpInsert, item(3, 3, 3))
+	if err != nil {
+		t.Fatalf("append after Reopen: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("post-reopen seq = %d, want 2", seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, Options{Dir: dir})
+	if rec.LastSeq != 2 || len(rec.Tail) != 2 {
+		t.Fatalf("recovery = LastSeq %d, %d records; want 2/2", rec.LastSeq, len(rec.Tail))
+	}
+	if rec.Tail[1].Item.ID != 3 {
+		t.Fatalf("seq 2 recovered as item %d, want the re-applied item 3", rec.Tail[1].Item.ID)
+	}
+}
+
+func TestRotateFaultDegradesAndReopenRemovesStray(t *testing.T) {
+	// The WAL dir is named "wal" so the rule's path filter catches its
+	// directory fsync: the rotation then dies AFTER the O_EXCL segment
+	// create, leaving a stray file Reopen must remove — the retried
+	// rotation's O_EXCL create would otherwise collide forever.
+	dir := filepath.Join(t.TempDir(), "wal")
+	ffs := vfs.NewFaultFS(vfs.OS, vfs.Rule{Op: vfs.OpSync, Path: "wal", OnCall: 1, Fault: vfs.FaultSyncFail})
+	ffs.SetArmed(false)
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 100, FS: ffs})
+	defer l.Close()
+	// Two records fit under the cap; the third rotates. Under SyncAlways the
+	// segment is clean at rotation time, so the first armed sync in rotation
+	// is createSegment's directory fsync.
+	for i := 1; i <= 2; i++ {
+		if _, err := l.Append(OpInsert, item(i, float64(i), float64(i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	ffs.SetArmed(true)
+	if _, err := l.Append(OpInsert, item(3, 3, 3)); err == nil {
+		t.Fatal("append through a failed rotation succeeded")
+	}
+	ffs.SetArmed(false)
+	if l.Failed() == nil {
+		t.Fatal("failed rotation did not degrade the log")
+	}
+	stray := filepath.Join(dir, segmentName(3))
+	if _, err := os.Stat(stray); err != nil {
+		t.Fatalf("expected stray segment from the failed rotation: %v", err)
+	}
+	if err := l.Reopen(); err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if _, err := os.Stat(stray); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Reopen left the stray segment behind (stat err %v)", err)
+	}
+	// The retried append re-creates the same segment name with O_EXCL — it
+	// only succeeds because the stray is gone.
+	if _, err := l.Append(OpInsert, item(3, 3, 3)); err != nil {
+		t.Fatalf("append after Reopen: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, Options{Dir: dir})
+	if rec.LastSeq != 3 || len(rec.Tail) != 3 {
+		t.Fatalf("recovery = LastSeq %d, %d records; want 3/3", rec.LastSeq, len(rec.Tail))
+	}
+}
+
+func TestRecoverySalvagesCoveredSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 100})
+	items := fillSegments(t, l, 6)
+	segs, err := listSegments(vfs.OS, dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("need ≥ 3 segments, have %d (err %v)", len(segs), err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot at the last sequence covers every sealed segment. Written
+	// directly (not via Checkpoint) so compaction does not delete the
+	// segments first — this models a crash after snapshot fsync, before
+	// compaction.
+	if err := writeSnapshotFile(vfs.OS, filepath.Join(dir, snapshotName(6)), items, 6); err != nil {
+		t.Fatal(err)
+	}
+	// Rot a sealed middle segment.
+	mid := filepath.Join(dir, segs[1].name)
+	buf, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 1
+	if err := os.WriteFile(mid, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := mustOpen(t, Options{Dir: dir})
+	defer l2.Close()
+	if rec.QuarantinedSegments != 1 {
+		t.Fatalf("recovery quarantined %d segments, want 1 (rec %+v)", rec.QuarantinedSegments, rec)
+	}
+	if !rec.HaveSnapshot || rec.SnapshotSeq != 6 {
+		t.Fatalf("recovery did not anchor on the covering snapshot: %+v", rec)
+	}
+	if _, err := os.Stat(mid + quarantineSuffix); err != nil {
+		t.Fatalf("quarantined segment not preserved for forensics: %v", err)
+	}
+	// Recovery state is the snapshot (covers all 6) — nothing lost.
+	if len(rec.Items) != 6 {
+		t.Fatalf("recovered %d items, want 6", len(rec.Items))
+	}
+	if _, err := l2.Append(OpInsert, item(50, 5, 5)); err != nil {
+		t.Fatalf("append after salvaging recovery: %v", err)
+	}
+}
+
+func TestQuarantinedFilesIgnoredByListings(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 100})
+	fillSegments(t, l, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(vfs.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(segs)
+	path := filepath.Join(dir, segs[0].name)
+	if renamed, err := quarantineFile(vfs.OS, dir, path); err != nil || !renamed {
+		t.Fatalf("quarantineFile = (%v, %v), want renamed", renamed, err)
+	}
+	segs, err = listSegments(vfs.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != before-1 {
+		t.Fatalf("listing still sees %d segments after quarantine, want %d", len(segs), before-1)
+	}
+	for _, s := range segs {
+		if strings.HasSuffix(s.name, quarantineSuffix) {
+			t.Fatalf("listing returned a quarantined file: %s", s.name)
+		}
+	}
+	// Idempotent on a vanished file.
+	if renamed, err := quarantineFile(vfs.OS, dir, path); err != nil || renamed {
+		t.Fatalf("second quarantine = (%v, %v), want no-op", renamed, err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/rtree"
+	"repro/internal/wal/vfs"
 )
 
 // Snapshot file format (all integers little-endian):
@@ -32,7 +33,7 @@ const (
 
 // writeSnapshotFile writes and fsyncs the snapshot at path (the caller
 // renames it into place).
-func writeSnapshotFile(path string, items []rtree.Item, appliedSeq uint64) (err error) {
+func writeSnapshotFile(fsys vfs.FS, path string, items []rtree.Item, appliedSeq uint64) (err error) {
 	dims := 0
 	if len(items) > 0 {
 		dims = items[0].Point.Dims()
@@ -57,7 +58,7 @@ func writeSnapshotFile(path string, items []rtree.Item, appliedSeq uint64) (err 
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -74,11 +75,17 @@ func writeSnapshotFile(path string, items []rtree.Item, appliedSeq uint64) (err 
 
 // readSnapshotFile reads and verifies a snapshot file, returning its item set
 // and applied sequence number.
-func readSnapshotFile(path string) ([]rtree.Item, uint64, error) {
-	buf, err := os.ReadFile(path)
+func readSnapshotFile(fsys vfs.FS, path string) ([]rtree.Item, uint64, error) {
+	buf, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, 0, err
 	}
+	return parseSnapshot(buf, path)
+}
+
+// parseSnapshot verifies and decodes snapshot bytes (path is for error
+// messages only).
+func parseSnapshot(buf []byte, path string) ([]rtree.Item, uint64, error) {
 	if len(buf) < snapshotHeaderLen+4 {
 		return nil, 0, fmt.Errorf("snapshot %s: truncated (%d bytes)", path, len(buf))
 	}

@@ -1,0 +1,76 @@
+// Package vfs is the filesystem seam of the durability subsystem. The WAL
+// performs every open, write, fsync, rename, remove and read through the FS
+// interface instead of the os package, so the storage-fault harness can slide
+// a deterministic fault injector (FaultFS) between the log and the real disk
+// and prove — rather than hope — that an EIO on fsync, an ENOSPC mid-rotation,
+// a short write or silent bit rot degrades the service instead of corrupting
+// it.
+//
+// Production code uses OS, a zero-cost passthrough to the os package. Tests
+// and the fault harnesses wrap it in a FaultFS built from Rules, the same
+// site-and-visit rule style internal/engine/faultinject uses for compute
+// faults.
+package vfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the WAL needs on an open handle. Every
+// method can fail the way the real syscall can; the WAL treats any failure
+// as a storage fault.
+type File interface {
+	// Write appends or overwrites bytes at the current offset. A short write
+	// returns n < len(p) with a non-nil error, exactly like *os.File.
+	Write(p []byte) (n int, err error)
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Close releases the handle.
+	Close() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	// Stat returns file metadata.
+	Stat() (fs.FileInfo, error)
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface the WAL runs on. All paths are ordinary
+// slash-joined OS paths; implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens path with os.OpenFile semantics (flags, permissions,
+	// O_EXCL collisions). Directories may be opened read-only for fsync.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically renames old to new within the same directory.
+	Rename(oldPath, newPath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// ReadFile reads a whole file.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists a directory in name order.
+	ReadDir(path string) ([]fs.DirEntry, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// OS is the production filesystem: a direct passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		// Return a typed nil-free interface value only on success: callers
+		// compare the error, not the handle.
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldPath, newPath string) error         { return os.Rename(oldPath, newPath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) ReadDir(path string) ([]fs.DirEntry, error)   { return os.ReadDir(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }

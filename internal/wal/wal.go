@@ -24,9 +24,19 @@
 // Every write and fsync boundary passes through an optional Hook
 // (cancel.Hook, the same interface internal/engine/faultinject implements),
 // which is how the crashtest harness SIGKILLs a child process at exact
-// durability boundaries. Failures are fail-stop: the first write or fsync
-// error poisons the log and every later operation returns it — limping along
-// after a lost write is how acknowledged data quietly disappears.
+// durability boundaries. All filesystem access goes through Options.FS
+// (package vfs), which is how the storage-fault harness injects EIO, ENOSPC,
+// short writes, fsync failures and bit rot at those same boundaries.
+//
+// Failures are fail-safe rather than fail-stop: the first write or fsync
+// error parks the log in a degraded state with a typed StorageError — appends
+// and checkpoints refuse, already-recovered state keeps serving reads — and
+// Reopen re-arms the log once the disk recovers, truncating any torn frame
+// past the last acknowledged byte and verifying the acknowledged prefix
+// still decodes. Limping along after a lost write is how acknowledged data
+// quietly disappears; so is refusing to ever come back from a full disk.
+// Scrub walks sealed segments and snapshots for latent rot before recovery
+// needs them, quarantining damage a newer snapshot covers.
 package wal
 
 import (
@@ -44,6 +54,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/obs"
 	"repro/internal/rtree"
+	"repro/internal/wal/vfs"
 )
 
 // castagnoli is the CRC32C table shared by record frames and snapshots
@@ -116,6 +127,13 @@ const (
 	// SiteSnapshotRename fires after the snapshot rename and directory fsync,
 	// before compaction deletes anything.
 	SiteSnapshotRename = "wal.snapshot.rename"
+	// SiteReopen fires after a degraded log is successfully re-armed, before
+	// Reopen returns: a kill here must leave a log that recovers cleanly.
+	SiteReopen = "wal.reopen"
+	// SiteScrubQuarantine fires before a damaged file is renamed out of the
+	// log's namespace: a kill here leaves the damage in place for the next
+	// scrub or recovery salvage to find again.
+	SiteScrubQuarantine = "wal.scrub.quarantine"
 )
 
 // Default tuning. SegmentBytes is deliberately small-ish: rotation is cheap
@@ -148,9 +166,15 @@ type Options struct {
 	// Metrics, when non-nil, receives fsync latency, append/byte counters and
 	// recovery duration.
 	Metrics *Metrics
+	// FS is the filesystem the log runs on (default vfs.OS, the passthrough
+	// to the os package) — the storage-fault-injection entry point.
+	FS vfs.FS
 }
 
 func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = vfs.OS
+	}
 	if o.Interval <= 0 {
 		o.Interval = DefaultSyncInterval
 	}
@@ -182,18 +206,38 @@ type Stats struct {
 type Log struct {
 	opts Options
 
-	mu       sync.Mutex
-	f        *os.File // active segment
-	size     int64    // bytes in the active segment
-	segments int      // segment files on disk, active included
-	seq      uint64   // last assigned sequence number
-	appended int64    // frame bytes written since Open
-	lastSync int64    // obs.Now() of the last fsync
-	dirty    bool     // unsynced appended bytes exist
-	failed   error    // sticky fail-stop error
-	closed   bool
-	hookN    uint64 // monotone hook-visit counter
-	buf      []byte // frame scratch, reused across appends
+	mu         sync.Mutex
+	f          vfs.File // active segment
+	activeName string   // file name of the active segment
+	size       int64    // bytes in the active segment
+	segments   int      // segment files on disk, active included
+	seq        uint64   // last assigned sequence number
+	appended   int64    // frame bytes written since Open
+	lastSync   int64    // obs.Now() of the last fsync
+	dirty      bool     // unsynced appended bytes exist
+	closed     bool
+	hookN      uint64 // monotone hook-visit counter
+	buf        []byte // frame scratch, reused across appends
+
+	// Degraded-mode state. failed is the sticky storage fault (nil while
+	// healthy); committed/committedSeq track the acknowledged prefix of the
+	// active segment so Reopen knows exactly where to cut; corruptPath and
+	// corruptNeed carry the salvage target of a corruption-kind failure.
+	failed       *StorageError
+	committed    int64  // acknowledged bytes in the active segment
+	committedSeq uint64 // last acknowledged sequence number
+	corruptPath  string
+	corruptNeed  uint64
+}
+
+// markCommitted records that every byte and sequence number currently in the
+// active segment has been acknowledged to a caller. Under SyncAlways that
+// point is the successful fsync; under the weaker policies it is the
+// successful write (the caller accepts the durability lag). Reopen truncates
+// back to exactly this point. Called with l.mu held.
+func (l *Log) markCommitted() {
+	l.committed = l.size
+	l.committedSeq = l.seq
 }
 
 // visit consults the crash-injection hook at one durability boundary. Called
@@ -205,15 +249,6 @@ func (l *Log) visit(site string) {
 	}
 }
 
-// fail poisons the log: the first hard error sticks and every later
-// operation reports it. Returns the error for call-site convenience.
-func (l *Log) fail(err error) error {
-	if l.failed == nil {
-		l.failed = fmt.Errorf("wal: failed permanently: %w", err)
-	}
-	return l.failed
-}
-
 func (l *Log) guard() error {
 	if l.failed != nil {
 		return l.failed
@@ -222,6 +257,11 @@ func (l *Log) guard() error {
 		return errors.New("wal: log is closed")
 	}
 	return nil
+}
+
+// activePath returns the path of the active segment. Called with l.mu held.
+func (l *Log) activePath() string {
+	return filepath.Join(l.opts.Dir, l.activeName)
 }
 
 // LastSeq returns the sequence number of the last appended record (0 before
@@ -273,7 +313,9 @@ func (l *Log) Append(op Op, it rtree.Item) (uint64, error) {
 	l.size += int64(n)
 	l.appended += int64(n)
 	if err != nil {
-		return 0, l.fail(err)
+		// The frame may be torn on disk past the acknowledged prefix; Reopen
+		// truncates it away before re-arming.
+		return 0, l.failStorage(StorageSiteAppend, l.activePath(), err)
 	}
 	l.dirty = true
 	l.seq = seq
@@ -285,15 +327,21 @@ func (l *Log) Append(op Op, it rtree.Item) (uint64, error) {
 	l.visit(SiteWrite)
 	switch l.opts.Policy {
 	case SyncAlways:
+		// Acknowledgement requires durability: the record joins the committed
+		// prefix only when the fsync lands (inside syncLocked). On failure the
+		// caller gets an error and Reopen will cut the record back off.
 		if err := l.syncLocked(); err != nil {
 			return 0, err
 		}
 	case SyncInterval:
+		l.markCommitted()
 		if obs.Since(l.lastSync) >= l.opts.Interval {
 			if err := l.syncLocked(); err != nil {
 				return 0, err
 			}
 		}
+	default:
+		l.markCommitted()
 	}
 	return seq, nil
 }
@@ -314,10 +362,11 @@ func (l *Log) syncLocked() error {
 	}
 	start := obs.Now()
 	if err := l.f.Sync(); err != nil {
-		return l.fail(err)
+		return l.failStorage(StorageSiteSync, l.activePath(), err)
 	}
 	l.dirty = false
 	l.lastSync = obs.Now()
+	l.markCommitted()
 	if m := l.opts.Metrics; m != nil {
 		m.Fsyncs.Inc()
 		m.FsyncDur.ObserveSince(start)
@@ -333,14 +382,19 @@ func (l *Log) rotateLocked(nextSeq uint64) error {
 		return err
 	}
 	if err := l.f.Close(); err != nil {
-		return l.fail(err)
+		return l.failStorage(StorageSiteRotate, l.activePath(), err)
 	}
-	f, err := createSegment(l.opts.Dir, nextSeq)
+	l.f = nil
+	f, err := createSegment(l.opts.FS, l.opts.Dir, nextSeq)
 	if err != nil {
-		return l.fail(err)
+		// The old segment is closed and fully synced; Reopen re-opens it for
+		// append and retries the rotation on the next oversized append.
+		return l.failStorage(StorageSiteRotate, filepath.Join(l.opts.Dir, segmentName(nextSeq)), err)
 	}
 	l.f = f
+	l.activeName = segmentName(nextSeq)
 	l.size = 0
+	l.committed = 0
 	l.segments++
 	if m := l.opts.Metrics; m != nil {
 		m.Rotations.Inc()
@@ -358,8 +412,15 @@ func (l *Log) rotateLocked(nextSeq uint64) error {
 func (l *Log) Checkpoint(items []rtree.Item, appliedSeq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.guard(); err != nil {
-		return err
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	// An IO-degraded log cannot checkpoint (the sync below must land). A
+	// corruption-degraded log MUST be allowed to: a fresh snapshot covering
+	// the rotten segment is exactly what makes it quarantinable — checkpoint
+	// is the self-healing path, not a victim of the condition.
+	if l.failed != nil && l.failed.Kind != KindCorruption {
+		return l.failed
 	}
 	if appliedSeq > l.seq {
 		return fmt.Errorf("wal: checkpoint at seq %d beyond last appended %d", appliedSeq, l.seq)
@@ -371,6 +432,9 @@ func (l *Log) Checkpoint(items []rtree.Item, appliedSeq uint64) error {
 	}
 	snapStart := obs.Now()
 	if err := l.writeSnapshotLocked(items, appliedSeq); err != nil {
+		if m := l.opts.Metrics; m != nil {
+			m.CheckpointFailures.Inc()
+		}
 		return err
 	}
 	if m := l.opts.Metrics; m != nil {
@@ -386,31 +450,43 @@ func (l *Log) Checkpoint(items []rtree.Item, appliedSeq uint64) error {
 }
 
 // writeSnapshotLocked does the temp-write → fsync → rename → dir-fsync dance.
+// Failures before the final dir-fsync are NOT fail-stop and leave no temp
+// file behind: the log itself is intact, the previous snapshot still stands,
+// and the next checkpoint simply retries.
 func (l *Log) writeSnapshotLocked(items []rtree.Item, appliedSeq uint64) error {
+	fsys := l.opts.FS
 	final := filepath.Join(l.opts.Dir, snapshotName(appliedSeq))
 	tmp := final + ".tmp"
-	if err := writeSnapshotFile(tmp, items, appliedSeq); err != nil {
-		// A failed temp write is not fail-stop: the log itself is intact.
-		_ = os.Remove(tmp)
+	if err := writeSnapshotFile(fsys, tmp, items, appliedSeq); err != nil {
+		removeQuiet(fsys, tmp)
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	l.visit(SiteSnapshotWrite)
-	if err := os.Rename(tmp, final); err != nil {
-		_ = os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		removeQuiet(fsys, tmp)
 		return fmt.Errorf("wal: checkpoint rename: %w", err)
 	}
-	if err := syncDir(l.opts.Dir); err != nil {
-		return l.fail(err)
+	if err := syncDir(fsys, l.opts.Dir); err != nil {
+		// The rename may not be durable; the snapshot cannot be trusted to
+		// supersede anything, and the directory itself is misbehaving.
+		return l.failStorage(StorageSiteCheckpoint, final, err)
 	}
 	l.visit(SiteSnapshotRename)
 	return nil
+}
+
+// removeQuiet is the best-effort cleanup of a temp file on a path that is
+// already reporting an error; the original error carries the diagnosis.
+func removeQuiet(fsys vfs.FS, path string) {
+	_ = fsys.Remove(path)
 }
 
 // compactLocked deletes segments wholly covered by the oldest retained
 // snapshot and snapshots beyond the retention count. Never touches the
 // active segment.
 func (l *Log) compactLocked() error {
-	snaps, err := listSnapshots(l.opts.Dir)
+	fsys := l.opts.FS
+	snaps, err := listSnapshots(fsys, l.opts.Dir)
 	if err != nil {
 		return err
 	}
@@ -423,21 +499,23 @@ func (l *Log) compactLocked() error {
 		retainFrom = len(snaps) - l.opts.KeepSnapshots
 	}
 	for _, s := range snaps[:retainFrom] {
-		if err := os.Remove(filepath.Join(l.opts.Dir, s.name)); err != nil {
+		if err := fsys.Remove(filepath.Join(l.opts.Dir, s.name)); err != nil {
+			// Non-fatal: an undeleted old snapshot wastes disk, nothing more.
+			// The next checkpoint retries.
 			return fmt.Errorf("wal: compact snapshot: %w", err)
 		}
 	}
 	// Delete segments whose every record is ≤ the oldest retained snapshot's
 	// seq: segment i is covered iff segment i+1 starts at or below seq+1.
 	bound := snaps[retainFrom].seq
-	segs, err := listSegments(l.opts.Dir)
+	segs, err := listSegments(fsys, l.opts.Dir)
 	if err != nil {
 		return err
 	}
 	removed := 0
 	for i := 0; i+1 < len(segs); i++ {
 		if segs[i+1].firstSeq <= bound+1 {
-			if err := os.Remove(filepath.Join(l.opts.Dir, segs[i].name)); err != nil {
+			if err := fsys.Remove(filepath.Join(l.opts.Dir, segs[i].name)); err != nil {
 				return fmt.Errorf("wal: compact segment: %w", err)
 			}
 			removed++
@@ -447,8 +525,8 @@ func (l *Log) compactLocked() error {
 	}
 	if removed > 0 {
 		l.segments -= removed
-		if err := syncDir(l.opts.Dir); err != nil {
-			return l.fail(err)
+		if err := syncDir(fsys, l.opts.Dir); err != nil {
+			return l.failStorage(StorageSiteCompact, l.opts.Dir, err)
 		}
 		if m := l.opts.Metrics; m != nil {
 			m.CompactedSegments.Add(uint64(removed))
@@ -466,18 +544,16 @@ func (l *Log) Close() error {
 		return nil
 	}
 	if l.failed != nil {
-		// Best-effort close of the poisoned handle; the sticky error stands.
-		if l.f != nil {
-			if cerr := l.f.Close(); cerr != nil {
-				return errors.Join(l.failed, cerr)
-			}
-		}
+		// Best-effort close of the degraded handle; the sticky error stands.
+		closeQuiet(l.f)
 		l.closed = true
 		return l.failed
 	}
 	err := l.syncLocked()
-	if cerr := l.f.Close(); cerr != nil && err == nil {
-		err = cerr
+	if l.f != nil {
+		if cerr := l.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	l.closed = true
 	return err
@@ -518,8 +594,8 @@ func parseSeqName(name, prefix, suffix string) (uint64, bool) {
 	return v, true
 }
 
-func listSegments(dir string) ([]dirEntry, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys vfs.FS, dir string) ([]dirEntry, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -536,8 +612,8 @@ func listSegments(dir string) ([]dirEntry, error) {
 	return out, nil
 }
 
-func listSnapshots(dir string) ([]dirEntry, error) {
-	ents, err := os.ReadDir(dir)
+func listSnapshots(fsys vfs.FS, dir string) ([]dirEntry, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -556,13 +632,13 @@ func listSnapshots(dir string) ([]dirEntry, error) {
 
 // createSegment creates a fresh segment file (exclusive — a name collision
 // means sequence accounting is broken) and makes its directory entry durable.
-func createSegment(dir string, firstSeq uint64) (*os.File, error) {
+func createSegment(fsys vfs.FS, dir string, firstSeq uint64) (vfs.File, error) {
 	path := filepath.Join(dir, segmentName(firstSeq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := syncDir(fsys, dir); err != nil {
 		if cerr := f.Close(); cerr != nil {
 			return nil, errors.Join(err, cerr)
 		}
@@ -572,8 +648,8 @@ func createSegment(dir string, firstSeq uint64) (*os.File, error) {
 }
 
 // syncDir fsyncs a directory so renames and creates within it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys vfs.FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/rtree"
+	"repro/internal/wal/vfs"
 )
 
 func item(id int, coords ...float64) rtree.Item {
@@ -87,7 +88,7 @@ func TestSegmentRotation(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,14 +163,14 @@ func TestCheckpointAndCompaction(t *testing.T) {
 			}
 		}
 	}
-	snaps, err := listSnapshots(dir)
+	snaps, err := listSnapshots(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(snaps) != 2 {
 		t.Fatalf("retained snapshots = %d, want 2", len(snaps))
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(vfs.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,9 +10,9 @@ GO ?= go
 # detection on fresh mutations of the seed corpus, not deep exploration.
 FUZZTIME ?= 10s
 
-.PHONY: check build vet vet-obs vet-wal test race race-core bench-smoke fuzz-smoke crash-smoke sim-smoke fsfault-smoke fsfault-soak chaos bench
+.PHONY: check build vet vet-obs vet-wal test race race-core bench-smoke bench-diff fuzz-smoke crash-smoke sim-smoke fsfault-smoke fsfault-soak chaos bench
 
-check: vet-obs vet-wal build test race race-core bench-smoke fuzz-smoke crash-smoke sim-smoke fsfault-smoke
+check: vet-obs vet-wal build test race race-core bench-smoke bench-diff fuzz-smoke crash-smoke sim-smoke fsfault-smoke
 	@echo "tier-1 gate: OK"
 
 build:
@@ -39,6 +39,11 @@ vet-obs: vet
 	@bad=$$(grep -rn 'time\.Now()' internal/obs/flight --include='*.go' | grep -v _test.go || true); \
 	if [ -n "$$bad" ]; then \
 		echo "vet-obs: raw time.Now() in the flight recorder (timestamps come from obs.Now; callers supply Epoch):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -rn 'time\.Now()' internal/obs/explain --include='*.go' | grep -v _test.go || true); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-obs: raw time.Now() in the explain plan builder (per-node timings and model calibration must use obs.Now):"; \
 		echo "$$bad"; exit 1; \
 	fi
 	@bad=$$(for f in $$(grep -rl 'go func' internal/exec internal/engine --include='*.go' | grep -v _test.go); do \
@@ -89,6 +94,13 @@ race-core:
 # sequential reference on CarDB-50K, recorded as BENCH_parallel.json.
 bench-smoke:
 	$(GO) run ./cmd/parallelbench -out BENCH_parallel.json
+
+# Benchmark regression diff: latest vs previous same-config record in each
+# BENCH_*.json, failing past a 20% slowdown. Non-blocking (leading -): shared
+# runners are noisy, so a regression is a loud warning in the log, not a
+# broken build. Run `go run ./cmd/benchdiff -v` locally for the full table.
+bench-diff:
+	-$(GO) run ./cmd/benchdiff
 
 # go test accepts one -fuzz pattern per package invocation, hence one line
 # per fuzz target.

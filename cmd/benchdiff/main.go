@@ -1,0 +1,214 @@
+// Command benchdiff compares the latest benchmark record in each BENCH_*.json
+// against the previous record of the same configuration and fails on
+// regressions.
+//
+// Every harness in this repo appends one JSON record per run to its
+// BENCH_<name>.json (a JSON array). benchdiff pairs the newest record with
+// the most recent earlier record that has the same configuration identity
+// (harness/benchmark name plus its workload knobs — dataset, sizes, seeds are
+// excluded), then compares every higher-is-worse metric field (ns_per_op,
+// total_ms, duration_ms, latency_p50_ms, latency_p99_ms, seconds), including
+// nested ones, by dotted path.
+//
+// Usage:
+//
+//	benchdiff [-dir .] [-threshold 20] [file.json ...]
+//
+// Exit codes: 0 no regression (including "nothing to compare"), 1 at least
+// one metric regressed past the threshold, 2 usage or read error. The CI and
+// `make check` steps run it non-blocking: a regression is a loud warning, not
+// a build failure, because harness timings on shared runners are noisy.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// metricKeys are the leaf field names treated as higher-is-worse timing
+// metrics. Counters (requests, cost.node_accesses, ...) are workload
+// descriptors, not verdicts, and are ignored.
+var metricKeys = map[string]bool{
+	"ns_per_op":      true,
+	"total_ms":       true,
+	"duration_ms":    true,
+	"latency_p50_ms": true,
+	"latency_p99_ms": true,
+	"seconds":        true,
+}
+
+// identityKeys are the top-level fields that define "the same benchmark
+// configuration". Records differing in any of these are never compared.
+// Timing results, timestamps and per-run counters are deliberately absent.
+var identityKeys = []string{
+	"schema_version", "harness", "benchmark", "dataset", "mode", "soak",
+	"n", "rsl", "queries", "iters", "trials", "clients",
+	"mutations_per_trial", "workers", "cache_size", "dims", "host_cpus",
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	dir := fs.String("dir", ".", "directory to glob BENCH_*.json from (ignored when files are given)")
+	threshold := fs.Float64("threshold", 20, "regression threshold in percent")
+	verbose := fs.Bool("v", false, "print every compared metric, not just regressions")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+		if err != nil {
+			fmt.Fprintln(errw, "benchdiff:", err)
+			return 2
+		}
+		sort.Strings(files)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(out, "benchdiff: no BENCH_*.json files found")
+		return 0
+	}
+
+	regressed := false
+	for _, f := range files {
+		reg, err := diffFile(f, *threshold, *verbose, out)
+		if err != nil {
+			fmt.Fprintf(errw, "benchdiff: %s: %v\n", f, err)
+			return 2
+		}
+		regressed = regressed || reg
+	}
+	if regressed {
+		fmt.Fprintf(out, "benchdiff: REGRESSION — at least one metric worsened by more than %.0f%%\n", *threshold)
+		return 1
+	}
+	fmt.Fprintln(out, "benchdiff: ok")
+	return 0
+}
+
+func diffFile(path string, threshold float64, verbose bool, out io.Writer) (regressed bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		return false, fmt.Errorf("not a JSON array of records: %w", err)
+	}
+	if len(recs) < 2 {
+		fmt.Fprintf(out, "%s: %d record(s), nothing to compare\n", filepath.Base(path), len(recs))
+		return false, nil
+	}
+	latest := recs[len(recs)-1]
+	id := identityOf(latest)
+	var prev map[string]any
+	for i := len(recs) - 2; i >= 0; i-- {
+		if identityOf(recs[i]) == id {
+			prev = recs[i]
+			break
+		}
+	}
+	if prev == nil {
+		fmt.Fprintf(out, "%s: no earlier record matches the latest configuration\n", filepath.Base(path))
+		return false, nil
+	}
+
+	oldM := collectMetrics("", prev)
+	newM := collectMetrics("", latest)
+	paths := make([]string, 0, len(newM))
+	for p := range newM {
+		if _, ok := oldM[p]; ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		fmt.Fprintf(out, "%s: no shared timing metrics\n", filepath.Base(path))
+		return false, nil
+	}
+	for _, p := range paths {
+		o, n := oldM[p], newM[p]
+		if o <= 0 {
+			continue
+		}
+		pct := (n - o) / o * 100
+		if pct > threshold {
+			regressed = true
+			fmt.Fprintf(out, "%s: %s regressed %+.1f%% (%.4g -> %.4g)\n",
+				filepath.Base(path), p, pct, o, n)
+		} else if verbose {
+			fmt.Fprintf(out, "%s: %s %+.1f%% (%.4g -> %.4g)\n",
+				filepath.Base(path), p, pct, o, n)
+		}
+	}
+	return regressed, nil
+}
+
+// identityOf renders the configuration identity of a record as a stable
+// string: the identityKeys present in the record, JSON-encoded in order.
+func identityOf(rec map[string]any) string {
+	parts := make(map[string]any, len(identityKeys))
+	for _, k := range identityKeys {
+		if v, ok := rec[k]; ok {
+			switch v.(type) {
+			case map[string]any, []any:
+				// Nested blocks (e.g. per-config sub-objects) mix config and
+				// results; only scalar knobs identify a configuration.
+			default:
+				parts[k] = v
+			}
+		}
+	}
+	b, _ := json.Marshal(sortedPairs(parts))
+	return string(b)
+}
+
+func sortedPairs(m map[string]any) [][2]any {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][2]any, len(keys))
+	for i, k := range keys {
+		out[i] = [2]any{k, m[k]}
+	}
+	return out
+}
+
+// collectMetrics walks a record and returns every higher-is-worse metric as
+// dotted-path -> value (e.g. "sequential.ns_per_op").
+func collectMetrics(prefix string, v any) map[string]float64 {
+	out := map[string]float64{}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return out
+	}
+	for k, child := range m {
+		p := k
+		if prefix != "" {
+			p = prefix + "." + k
+		}
+		switch c := child.(type) {
+		case float64:
+			if metricKeys[k] {
+				out[p] = c
+			}
+		case map[string]any:
+			for cp, cv := range collectMetrics(p, c) {
+				out[cp] = cv
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegressionFailsAndImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_a.json", `[
+		{"harness":"h","n":100,"total_ms":100},
+		{"harness":"h","n":100,"total_ms":150}
+	]`)
+	var out, errw strings.Builder
+	if code := run([]string{"-dir", dir}, &out, &errw); code != 1 {
+		t.Fatalf("exit = %d, want 1 (50%% regression past 20%% threshold)\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "total_ms regressed +50.0%") {
+		t.Fatalf("missing regression line:\n%s", out.String())
+	}
+
+	write(t, dir, "BENCH_a.json", `[
+		{"harness":"h","n":100,"total_ms":100},
+		{"harness":"h","n":100,"total_ms":90}
+	]`)
+	out.Reset()
+	if code := run([]string{"-dir", dir}, &out, &errw); code != 0 {
+		t.Fatalf("exit = %d, want 0 (improvement)\n%s", code, out.String())
+	}
+}
+
+func TestThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_a.json", `[
+		{"harness":"h","total_ms":100},
+		{"harness":"h","total_ms":115}
+	]`)
+	var out, errw strings.Builder
+	if code := run([]string{"-dir", dir}, &out, &errw); code != 0 {
+		t.Fatalf("exit = %d, want 0 (15%% < default 20%%)", code)
+	}
+	if code := run([]string{"-dir", dir, "-threshold", "10"}, &out, &errw); code != 1 {
+		t.Fatalf("exit = %d, want 1 (15%% > 10%%)", code)
+	}
+}
+
+func TestSameConfigPairing(t *testing.T) {
+	dir := t.TempDir()
+	// The latest record (n=100) must pair with the earlier n=100 record,
+	// skipping the interleaved n=200 run whose timing would look like a
+	// massive improvement.
+	write(t, dir, "BENCH_a.json", `[
+		{"harness":"h","n":100,"total_ms":100},
+		{"harness":"h","n":200,"total_ms":900},
+		{"harness":"h","n":100,"total_ms":130}
+	]`)
+	var out, errw strings.Builder
+	if code := run([]string{"-dir", dir}, &out, &errw); code != 1 {
+		t.Fatalf("exit = %d, want 1 (130 vs 100 same-config)\n%s", code, out.String())
+	}
+}
+
+func TestNestedMetricsAndSkips(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_nested.json", `[
+		{"harness":"h","sequential":{"ns_per_op":1000},"speedup":2},
+		{"harness":"h","sequential":{"ns_per_op":1300},"speedup":9}
+	]`)
+	write(t, dir, "BENCH_single.json", `[{"harness":"h","total_ms":5}]`)
+	var out, errw strings.Builder
+	if code := run([]string{"-dir", dir}, &out, &errw); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "sequential.ns_per_op regressed") {
+		t.Fatalf("nested metric not compared:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "BENCH_single.json: 1 record(s)") {
+		t.Fatalf("single-record file not skipped gracefully:\n%s", out.String())
+	}
+	// speedup is not a timing metric and must never be compared.
+	if strings.Contains(out.String(), "speedup") {
+		t.Fatalf("non-metric field compared:\n%s", out.String())
+	}
+}
+
+func TestBadFile(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "BENCH_bad.json", `{"not":"an array"}`)
+	var out, errw strings.Builder
+	if code := run([]string{"-dir", dir}, &out, &errw); code != 2 {
+		t.Fatalf("exit = %d, want 2 (read error)", code)
+	}
+}

@@ -129,6 +129,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	cacheSize := fs.Int("cache", 0, "per-customer memoisation cache entries (0 = disabled)")
 	stats := fs.Bool("stats", false, "print the paper's cost counters (node accesses, dominance tests, ...) and this run's flight QueryRecord after the answer")
 	traceFlag := fs.Bool("trace", false, "print the per-query span/event trace after the answer")
+	explainFlag := fs.Bool("explain", false, "print the query's EXPLAIN plan tree (phases, prune ratios, per-level R-tree accesses, estimated vs actual cost) after the answer")
 	slowlogPath := fs.String("slowlog", "", "append this run's flight QueryRecord as a JSON line to the given file (same schema as the server's slow-query log)")
 	flightSize := fs.Int("flight-size", 16, "flight-recorder ring size for this run's records (with -stats or -slowlog)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /metrics.json, /debug/vars and /debug/pprof on this address and wait for SIGINT/SIGTERM")
@@ -299,6 +300,14 @@ func run(args []string, out io.Writer) (retErr error) {
 	} else if observe {
 		baseCtx, tr = db.StartTrace(baseCtx, cmd)
 	}
+	// -explain wraps the base context with a plan builder, so both the
+	// deadline-bound queries and the mwq ladder (which runs on baseCtx)
+	// record plan nodes. The rung that answered is filled in by mwq below.
+	var finishExplain func(string) *repro.ExplainPlan
+	explainRung := ""
+	if *explainFlag {
+		baseCtx, finishExplain = db.StartExplain(baseCtx, cmd)
+	}
 	ctx := baseCtx
 	if *timeout > 0 {
 		var cancelCtx context.CancelFunc
@@ -463,6 +472,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			return err
 		}
 		act.SetRung(ans.Rung.String(), ans.Degraded)
+		explainRung = ans.Rung.String()
 		if ans.Degraded {
 			fmt.Fprintf(out, "(degraded answer from the %s rung)\n", ans.Rung)
 			deferred = fmt.Errorf("%w: served by the %s rung", errDegradedAnswer, ans.Rung)
@@ -500,6 +510,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		fmt.Fprintln(out, "checkpoint written; superseded wal segments compacted")
 	}
 	sp.print(out)
+	if finishExplain != nil {
+		fmt.Fprintln(out, "--- plan ---")
+		fmt.Fprint(out, finishExplain(explainRung).String())
+	}
 	if *traceFlag && tr != nil {
 		fmt.Fprintln(out, "--- trace ---")
 		tr.Format(out)
@@ -688,6 +702,9 @@ observability flags:
                     and this run's flight QueryRecord (one JSON line, the same
                     schema as the server ledger — diffable against it)
   -trace            print the per-query span/event trace
+  -explain          print the EXPLAIN plan tree: phases with candidate
+                    in/out counts, pruning rules and ratios, per-level
+                    R-tree accesses, estimated vs actual per-phase cost
   -slowlog f        append the run's QueryRecord to f as a JSON line (same
                     format as the server's -slowlog slow-query log)
   -flight-size n    flight-recorder ring size for this run's records

@@ -20,6 +20,7 @@ var (
 	costCacheStaleOnArr atomic.Uint64
 	costDegradations    atomic.Uint64
 	costCancellations   atomic.Uint64
+	costPrunedEntries   atomic.Uint64
 )
 
 // AddDominanceTests records n point-point dominance evaluations (DynDominates
@@ -87,6 +88,18 @@ func AddCancellations(n int) {
 	}
 }
 
+// AddPruned records n candidates discarded by an algorithm-level pruning rule
+// (global dominance, a transformed-box frontier prune, a skyline discard)
+// before any exact verification ran on them. R-tree subtree prunes are counted
+// per tree (rtree.Tree.Pruned) because they stand for avoided page reads, not
+// avoided candidates; this counter is the numerator of the per-phase prune
+// ratios the explain plan reports.
+func AddPruned(n int) {
+	if n > 0 {
+		costPrunedEntries.Add(uint64(n))
+	}
+}
+
 // CostSnapshot is a point-in-time copy of the process-global cost counters.
 // Node accesses are per-tree (rtree.Tree.Accesses) and are merged in by the
 // repro layer's snapshot.
@@ -99,6 +112,7 @@ type CostSnapshot struct {
 	CacheStale           uint64 `json:"cache_stale_on_arrival"`
 	Degradations         uint64 `json:"degradations"`
 	Cancellations        uint64 `json:"cancellations"`
+	PrunedEntries        uint64 `json:"pruned_entries"`
 }
 
 // Cost reads the current global cost counters.
@@ -112,6 +126,7 @@ func Cost() CostSnapshot {
 		CacheStale:           costCacheStaleOnArr.Load(),
 		Degradations:         costDegradations.Load(),
 		Cancellations:        costCancellations.Load(),
+		PrunedEntries:        costPrunedEntries.Load(),
 	}
 }
 
@@ -127,6 +142,7 @@ func (s CostSnapshot) Sub(o CostSnapshot) CostSnapshot {
 		CacheStale:           s.CacheStale - o.CacheStale,
 		Degradations:         s.Degradations - o.Degradations,
 		Cancellations:        s.Cancellations - o.Cancellations,
+		PrunedEntries:        s.PrunedEntries - o.PrunedEntries,
 	}
 }
 
@@ -160,4 +176,7 @@ func RegisterCost(r *Registry) {
 	r.CounterFunc("query_cancellations_total",
 		"queries aborted by deadline or cancellation",
 		costCancellations.Load)
+	r.CounterFunc("pruned_entries_total",
+		"candidates discarded by algorithm-level pruning rules before exact verification",
+		costPrunedEntries.Load)
 }

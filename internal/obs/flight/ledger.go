@@ -228,6 +228,7 @@ func (a *Active) Finish(outcome, errMsg string) (QueryRecord, bool) {
 	rec.Outcome = outcome
 	rec.Error = errMsg
 	rec.Cost = obs.Cost().Sub(a.costBefore)
+	rec.Truncated = a.trace.Truncated()
 
 	spans := a.trace.Spans()
 	breaker := false

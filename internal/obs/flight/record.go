@@ -125,10 +125,14 @@ type QueryRecord struct {
 	SnapshotSeq uint64           `json:"snapshot_seq,omitempty"`
 	Workers     int              `json:"workers,omitempty"`
 
-	Sampled      bool         `json:"trace_sampled"`
-	SampleReason string       `json:"sample_reason,omitempty"`
-	Trace        []TraceSpan  `json:"trace,omitempty"`
-	Events       []TraceEvent `json:"trace_events,omitempty"`
+	Sampled      bool   `json:"trace_sampled"`
+	SampleReason string `json:"sample_reason,omitempty"`
+	// Truncated marks a record whose trace overflowed its span or event
+	// budget: the retained dump is incomplete, and rung attempts or degrade
+	// reasons reconstructed from it may be missing entries.
+	Truncated bool         `json:"trace_truncated,omitempty"`
+	Trace     []TraceSpan  `json:"trace,omitempty"`
+	Events    []TraceEvent `json:"trace_events,omitempty"`
 }
 
 // Digest hashes a parameter string into a short stable token (FNV-1a 64,

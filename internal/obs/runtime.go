@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Go runtime telemetry: process-health gauges next to the query metrics, so a
+// latency regression can be told apart from GC pressure or a goroutine leak
+// without a second scrape target. Values are sampled on scrape through
+// GaugeFunc read-throughs. ReadMemStats is a stop-the-world of microseconds at
+// our heap sizes; the two mem-derived gauges share one snapshot behind a short
+// TTL so a scrape (the registry renders gauges back-to-back) pays it once.
+
+var runtimeSample struct {
+	mu      sync.Mutex
+	takenAt int64 // obs.Now of the snapshot, 0 = never
+	ms      runtime.MemStats
+}
+
+// memStats returns a MemStats snapshot at most ~50ms old — fresh for every
+// scrape, shared within one. Returned by value so concurrent scrapes cannot
+// observe a refresh mid-read.
+func memStats() runtime.MemStats {
+	runtimeSample.mu.Lock()
+	defer runtimeSample.mu.Unlock()
+	if now := Now(); runtimeSample.takenAt == 0 || now-runtimeSample.takenAt > 50e6 {
+		runtime.ReadMemStats(&runtimeSample.ms)
+		runtimeSample.takenAt = now
+	}
+	return runtimeSample.ms
+}
+
+// gcPauseP99 computes the p99 of the runtime's 256-entry GC pause ring, in
+// seconds. With fewer than 256 GCs the valid prefix is used.
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(a, b int) bool { return pauses[a] < pauses[b] })
+	idx := n * 99 / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return float64(pauses[idx]) / 1e9
+}
+
+// RegisterRuntime exposes Go runtime health gauges (heap bytes, GC pause p99,
+// goroutine count) on a registry, sampled on scrape.
+func RegisterRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("go_heap_bytes",
+		"bytes of allocated heap objects (runtime.MemStats.HeapAlloc, sampled on scrape)",
+		func() float64 { return float64(memStats().HeapAlloc) })
+	r.GaugeFunc("go_gc_pause_p99",
+		"p99 GC stop-the-world pause over the runtime's recent-pause ring, seconds",
+		func() float64 {
+			ms := memStats()
+			return gcPauseP99(&ms)
+		})
+	r.GaugeFunc("go_goroutines",
+		"live goroutines (runtime.NumGoroutine, sampled on scrape)",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}

@@ -17,6 +17,35 @@ const (
 	maxEvents = 128
 )
 
+// traceSpansDropped / traceEventsDropped accumulate overflow across every
+// trace in the process, so silent span loss is visible on /metrics even after
+// the individual (per-query) traces are gone. Per-trace counts stay on the
+// Trace (Dropped / Truncated) for flight-record attribution.
+var (
+	traceSpansDropped  atomic.Uint64
+	traceEventsDropped atomic.Uint64
+)
+
+// TraceDropped returns the process-wide counts of spans and events lost to
+// the fixed trace capacities.
+func TraceDropped() (spans, events uint64) {
+	return traceSpansDropped.Load(), traceEventsDropped.Load()
+}
+
+// RegisterTraceHealth exposes the process-wide trace overflow counters on a
+// registry.
+func RegisterTraceHealth(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("trace_spans_dropped_total",
+		"spans lost to the fixed per-trace capacity (trace marked truncated)",
+		traceSpansDropped.Load)
+	r.CounterFunc("trace_events_dropped_total",
+		"events lost to the fixed per-trace capacity (trace marked truncated)",
+		traceEventsDropped.Load)
+}
+
 // Span is one completed timed phase of a query (e.g. "saferegion.exact",
 // "rung.approx"). Start/End are Now timestamps (nanoseconds since process
 // start).
@@ -95,6 +124,7 @@ func (t *Trace) AddSpan(name string, start, end int64) {
 	if idx >= maxSpans {
 		// The reservation counter stays inflated; readers clamp to capacity.
 		t.droppedSpans.Add(1)
+		traceSpansDropped.Add(1)
 		return
 	}
 	t.spans[idx].span = Span{Name: name, Start: start, End: end}
@@ -109,6 +139,7 @@ func (t *Trace) Event(name, detail string) {
 	idx := t.nevents.Add(1) - 1
 	if idx >= maxEvents {
 		t.droppedEvents.Add(1)
+		traceEventsDropped.Add(1)
 		return
 	}
 	t.events[idx].event = Event{At: Now(), Name: name, Detail: detail}
@@ -168,6 +199,16 @@ func (t *Trace) Dropped() (spans, events uint64) {
 		return 0, 0
 	}
 	return t.droppedSpans.Load(), t.droppedEvents.Load()
+}
+
+// Truncated reports whether this trace lost any spans or events to the fixed
+// capacities; flight records carry the flag so a sampled slow query whose
+// trace overflowed is not mistaken for a complete picture.
+func (t *Trace) Truncated() bool {
+	if t == nil {
+		return false
+	}
+	return t.droppedSpans.Load() > 0 || t.droppedEvents.Load() > 0
 }
 
 // SpansNamed returns the recorded spans with the given name.

@@ -252,6 +252,7 @@ func (db *DB) WindowFrontier(c, q, centre geom.Point, excludeID int) []Item {
 func (db *DB) WindowFrontierChecked(chk *cancel.Checker, c, q, centre geom.Point, excludeID int) ([]Item, error) {
 	obs.AddWindowQueries(1)
 	dt := 0 // point-point tests only; the prune's box tests are not counted
+	pr := 0 // frontier candidates eliminated by transformed dominance
 	window := geom.WindowRect(c, q)
 	type candidate struct {
 		it Item
@@ -319,6 +320,7 @@ func (db *DB) WindowFrontierChecked(chk *cancel.Checker, c, q, centre geom.Point
 			for i := range cands {
 				dt++
 				if cands[i].tr.Dominates(tr) {
+					pr++
 					return true
 				}
 			}
@@ -329,6 +331,7 @@ func (db *DB) WindowFrontierChecked(chk *cancel.Checker, c, q, centre geom.Point
 	db.treeMu.RUnlock()
 	if err != nil {
 		obs.AddDominanceTests(dt)
+		obs.AddPruned(pr)
 		return nil, err
 	}
 	// Exactify: out-of-order arrivals can leave dominated members behind.
@@ -346,9 +349,12 @@ func (db *DB) WindowFrontierChecked(chk *cancel.Checker, c, q, centre geom.Point
 		}
 		if !dominated {
 			out = append(out, cands[a].it)
+		} else {
+			pr++
 		}
 	}
 	obs.AddDominanceTests(dt)
+	obs.AddPruned(pr)
 	return out, nil
 }
 
@@ -424,7 +430,11 @@ func (db *DB) ReverseSkylineFilteredChecked(chk *cancel.Checker, customers []Ite
 	gsp := skyline.GlobalSkyline(db.Items(), q)
 	var out []Item
 	dt := 0
-	defer func() { obs.AddDominanceTests(dt) }()
+	gdPruned := 0 // customers eliminated by the global-dominance filter
+	defer func() {
+		obs.AddDominanceTests(dt)
+		obs.AddPruned(gdPruned)
+	}()
 	for _, c := range customers {
 		if err := chk.Point(cancel.SiteCustomer); err != nil {
 			return nil, err
@@ -440,6 +450,7 @@ func (db *DB) ReverseSkylineFilteredChecked(chk *cancel.Checker, customers []Ite
 			}
 		}
 		if pruned {
+			gdPruned++
 			continue
 		}
 		in, err := db.IsReverseSkylineChecked(chk, c, q)

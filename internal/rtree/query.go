@@ -31,10 +31,7 @@ func (t *Tree) search(n *node, query geom.Rect, fn func(Item) bool, chk *cancel.
 	if chk.Point(cancel.SiteRTreeNode) != nil {
 		return false
 	}
-	t.accesses.Add(1)
-	if n.leaf {
-		t.leafScans.Add(1)
-	}
+	t.recordAccess(n.level)
 	for _, e := range n.entries {
 		if !query.Intersects(e.rect) {
 			continue
@@ -182,13 +179,11 @@ func (t *Tree) bestFirst(
 		}
 		e := heap.Pop(h).(pqEntry)
 		if e.node != nil {
-			t.accesses.Add(1)
-			if e.node.leaf {
-				t.leafScans.Add(1)
-			}
+			t.recordAccess(e.node.level)
 		}
 		if e.leaf {
 			if prune != nil && prune(geom.PointRect(e.item.Point)) {
+				t.pruned.Add(1)
 				continue
 			}
 			if !fn(e.item, e.key) {
@@ -197,20 +192,27 @@ func (t *Tree) bestFirst(
 			continue
 		}
 		if prune != nil && prune(e.node.mbr()) {
+			t.pruned.Add(1)
 			continue
 		}
+		prunedHere := int64(0)
 		for _, ne := range e.node.entries {
 			if e.node.leaf {
 				if prune != nil && prune(ne.rect) {
+					prunedHere++
 					continue
 				}
 				heap.Push(h, pqEntry{key: itemKey(ne.item.Point), item: ne.item, leaf: true})
 			} else {
 				if prune != nil && prune(ne.rect) {
+					prunedHere++
 					continue
 				}
 				heap.Push(h, pqEntry{key: rectKey(ne.rect), node: ne.child})
 			}
+		}
+		if prunedHere > 0 {
+			t.pruned.Add(prunedHere)
 		}
 	}
 }
@@ -263,9 +265,8 @@ func (t *Tree) guidedSearch(
 	if chk.Point(cancel.SiteRTreeNode) != nil {
 		return false
 	}
-	t.accesses.Add(1)
+	t.recordAccess(n.level)
 	if n.leaf {
-		t.leafScans.Add(1)
 		for _, e := range n.entries {
 			if !query.Intersects(e.rect) {
 				continue
@@ -288,14 +289,22 @@ func (t *Tree) guidedSearch(
 		refs = append(refs, childRef{key: order(e.rect), idx: i})
 	}
 	sort.Slice(refs, func(a, b int) bool { return refs[a].key < refs[b].key })
+	prunedHere := int64(0)
 	for _, r := range refs {
 		e := n.entries[r.idx]
 		if prune != nil && prune(e.rect) {
+			prunedHere++
 			continue
 		}
 		if !t.guidedSearch(e.child, query, order, prune, fn, chk) {
+			if prunedHere > 0 {
+				t.pruned.Add(prunedHere)
+			}
 			return false
 		}
+	}
+	if prunedHere > 0 {
+		t.pruned.Add(prunedHere)
 	}
 	return true
 }

@@ -110,6 +110,12 @@ type Tree struct {
 	height    int
 	accesses  atomic.Int64
 	leafScans atomic.Int64
+	// levelAccesses splits the access count by node level (index 0 = leaves);
+	// levels beyond the tracked window fold into the top slot. pruned counts
+	// subtree/entry prunes taken by a traversal's prune hook — page reads the
+	// branch-and-bound avoided.
+	levelAccesses [maxTrackedLevels]atomic.Int64
+	pruned        atomic.Int64
 }
 
 // New returns an empty tree for dims-dimensional points.

@@ -40,6 +40,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/explain"
 	"repro/internal/obs/flight"
 	"repro/internal/wal"
 )
@@ -142,6 +143,12 @@ type Server struct {
 	slowlog    *flight.SlowLog
 	walMetrics *wal.Metrics
 
+	// explainModel and fingerprints live on the server, not the snapshot:
+	// cost-model calibration and drift baselines must survive dataset
+	// hot-swaps, or every reload would blind the regression detector.
+	explainModel *explain.Model
+	fingerprints *explain.Store
+
 	snap     atomic.Pointer[Snapshot]
 	seq      atomic.Uint64
 	reloadMu chan struct{} // 1-buffered: serialises snapshot builds
@@ -186,6 +193,13 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.breakers = NewBreakerSet(cfg.Breaker, s.metrics)
 	s.engMetrics = engine.NewMetrics(cfg.Registry)
 	obs.RegisterCost(cfg.Registry)
+	obs.RegisterTraceHealth(cfg.Registry)
+	obs.RegisterRuntime(cfg.Registry)
+	s.explainModel = explain.NewModel()
+	s.fingerprints = explain.NewStore(0)
+	cfg.Registry.GaugeFunc("fingerprint_drift",
+		"Workload classes whose recent latency p95 drifted past their frozen baseline",
+		func() float64 { return float64(s.fingerprints.Drifting()) })
 	if err := s.initFlight(); err != nil {
 		return nil, err
 	}
@@ -306,6 +320,7 @@ func (s *Server) buildMux() http.Handler {
 	mux.HandleFunc("POST /v1/admin/delete", s.handleDelete)
 	mux.HandleFunc("GET /v1/admin/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/debug/queries", s.handleDebugQueries)
+	mux.HandleFunc("GET /v1/debug/fingerprints", s.handleDebugFingerprints)
 	mux.Handle("GET /metrics", s.cfg.Registry.Handler())
 	mux.Handle("GET /metrics.json", s.cfg.Registry.JSONHandler())
 	return s.recoverMiddleware(mux)
@@ -527,6 +542,13 @@ func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// Every admitted why-not request gets a plan profile: the fingerprint
+	// store needs the plan shape to classify the workload even when the
+	// client did not ask to see the tree (?explain=1 only controls whether
+	// the plan is attached to the response).
+	eb := explain.NewBuilder("whynot", snap.DB.Dims(), s.explainModel, snap.DB.Engine().DB.Tree())
+	ctx = explain.With(ctx, eb)
+
 	q := repro.NewPoint(req.Q...)
 	member, err := snap.DB.IsReverseSkylineContext(ctx, ct, q)
 	if err != nil {
@@ -563,6 +585,10 @@ func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	act.SetRung(ans.Rung.String(), ans.Degraded)
+	plan := eb.Finish(ans.Rung.String())
+	if s.fingerprints.Observe(plan) {
+		act.Trace().Eventf("fingerprint_drift", "%s", plan.Fingerprint)
+	}
 	res := ans.Result
 	body := map[string]any{
 		"case":         res.Case,
@@ -580,6 +606,10 @@ func (s *Server) handleWhyNot(w http.ResponseWriter, r *http.Request) {
 	// embeds it only when the client asked.
 	if tr != nil && req.Trace {
 		body["trace"] = traceJSON(tr)
+	}
+	if r.URL.Query().Get("explain") == "1" {
+		body["plan"] = plan
+		body["plan_text"] = plan.String()
 	}
 	s.writeJSON(w, http.StatusOK, body)
 }

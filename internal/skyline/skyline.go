@@ -30,7 +30,8 @@ func Of(items []Item) []Item { return SFS(items) }
 // tests and benchmarks.
 func BNL(items []Item) []Item {
 	var window []Item
-	dt := 0 // batched dominance-test count, one flush per call
+	dt := 0     // batched dominance-test count, one flush per call
+	pruned := 0 // batched discard count, same flush discipline
 	for _, cand := range items {
 		dominated := false
 		keep := window[:0]
@@ -48,14 +49,19 @@ func BNL(items []Item) []Item {
 			dt++
 			if !cand.Point.Dominates(w.Point) {
 				keep = append(keep, w)
+			} else {
+				pruned++
 			}
 		}
 		window = keep
 		if !dominated {
 			window = append(window, cand)
+		} else {
+			pruned++
 		}
 	}
 	obs.AddDominanceTests(dt)
+	obs.AddPruned(pruned)
 	return window
 }
 
@@ -69,6 +75,7 @@ func SFS(items []Item) []Item {
 	})
 	var sky []Item
 	dt := 0
+	pruned := 0
 	for _, cand := range sorted {
 		dominated := false
 		for _, s := range sky {
@@ -80,9 +87,12 @@ func SFS(items []Item) []Item {
 		}
 		if !dominated {
 			sky = append(sky, cand)
+		} else {
+			pruned++
 		}
 	}
 	obs.AddDominanceTests(dt)
+	obs.AddPruned(pruned)
 	return sky
 }
 
@@ -133,6 +143,7 @@ func DC(items []Item) []Item {
 	skyHi := DC(hi)
 	out := append([]Item(nil), skyLo...)
 	dt := 0
+	pruned := 0
 	for _, h := range skyHi {
 		dominated := false
 		for _, l := range skyLo {
@@ -144,9 +155,12 @@ func DC(items []Item) []Item {
 		}
 		if !dominated {
 			out = append(out, h)
+		} else {
+			pruned++
 		}
 	}
 	obs.AddDominanceTests(dt)
+	obs.AddPruned(pruned)
 	return out
 }
 
@@ -157,6 +171,7 @@ func DC(items []Item) []Item {
 func BBS(t *rtree.Tree) []Item {
 	var sky []Item
 	dt := 0 // point-point only; the rect prune below is not a dominance test
+	pruned := 0
 	dominatedRect := func(r geom.Rect) bool {
 		for _, s := range sky {
 			if s.Point.WeaklyDominates(r.Lo) && !r.Contains(s.Point) {
@@ -173,6 +188,7 @@ func BBS(t *rtree.Tree) []Item {
 			for _, s := range sky {
 				dt++
 				if s.Point.Dominates(it.Point) {
+					pruned++
 					return true
 				}
 			}
@@ -181,6 +197,7 @@ func BBS(t *rtree.Tree) []Item {
 		},
 	)
 	obs.AddDominanceTests(dt)
+	obs.AddPruned(pruned)
 	return sky
 }
 
@@ -201,6 +218,7 @@ func Dynamic(items []Item, c geom.Point) []Item {
 	sort.SliceStable(ts, func(i, j int) bool { return coordSum(ts[i].tr) < coordSum(ts[j].tr) })
 	var sky []ti
 	dt := 0
+	pruned := 0
 	for _, cand := range ts {
 		dominated := false
 		for _, s := range sky {
@@ -212,9 +230,12 @@ func Dynamic(items []Item, c geom.Point) []Item {
 		}
 		if !dominated {
 			sky = append(sky, cand)
+		} else {
+			pruned++
 		}
 	}
 	obs.AddDominanceTests(dt)
+	obs.AddPruned(pruned)
 	out := make([]Item, len(sky))
 	for i, s := range sky {
 		out[i] = s.orig
@@ -268,6 +289,7 @@ func DynamicBBSExcludingChecked(chk *cancel.Checker, t *rtree.Tree, c geom.Point
 	}
 	var out []Item
 	dt := 0
+	pruned := 0
 	err := t.BestFirstChecked(
 		chk,
 		func(p geom.Point) float64 { return coordSum(p.Transform(c)) },
@@ -281,6 +303,7 @@ func DynamicBBSExcludingChecked(chk *cancel.Checker, t *rtree.Tree, c geom.Point
 			for _, s := range sky {
 				dt++
 				if s.tr.Dominates(tr) {
+					pruned++
 					return true
 				}
 			}
@@ -290,6 +313,7 @@ func DynamicBBSExcludingChecked(chk *cancel.Checker, t *rtree.Tree, c geom.Point
 		},
 	)
 	obs.AddDominanceTests(dt)
+	obs.AddPruned(pruned)
 	if err != nil {
 		return nil, err
 	}
@@ -385,6 +409,7 @@ func GlobalSkyline(items []Item, q geom.Point) []Item {
 	}
 	survives := make([]bool, len(items))
 	dt := 0
+	pruned := 0 // canonical-group eliminations only: each item at most once
 	for g := 0; g < groups; g++ {
 		ms := byGroup[g]
 		if len(ms) == 0 {
@@ -413,6 +438,8 @@ func GlobalSkyline(items []Item, q geom.Point) []Item {
 				if canonical[idx] == g {
 					survives[idx] = true
 				}
+			} else if canonical[idx] == g {
+				pruned++
 			}
 		}
 	}
@@ -423,6 +450,7 @@ func GlobalSkyline(items []Item, q geom.Point) []Item {
 		}
 	}
 	obs.AddDominanceTests(dt)
+	obs.AddPruned(pruned)
 	return out
 }
 

@@ -59,7 +59,7 @@ func (e *Engine) mwqBatchWithRegion(chk *cancel.Checker, tr *obs.Trace, cts []It
 		if err := chk.Point(cancel.SiteBatchItem); err != nil {
 			return nil, err
 		}
-		res, err := e.mwq(chk, tr, ct, q, sr, opt)
+		res, err := e.mwq(chk, tr, nil, ct, q, sr, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +96,7 @@ func (e *Engine) mwqBatchParallel(ctx context.Context, cts []Item, q geom.Point,
 	// and safe for concurrent writers.
 	tr := obs.TraceFrom(ctx)
 	err := exec.ForEach(ctx, len(cts), workers, cancel.SiteBatchItem, func(chk *cancel.Checker, i int) error {
-		res, err := e.mwq(chk, tr, cts[i], q, sr, opt)
+		res, err := e.mwq(chk, tr, nil, cts[i], q, sr, opt)
 		if err != nil {
 			return err
 		}

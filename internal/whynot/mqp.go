@@ -224,7 +224,7 @@ func (e *Engine) mqpTotalCost(chk *cancel.Checker, q, qStar geom.Point, rsl []It
 		if !lost {
 			continue // still a reverse-skyline point of q*
 		}
-		res, err := e.mwp(chk, c, qStar, opt)
+		res, err := e.mwp(chk, nil, c, qStar, opt)
 		if err != nil {
 			return 0, err
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cancel"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/obs/explain"
 	"repro/internal/region"
 )
 
@@ -60,7 +61,7 @@ type MWQResult struct {
 // ApproxSafeRegion; the paper reuses one safe region across many why-not
 // questions on the same query).
 func (e *Engine) MWQ(ct Item, q geom.Point, sr region.Set, opt Options) MWQResult {
-	res, _ := e.mwq(nil, nil, ct, q, sr, opt)
+	res, _ := e.mwq(nil, nil, nil, ct, q, sr, opt)
 	return res
 }
 
@@ -72,11 +73,19 @@ func (e *Engine) MWQCtx(ctx context.Context, ct Item, q geom.Point, sr region.Se
 	if err != nil {
 		return MWQResult{}, err
 	}
-	return e.mwq(chk, obs.TraceFrom(ctx), ct, q, sr, opt)
+	return e.mwq(chk, obs.TraceFrom(ctx), explain.From(ctx), ct, q, sr, opt)
 }
 
-func (e *Engine) mwq(chk *cancel.Checker, tr *obs.Trace, ct Item, q geom.Point, sr region.Set, opt Options) (MWQResult, error) {
+// mwq runs Algorithm 4. tr and eb are threaded explicitly (this layer has no
+// context): tr records the span timeline, eb the plan tree. Per-corner MWP
+// calls deliberately run without eb — a plan tree that grew one subtree per
+// corner would make the plan shape (and so the query fingerprint) depend on
+// the corner count instead of the pipeline structure; the corners node
+// aggregates them.
+func (e *Engine) mwq(chk *cancel.Checker, tr *obs.Trace, eb *explain.Builder, ct Item, q geom.Point, sr region.Set, opt Options) (MWQResult, error) {
 	defer tr.StartSpan("mwq")()
+	spM := eb.Start("mwq", explain.RuleNone)
+	defer spM.End()
 	member, err := e.DB.WindowExistsChecked(chk, ct.Point, q, e.exclude(ct))
 	if err != nil {
 		return MWQResult{}, err
@@ -92,14 +101,19 @@ func (e *Engine) mwq(chk *cancel.Checker, tr *obs.Trace, ct Item, q geom.Point, 
 			CtCandidates:  []Candidate{{Point: ct.Point.Clone(), Cost: 0}},
 		}, nil
 	}
+	spO := eb.Start("mwq.overlap", explain.RuleSafeRegion)
+	spO.SetIn(len(sr))
 	antiDDR, err := e.antiDDROf(chk, ct)
 	if err != nil {
+		spO.End()
 		return MWQResult{}, err
 	}
 	// Only an overlap with non-empty interior counts as case C1: candidates
 	// are infima of open regions, so a measure-zero (degenerate) overlap has
 	// no strictly valid point arbitrarily close and must be handled as C2.
 	overlap := positiveRects(sr.IntersectSet(antiDDR))
+	spO.SetOut(len(overlap))
+	spO.End()
 	if !overlap.IsEmpty() {
 		// Case C1 (steps 1–6): move q to the nearest point of each overlap
 		// rectangle; the why-not point stays put and the cost is zero.
@@ -137,6 +151,9 @@ func (e *Engine) mwq(chk *cancel.Checker, tr *obs.Trace, ct Item, q geom.Point, 
 	corners := append(positiveRects(sr).Corners(), q.Clone())
 	tr.Eventf("mwq.case", "C2 disjoint: %d safe-region corners", len(corners))
 	obs.AddSafeRegionVertices(len(corners))
+	spC := eb.Start("mwq.corners", explain.RuleMidpoint)
+	spC.SetIn(len(corners))
+	defer spC.End()
 	type scored struct {
 		pt geom.Point
 		tr geom.Point
@@ -169,6 +186,7 @@ func (e *Engine) mwq(chk *cancel.Checker, tr *obs.Trace, ct Item, q geom.Point, 
 		}
 	}
 	obs.AddDominanceTests(dt)
+	obs.AddPruned(len(ts) - len(qCands))
 
 	endCorners := tr.StartSpan("mwq.corners")
 	bestCost := math.Inf(1)
@@ -180,7 +198,7 @@ func (e *Engine) mwq(chk *cancel.Checker, tr *obs.Trace, ct Item, q geom.Point, 
 			endCorners()
 			return MWQResult{}, err
 		}
-		res, err := e.mwp(chk, ct, qc.pt, opt)
+		res, err := e.mwp(chk, nil, ct, qc.pt, opt)
 		if err != nil {
 			endCorners()
 			return MWQResult{}, err
@@ -195,6 +213,7 @@ func (e *Engine) mwq(chk *cancel.Checker, tr *obs.Trace, ct Item, q geom.Point, 
 	}
 	endCorners()
 	obs.AddCandidateEvaluations(len(qEvaluated))
+	spC.SetOut(len(qEvaluated))
 	sort.SliceStable(qEvaluated, func(a, b int) bool { return qEvaluated[a].Cost < qEvaluated[b].Cost })
 	return MWQResult{
 		Case:         CaseDisjoint,
@@ -235,13 +254,20 @@ func (e *Engine) MWQExactCtx(ctx context.Context, ct Item, q geom.Point, rsl []I
 		return MWQResult{}, err
 	}
 	tr := obs.TraceFrom(ctx)
+	eb := explain.From(ctx)
 	endSR := tr.StartSpan("saferegion.exact")
+	spSR := eb.Start("saferegion.exact", explain.RuleSafeRegion)
+	spSR.SetIn(len(rsl))
 	sr, err := e.safeRegion(chk, q, rsl)
+	if err == nil {
+		spSR.SetOut(len(sr))
+	}
+	spSR.End()
 	endSR()
 	if err != nil {
 		return MWQResult{}, err
 	}
-	return e.mwq(chk, tr, ct, q, sr, opt)
+	return e.mwq(chk, tr, eb, ct, q, sr, opt)
 }
 
 // MWQExactParallelCtx is MWQExactCtx with the safe-region construction fanned
@@ -269,11 +295,18 @@ func (e *Engine) MWQApproxCtx(ctx context.Context, ct Item, q geom.Point, rsl []
 		return MWQResult{}, err
 	}
 	tr := obs.TraceFrom(ctx)
+	eb := explain.From(ctx)
 	endSR := tr.StartSpan("saferegion.approx")
+	spSR := eb.Start("saferegion.approx", explain.RuleSafeRegion)
+	spSR.SetIn(len(rsl))
 	sr, err := e.approxSafeRegion(chk, q, rsl, store)
+	if err == nil {
+		spSR.SetOut(len(sr))
+	}
+	spSR.End()
 	endSR()
 	if err != nil {
 		return MWQResult{}, err
 	}
-	return e.mwq(chk, tr, ct, q, sr, opt)
+	return e.mwq(chk, tr, eb, ct, q, sr, opt)
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/obs/explain"
 	"repro/internal/region"
 	"repro/internal/rskyline"
 	"repro/internal/skyline"
@@ -35,7 +36,14 @@ func (e *Engine) SafeRegionCtx(ctx context.Context, q geom.Point, rsl []Item) (r
 	}
 	_, endPhase := obs.StartPhase(ctx, "saferegion.exact")
 	defer endPhase()
-	return e.safeRegion(chk, q, rsl)
+	sp := explain.From(ctx).Start("saferegion.exact", explain.RuleSafeRegion)
+	sp.SetIn(len(rsl))
+	sr, err := e.safeRegion(chk, q, rsl)
+	if err == nil {
+		sp.SetOut(len(sr))
+	}
+	sp.End()
+	return sr, err
 }
 
 func (e *Engine) safeRegion(chk *cancel.Checker, q geom.Point, rsl []Item) (region.Set, error) {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/obs/explain"
 	"repro/internal/region"
 	"repro/internal/rskyline"
 	"repro/internal/rtree"
@@ -156,7 +157,13 @@ func (e *Engine) ExplainCtx(ctx context.Context, ct Item, q geom.Point) ([]Item,
 	}
 	_, endPhase := obs.StartPhase(ctx, "explain")
 	defer endPhase()
-	return e.DB.WindowQueryChecked(chk, ct.Point, q, e.exclude(ct))
+	sp := explain.From(ctx).Start("explain.window", explain.RuleDSLWindow)
+	out, err := e.DB.WindowQueryChecked(chk, ct.Point, q, e.exclude(ct))
+	if err == nil {
+		sp.SetOut(len(out))
+	}
+	sp.End()
+	return out, err
 }
 
 // costC returns the normalised β-weighted movement cost of the why-not point.
@@ -194,7 +201,7 @@ func (r MWPResult) Best() Candidate { return r.Candidates[0] }
 // formulas exactly for their configuration and stays correct for arbitrary
 // relative positions.
 func (e *Engine) MWP(ct Item, q geom.Point, opt Options) MWPResult {
-	res, _ := e.mwp(nil, ct, q, opt)
+	res, _ := e.mwp(nil, nil, ct, q, opt)
 	return res
 }
 
@@ -207,20 +214,32 @@ func (e *Engine) MWPCtx(ctx context.Context, ct Item, q geom.Point, opt Options)
 	}
 	_, endPhase := obs.StartPhase(ctx, "mwp")
 	defer endPhase()
-	return e.mwp(chk, ct, q, opt)
+	eb := explain.From(ctx)
+	sp := eb.Start("mwp", explain.RuleNone)
+	defer sp.End()
+	return e.mwp(chk, eb, ct, q, opt)
 }
 
-func (e *Engine) mwp(chk *cancel.Checker, ct Item, q geom.Point, opt Options) (MWPResult, error) {
+// mwp runs Algorithm 1. eb, when non-nil, receives the per-phase plan nodes
+// (threaded explicitly like chk — this layer has no context).
+func (e *Engine) mwp(chk *cancel.Checker, eb *explain.Builder, ct Item, q geom.Point, opt Options) (MWPResult, error) {
+	spF := eb.Start("mwp.frontier", explain.RuleDSLWindow)
 	frontier, err := e.DB.WindowFrontierChecked(chk, ct.Point, q, q, e.exclude(ct))
 	if err != nil {
+		spF.End()
 		return MWPResult{}, err
 	}
+	spF.SetOut(len(frontier))
+	spF.End()
 	if len(frontier) == 0 {
 		return MWPResult{
 			AlreadyMember: true,
 			Candidates:    []Candidate{{Point: ct.Point.Clone(), Cost: 0}},
 		}, nil
 	}
+	spC := eb.Start("mwp.candidates", explain.RuleMidpoint)
+	spC.SetIn(len(frontier))
+	defer spC.End()
 
 	d := len(q)
 	i := opt.SortDim
@@ -299,7 +318,9 @@ func (e *Engine) mwp(chk *cancel.Checker, ct Item, q geom.Point, opt Options) (M
 	}
 	obs.AddCandidateEvaluations(len(cands))
 	sortCandidates(cands)
-	return MWPResult{Frontier: frontier, Candidates: dedupCandidates(cands)}, nil
+	deduped := dedupCandidates(cands)
+	spC.SetOut(len(deduped))
+	return MWPResult{Frontier: frontier, Candidates: deduped}, nil
 }
 
 // constraint is one binding frontier midpoint with its per-dimension

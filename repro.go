@@ -48,6 +48,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/obs/explain"
 	"repro/internal/obs/flight"
 	"repro/internal/region"
 	"repro/internal/rskyline"
@@ -106,6 +107,20 @@ type CacheStatsDetail = exec.CacheStats
 // ExecMetrics is the worker-pool instrumentation handle carried by contexts.
 type ExecMetrics = obs.ExecMetrics
 
+// ExplainPlan is the structured plan-tree profile of one query: which phases
+// ran, how many candidates entered and survived each one, which pruning rule
+// did the work, per-level R-tree page accesses, and estimated vs actual cost
+// per phase. Obtain one with StartExplain; render it with its String (timed)
+// or StableString (deterministic) methods.
+type ExplainPlan = explain.Plan
+
+// ExplainNode is one profiled phase of an ExplainPlan.
+type ExplainNode = explain.Node
+
+// FingerprintClass is the aggregated latency/cost/prune-ratio profile of one
+// workload class in the query-fingerprint regression store.
+type FingerprintClass = explain.ClassSnapshot
+
 // DB is a product database indexed by an R*-tree, answering reverse-skyline
 // queries and why-not questions over it.
 type DB struct {
@@ -122,6 +137,11 @@ type DB struct {
 	// flight is non-nil only with DBOptions.FlightSize > 0: the per-query
 	// ledger recording one flight.QueryRecord per DB entry point.
 	flight *flight.Ledger
+	// explainModel and fingerprints back the EXPLAIN surface. Both are always
+	// on — a query that never calls StartExplain pays only the nil context
+	// checks in the instrumented layers.
+	explainModel *explain.Model
+	fingerprints *explain.Store
 	// Durable-mode state (OpenDurable): the write-ahead log, the live item
 	// set it checkpoints from, and the mutation lock that keeps WAL order
 	// identical to index-apply order. All nil/zero on an in-memory DB.
@@ -187,7 +207,12 @@ func NewDBWithOptions(dims int, products []Item, opts DBOptions) *DB {
 	case workers == 0:
 		workers = 1 // zero value: the paper's sequential reference behaviour
 	}
-	db := &DB{engine: engine, workers: workers}
+	db := &DB{
+		engine:       engine,
+		workers:      workers,
+		explainModel: explain.NewModel(),
+		fingerprints: explain.NewStore(0),
+	}
 	if opts.Observability {
 		db.initObservability(rdb)
 	}
@@ -208,6 +233,11 @@ func NewDBWithOptions(dims int, products []Item, opts DBOptions) *DB {
 func (db *DB) initObservability(rdb *rskyline.DB) {
 	r := obs.NewRegistry()
 	obs.RegisterCost(r)
+	obs.RegisterTraceHealth(r)
+	obs.RegisterRuntime(r)
+	r.GaugeFunc("fingerprint_drift",
+		"Workload classes whose recent latency p95 drifted past their frozen baseline",
+		func() float64 { return float64(db.fingerprints.Drifting()) })
 	tree := rdb.Tree() // the tree pointer is stable across Insert/Delete
 	r.CounterFunc("rtree_node_accesses_total",
 		"R-tree nodes visited (the paper's I/O cost metric)",
@@ -270,6 +300,59 @@ func (db *DB) StartTrace(ctx context.Context, op string) (context.Context, *Quer
 
 // TraceFromContext returns the trace carried by ctx, or nil.
 func TraceFromContext(ctx context.Context) *QueryTrace { return obs.TraceFrom(ctx) }
+
+// StartExplain opens a plan-tree profile for one query: run any XxxContext
+// method with the returned context and the instrumented layers (window
+// queries, MWP candidate generation, safe-region folds, MWQ corner
+// enumeration) record plan nodes with candidate counts, pruning rules,
+// R-tree accesses and estimated-vs-actual cost. The finish func closes the
+// plan — pass the degradation rung that answered ("exact", "approx", ...; ""
+// when no ladder is involved) — feeds the query-fingerprint regression
+// store, and returns the plan for rendering or inspection.
+//
+// Available regardless of DBOptions.Observability: the per-node cost model
+// and fingerprint store are always on, and a query that never calls
+// StartExplain pays only a nil context check per instrumentation hook.
+func (db *DB) StartExplain(ctx context.Context, op string) (context.Context, func(rung string) *ExplainPlan) {
+	b := explain.NewBuilder(op, db.Dims(), db.explainModel, db.engine.DB.Tree())
+	ctx = explain.With(ctx, b)
+	fctx := ctx
+	return ctx, func(rung string) *ExplainPlan {
+		plan := b.Finish(rung)
+		if db.fingerprints.Observe(plan) {
+			// Drift rides the query trace (and with it any flight record):
+			// the workload class this query belongs to has regressed.
+			obs.TraceFrom(fctx).Eventf("fingerprint_drift", "%s", plan.Fingerprint)
+		}
+		return plan
+	}
+}
+
+// Fingerprints returns the per-workload-class aggregates of the
+// query-fingerprint regression store, busiest class first. Classes form from
+// queries profiled via StartExplain (including the serving layer's
+// explain=1 requests when this DB backs a server snapshot).
+func (db *DB) Fingerprints() []FingerprintClass { return db.fingerprints.Snapshot() }
+
+// FingerprintDrift reports how many workload classes currently trip the
+// p95 drift detector — the value behind the fingerprint_drift gauge.
+func (db *DB) FingerprintDrift() int { return db.fingerprints.Drifting() }
+
+// MWQExactExplain is MWQExactContext with a plan profile: it computes the
+// safe region, answers the why-not question, and returns the structured
+// EXPLAIN plan alongside the result.
+func (db *DB) MWQExactExplain(ctx context.Context, ct Item, q Point, rsl []Item, opt Options) (MWQResult, *ExplainPlan, error) {
+	ctx, finish := db.StartExplain(ctx, "mwq")
+	res, err := db.MWQExactContext(ctx, ct, q, rsl, opt)
+	return res, finish("exact"), err
+}
+
+// MWPExplain is MWPContext with a plan profile.
+func (db *DB) MWPExplain(ctx context.Context, ct Item, q Point, opt Options) (MWPResult, *ExplainPlan, error) {
+	ctx, finish := db.StartExplain(ctx, "mwp")
+	res, err := db.MWPContext(ctx, ct, q, opt)
+	return res, finish(""), err
+}
 
 // obsCtx instruments a context entering this DB: worker-pool metrics ride it
 // into every exec.ForEach fan-out below. The per-op counter and latency
